@@ -1,0 +1,24 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures.  The
+helpers here keep the individual benchmark modules small: they run a
+measurement callable once inside ``pytest-benchmark`` (the interesting
+"result" is the simulated measurement, not the wall-clock time of the
+simulator, but the benchmark fixture gives a convenient, uniform harness and
+records wall time too) and print the rendered table so that
+``pytest benchmarks/ --benchmark-only -s`` reads like the paper's evaluation
+section.
+"""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under the benchmark fixture and return its result."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+
+def emit(title: str, text: str) -> None:
+    """Print a rendered table/figure with a banner (visible with ``-s``)."""
+    banner = "=" * max(len(title), 20)
+    print(f"\n{banner}\n{title}\n{banner}\n{text}\n")

@@ -1,0 +1,57 @@
+"""Section 7.5 — function agility.
+
+Reproduces the ring experiment: three active bridges running the DEC protocol
+with the control switchlet armed, a two-NIC measurement end-node that injects
+an 802.1D BPDU and then measures (a) how long until an 802.1D BPDU appears on
+its far card (all bridges reconfigured) and (b) how long until its prebuilt
+pings start flowing again (forwarding-delay timers).
+
+Paper: start-to-IEEE ≈ 0.056 s, start-to-ping ≈ 30.1 s.
+"""
+
+from __future__ import annotations
+
+from _harness import emit, run_once
+
+from repro.analysis.report import ExperimentReport
+from repro.measurement.agility import AgilityProbe
+from repro.measurement.setups import build_ring
+from repro.switchlets.spanning_tree import SpanningTreeApp
+
+
+def measure():
+    ring = build_ring(n_bridges=3, seed=6)
+    probe = AgilityProbe.for_ring(ring, ping_interval=1.0)
+    result = probe.run(start_time=40.0, deadline=90.0)
+    controls = [bridge.func.lookup("switchlet.control") for bridge in ring.bridges]
+    return result, controls
+
+
+def test_agility(benchmark):
+    result, controls = run_once(benchmark, measure)
+
+    report = ExperimentReport("Section 7.5 -- function agility (ring of 3 active bridges)")
+    report.add(
+        "Agility",
+        "start to IEEE BPDU on far card",
+        "0.056 s",
+        f"{result.start_to_ieee:.3f} s" if result.start_to_ieee is not None else "never",
+        "per-bridge reconfiguration is milliseconds; both are << 0.1 s",
+    )
+    report.add(
+        "Agility",
+        "start to first ping through",
+        "30.1 s",
+        f"{result.start_to_ping:.1f} s" if result.start_to_ping is not None else "never",
+        "dominated by 2 x 15 s 802.1D forward delay",
+    )
+    emit("Paper vs. measured", report.render())
+
+    # Every bridge transitioned and validated successfully.
+    assert all(control.state == control.STATE_TERMINATED for control in controls)
+    # Reconfiguration is far faster than the protocol timers (paper: < 0.1 s).
+    assert result.start_to_ieee is not None and result.start_to_ieee < 0.1
+    # End-to-end recovery is dominated by the two forward-delay periods.
+    assert result.start_to_ping is not None
+    expected = 2 * SpanningTreeApp.FORWARD_DELAY
+    assert expected <= result.start_to_ping <= expected + 3.0

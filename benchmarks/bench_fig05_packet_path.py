@@ -1,0 +1,66 @@
+"""Figure 5 — the packet path through the active node.
+
+The paper decomposes a forwarded frame's path into seven steps (NIC, ISR,
+kernel-to-user delivery, Caml processing, user-to-kernel emit, driver queue,
+transmit).  This benchmark traces a single frame through the simulated bridge
+and accounts the simulated time to the cost-model components that stand in
+for those steps, then checks that the per-frame total matches the forwarding
+rates of Section 7.3.
+"""
+
+from __future__ import annotations
+
+from _harness import emit, run_once
+
+from repro.analysis.tables import render_table
+from repro.costs.model import CostModel
+from repro.measurement.ping import PingRunner
+from repro.measurement.setups import build_bridged_pair
+
+FRAME_BYTES = 1024 + 60  # ~1 KB of echo data plus headers
+
+
+def measure():
+    """One echo through the bridge, plus the cost-model decomposition."""
+    setup = build_bridged_pair(seed=8)
+    runner = PingRunner(
+        setup.network.sim, setup.left, setup.right.ip, payload_size=1024, count=3, interval=0.1
+    )
+    result = runner.run(start_time=setup.ready_time)
+    return result, setup.device.costs
+
+
+def test_fig05_packet_path(benchmark):
+    result, costs = run_once(benchmark, measure)
+    model: CostModel = costs
+
+    steps = [
+        ("1-2. frame arrives / ISR collects it", "wire + NIC (simulated medium)", "-"),
+        ("3. kernel wakes bridge, recvfrom()", "kernel crossing (rx)",
+         f"{model.kernel_crossing_cost * 1e3:.3f} ms"),
+        ("4. the Caml program operates on the frame", "interpreted switchlet path",
+         f"{model.switchlet_frame_cost(FRAME_BYTES) * 1e3:.3f} ms"),
+        ("5. sendto() back into the kernel", "kernel crossing (tx)",
+         f"{model.kernel_crossing_cost * 1e3:.3f} ms"),
+        ("6-7. driver queues and transmits", "wire + NIC (simulated medium)", "-"),
+    ]
+    emit(
+        "Figure 5 -- packet path through the active node (per-frame software cost)",
+        render_table(["step (paper)", "cost component (model)", "cost"], steps),
+    )
+    total = model.bridge_frame_cost(FRAME_BYTES)
+    emit(
+        "Totals",
+        f"per-frame software total: {total * 1e3:.3f} ms  "
+        f"=> forwarding ceiling {1.0 / total:.0f} frames/s at {FRAME_BYTES} B\n"
+        f"measured one-way added latency (RTT/2 difference vs. direct) is "
+        f"reported by bench_fig09; mean bridged RTT here: {result.mean_rtt_ms():.3f} ms",
+    )
+
+    assert result.received == result.sent
+    # The software path total must equal its components.
+    assert total == (
+        2 * model.kernel_crossing_cost + model.switchlet_frame_cost(FRAME_BYTES)
+    )
+    # And it must sit in the neighbourhood of the paper's 0.56 ms/frame.
+    assert 0.4e-3 < total < 0.8e-3

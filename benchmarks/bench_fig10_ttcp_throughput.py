@@ -1,0 +1,104 @@
+"""Figure 10 — ttcp throughput.
+
+Reproduces the paper's throughput figure: bulk-transfer throughput versus
+application write size for the direct connection, the C buffered repeater,
+and the active bridge.  The paper's headline numbers are 76 Mb/s unbridged
+and 16 Mb/s through the active bridge (with the bridge reaching roughly 44 %
+of the C repeater); the shape checks below assert the same ordering and
+roughly the same ratios.
+"""
+
+from __future__ import annotations
+
+from _harness import emit, run_once
+
+from repro.analysis.figures import render_series
+from repro.analysis.report import ExperimentReport
+from repro.measurement.setups import (
+    build_bridged_pair,
+    build_direct_pair,
+    build_repeater_pair,
+)
+from repro.measurement.ttcp import TtcpSession
+
+#: The write sizes on the paper's x-axis (Figure 10).
+BUFFER_SIZES = [32, 512, 1024, 2048, 4096, 8192]
+
+#: Bytes moved per trial (large sizes are throughput-bound; small sizes are
+#: sender-bound, exactly as in the paper).
+TOTAL_BYTES = {32: 40_000, 512: 200_000, 1024: 300_000, 2048: 400_000, 4096: 400_000, 8192: 400_000}
+
+
+def measure_all():
+    """Run the three-configuration ttcp sweep; returns {label: {size: result}}."""
+    results = {}
+    for label, builder in (
+        ("direct connection", build_direct_pair),
+        ("C buffered repeater", build_repeater_pair),
+        ("active bridge", build_bridged_pair),
+    ):
+        setup = builder(seed=2)
+        per_size = {}
+        start = setup.ready_time
+        for index, size in enumerate(BUFFER_SIZES):
+            session = TtcpSession(
+                setup.network.sim,
+                setup.left,
+                setup.right,
+                buffer_size=size,
+                total_bytes=TOTAL_BYTES[size],
+                receiver_port=7000 + 2 * index,
+                sender_port=7001 + 2 * index,
+            )
+            per_size[size] = session.run(start_time=start, deadline=180.0)
+            start = setup.network.sim.now + 0.5
+        results[label] = per_size
+    return results
+
+
+def test_fig10_ttcp_throughput(benchmark):
+    results = run_once(benchmark, measure_all)
+
+    series = {
+        label: [results[label][size].throughput_mbps for size in BUFFER_SIZES]
+        for label in results
+    }
+    emit(
+        "Figure 10 -- ttcp throughput (Mb/s)",
+        render_series("write size (bytes)", BUFFER_SIZES, series, y_format="{:.2f}"),
+    )
+
+    direct = results["direct connection"][8192].throughput_mbps
+    repeater = results["C buffered repeater"][8192].throughput_mbps
+    bridged = results["active bridge"][8192].throughput_mbps
+    report = ExperimentReport("Figure 10 anchors (8 KB writes)")
+    report.add("Figure 10", "direct (unbridged) throughput", "76 Mb/s", f"{direct:.1f} Mb/s")
+    report.add("Figure 10", "active bridge throughput", "16 Mb/s", f"{bridged:.1f} Mb/s")
+    report.add(
+        "Figure 10",
+        "bridge / C-repeater ratio",
+        "~44 %",
+        f"{100 * bridged / repeater:.0f} %",
+    )
+    emit("Paper vs. measured", report.render())
+
+    # Every trial must have completed.
+    for label in results:
+        for size in BUFFER_SIZES:
+            assert results[label][size].completed, f"{label} @ {size} did not finish"
+    # Ordering: direct > repeater > bridge at every size.
+    for size in BUFFER_SIZES:
+        assert (
+            series["direct connection"][BUFFER_SIZES.index(size)]
+            > series["C buffered repeater"][BUFFER_SIZES.index(size)]
+            > series["active bridge"][BUFFER_SIZES.index(size)]
+        )
+    # Throughput grows with write size for every configuration.
+    for label in results:
+        assert series[label][-1] > series[label][0]
+    # Anchor bands: the absolute numbers come from a calibrated model, so a
+    # generous band is used -- the point is the factor between the curves.
+    assert 55.0 < direct < 95.0
+    assert 10.0 < bridged < 25.0
+    assert 0.25 < bridged / repeater < 0.65
+    assert 3.0 < direct / bridged < 7.0

@@ -1,0 +1,102 @@
+"""Section 7.3 — frame rates and the per-frame cost ceiling.
+
+The paper reports forwarding rates through the active bridge from ~360
+frames/second for ~50-byte frames to ~1790 frames/second for 1024-byte
+frames, and derives a ~2100 frames/second (~32 Mb/s) ceiling from the 0.47 ms
+measured per frame inside Caml.  This benchmark measures the realized
+forwarding rate of the simulated bridge during ttcp trials at several frame
+sizes and prints the cost-model ceilings next to them.
+"""
+
+from __future__ import annotations
+
+from _harness import emit, run_once
+
+from repro.analysis.tables import render_table
+from repro.costs.model import CostModel
+from repro.measurement.framerate import FrameRateProbe, bridge_ceiling, interpreter_ceiling
+from repro.measurement.setups import build_bridged_pair
+from repro.measurement.ttcp import TtcpSession
+
+#: Application write sizes whose single-segment frames approximate the
+#: paper's "frame size" axis.
+WRITE_SIZES = [64, 512, 1024, 1400]
+
+
+def measure():
+    """Frame rate through the active bridge per write size."""
+    setup = build_bridged_pair(seed=3)
+    sim = setup.network.sim
+    bridge = setup.device
+    start = setup.ready_time
+    rows = []
+    for index, size in enumerate(WRITE_SIZES):
+        session = TtcpSession(
+            sim,
+            setup.left,
+            setup.right,
+            buffer_size=size,
+            total_bytes=max(60_000, size * 150),
+            receiver_port=6000 + 2 * index,
+            sender_port=6001 + 2 * index,
+        )
+        probe = FrameRateProbe(sim, bridge)
+        session.start(start)
+        sim.run_until(start + 0.05)
+        probe.start()
+        deadline = start + 120.0
+        while not session.result.completed and sim.now < deadline:
+            sim.run_until(min(deadline, sim.now + 0.02))
+        sample = probe.stop()
+        rows.append((size, session.result, sample))
+        start = sim.now + 0.5
+    return rows
+
+
+def test_frame_rates_and_ceilings(benchmark):
+    rows = run_once(benchmark, measure)
+    model = CostModel()
+
+    table_rows = []
+    for size, result, sample in rows:
+        table_rows.append(
+            [
+                size,
+                f"{sample.frames_per_second:.0f}",
+                f"{result.throughput_mbps:.2f}",
+                f"{bridge_ceiling(model, size + 60):.0f}",
+                f"{interpreter_ceiling(model, size + 60):.0f}",
+            ]
+        )
+    emit(
+        "Section 7.3 -- frame rates through the active bridge",
+        render_table(
+            ["write size (B)", "measured f/s", "Mb/s", "bridge ceiling f/s", "interpreter ceiling f/s"],
+            table_rows,
+        ),
+    )
+    emit(
+        "Paper anchors",
+        "paper: ~360 f/s at ~50 B ... ~1790 f/s at 1024 B; 0.47 ms/frame in Caml "
+        "=> ~2100 f/s (~32 Mb/s) ceiling.\n"
+        f"model: interpreter cost at 1024 B = {model.switchlet_frame_cost(1024) * 1e3:.2f} ms "
+        f"=> ceiling {interpreter_ceiling(model, 1024):.0f} f/s "
+        f"({interpreter_ceiling(model, 1024) * 1024 * 8 / 1e6:.1f} Mb/s).\n"
+        "Note: in the paper, small-write ttcp trials are *sender*-bound (TCP "
+        "small-segment behaviour on a P166), hence ~360 f/s; the reproduction's "
+        "sender is faster, so small-frame trials run up against the bridge's own "
+        "per-frame ceiling instead.  The MTU-sized anchor and the ceiling are the "
+        "comparable quantities.",
+    )
+
+    # Every trial completed and the realized rate stays below the per-frame
+    # ceiling of the full bridge path (data + acknowledgement frames share it).
+    rates = [sample.frames_per_second for _size, _result, sample in rows]
+    for (size, result, sample) in rows:
+        assert result.completed
+        assert sample.frames_per_second < 1.1 / model.bridge_frame_cost(60)
+    # The large-frame rate lands in the paper's neighbourhood (hundreds to a
+    # couple of thousand frames per second, not tens or tens of thousands).
+    assert 800 < rates[-1] < 2500
+    # The 0.47 ms in-Caml cost reproduces the ~2100 f/s ceiling at 1024 B.
+    assert 1900 < interpreter_ceiling(model, 1024) < 2300

@@ -1,0 +1,102 @@
+"""Table 1 — automatic protocol transition.
+
+Regenerates the paper's Table 1: the coordinated state sequence of the DEC
+("old") protocol, the IEEE 802.1D ("new") protocol, and the control
+switchlet during an automatic transition — plus the fallback row, which is
+exercised in a second run with a deliberately faulty new protocol.
+"""
+
+from __future__ import annotations
+
+from _harness import emit, run_once
+
+from repro.analysis.tables import render_table
+from repro.ethernet.ethertype import EtherType
+from repro.ethernet.frame import EthernetFrame
+from repro.ethernet.mac import ALL_BRIDGES_MULTICAST, MacAddress
+from repro.lan.nic import NetworkInterface
+from repro.measurement.setups import build_ring
+from repro.switchlets.bpdu import ConfigBpdu
+
+TRIGGER_MAC = MacAddress.from_string("02:aa:aa:aa:aa:aa")
+
+
+def _trigger_frame():
+    bpdu = ConfigBpdu(0xFFFF, TRIGGER_MAC.octets, 0, 0xFFFF, TRIGGER_MAC.octets, 1)
+    return EthernetFrame(
+        destination=ALL_BRIDGES_MULTICAST,
+        source=TRIGGER_MAC,
+        ethertype=int(EtherType.STP_8021D),
+        payload=bpdu.encode(),
+    )
+
+
+def _run_transition(buggy: bool):
+    """Run one transition on a 3-bridge chain; returns the bridges' controls."""
+    ring = build_ring(n_bridges=3, seed=4, buggy_new_protocol=buggy)
+    sim = ring.network.sim
+    injector = NetworkInterface(sim, "admin", TRIGGER_MAC)
+    injector.attach(ring.left_segment)
+    sim.run_until(40.0)  # the old protocol converges and forwards
+    sim.schedule(0.1, lambda: injector.send(_trigger_frame()))
+    sim.run_until(sim.now + 150.0)
+    return [bridge.func.lookup("switchlet.control") for bridge in ring.bridges]
+
+
+def measure():
+    return {"normal": _run_transition(buggy=False), "faulty": _run_transition(buggy=True)}
+
+
+def test_table1_protocol_transition(benchmark):
+    outcome = run_once(benchmark, measure)
+
+    # Render the paper's Table 1 from the first bridge's transition log.
+    control = outcome["normal"][0]
+    start = control.transition_log[0]["time"]
+    rows = [
+        [f"{entry['time'] - start:+.2f}s", entry["action"], entry["dec"], entry["ieee"], entry["control"]]
+        for entry in control.transition_log
+    ]
+    emit(
+        "Table 1 -- automatic protocol transition (successful run, bridge1)",
+        render_table(["t", "action", "DEC", "IEEE", "control"], rows),
+    )
+
+    faulty = outcome["faulty"][0]
+    rows = [
+        [f"{entry['time'] - faulty.transition_log[0]['time']:+.2f}s",
+         entry["action"], entry["dec"], entry["ieee"], entry["control"]]
+        for entry in faulty.transition_log
+    ]
+    emit(
+        "Table 1 -- fallback row (faulty new protocol, bridge1)",
+        render_table(["t", "action", "DEC", "IEEE", "control"], rows),
+    )
+
+    # The successful run reproduces the paper's sequence on every bridge.
+    for control in outcome["normal"]:
+        actions = [entry["action"] for entry in control.transition_log]
+        assert actions == [
+            "load/start control",
+            "recv IEEE packet",
+            "start IEEE",
+            "30 seconds",
+            "60 seconds",
+            "pass tests",
+        ]
+        assert control.state == control.STATE_TERMINATED
+        # The 30 s / 60 s rows land at the paper's offsets from the trigger.
+        trigger_time = control.transition_log[1]["time"]
+        offsets = {
+            entry["action"]: entry["time"] - trigger_time for entry in control.transition_log
+        }
+        assert abs(offsets["30 seconds"] - 30.0) < 0.5
+        assert abs(offsets["60 seconds"] - 60.0) < 0.5
+
+    # The faulty run ends with every bridge back on the old protocol.
+    assert all(control.state == "fallen-back" for control in outcome["faulty"])
+    assert any(
+        "fallback" in entry["control"]
+        for control in outcome["faulty"]
+        for entry in control.transition_log
+    )

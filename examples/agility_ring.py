@@ -1,0 +1,44 @@
+"""The function-agility experiment of Section 7.5.
+
+Rebuilds the paper's final test: a ring of three active bridges (each running
+the DEC protocol, the idle IEEE protocol and the control switchlet) closed by
+a two-NIC measurement end-node.  The probe injects an 802.1D BPDU on one card
+and measures how long until (a) an 802.1D BPDU appears on the other card and
+(b) its once-per-second prebuilt pings start flowing again.
+
+Paper's answers: ~0.056 s and ~30.1 s.
+
+Run with:  python examples/agility_ring.py
+"""
+
+from __future__ import annotations
+
+from repro.measurement.agility import AgilityProbe
+from repro.measurement.setups import build_ring
+
+
+def main() -> None:
+    print("building the ring: 3 active bridges, DEC running, IEEE loaded, control armed")
+    ring = build_ring(n_bridges=3, seed=6)
+    probe = AgilityProbe.for_ring(ring, ping_interval=1.0)
+
+    print("letting the old protocol converge (forward-delay timers)...")
+    result = probe.run(start_time=40.0, deadline=90.0)
+
+    print("\nresults:")
+    print(f"  start -> 802.1D BPDU seen on the far card : {result.start_to_ieee:.4f} s "
+          "(paper: 0.056 s)")
+    print(f"  start -> first ping makes it through      : {result.start_to_ping:.2f} s "
+          "(paper: 30.1 s; dominated by the 2 x 15 s forward delay)")
+    print(f"  pings sent while waiting                  : {probe.pings_sent}")
+
+    print("\nper-bridge outcome:")
+    for bridge in ring.bridges:
+        control = bridge.func.lookup("switchlet.control")
+        ieee = bridge.func.lookup("stp.ieee")
+        print(f"  {bridge.name}: control={control.state}, new protocol running={ieee.running}, "
+              f"port states={ieee.snapshot()['port_states']}")
+
+
+if __name__ == "__main__":
+    main()

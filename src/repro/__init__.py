@@ -1,0 +1,39 @@
+"""Reproduction of *Active Bridging* (Alexander, Shaw, Nettles, Smith, 1997).
+
+This package implements the complete system described in the paper:
+
+* a discrete-event simulation kernel (:mod:`repro.sim`),
+* an Ethernet / shared-LAN substrate (:mod:`repro.ethernet`, :mod:`repro.lan`),
+* a minimal IP / UDP / ICMP / TFTP stack used as the network loading path
+  (:mod:`repro.netstack`),
+* the active node itself -- switchlet loader, module thinning, safe
+  environment, and the ``Unixnet`` port API (:mod:`repro.core`),
+* the bridge switchlets: dumb bridge, learning bridge, IEEE 802.1D spanning
+  tree, a DEC-style spanning tree, and the protocol-transition control
+  switchlet (:mod:`repro.switchlets`),
+* baselines, a calibrated cost model, measurement tools (ping / ttcp /
+  agility), and analysis helpers used by the benchmark harness.
+
+The most convenient entry points are re-exported at the top level:
+
+>>> from repro import Simulator, NetworkBuilder, ActiveNode
+>>> from repro.switchlets import learning_bridge_package
+"""
+
+from repro._version import __version__
+from repro.sim.engine import Simulator
+from repro.lan.topology import NetworkBuilder
+from repro.core.node import ActiveNode
+from repro.core.loader import SwitchletLoader
+from repro.core.switchlet import SwitchletPackage
+from repro.costs.model import CostModel
+
+__all__ = [
+    "__version__",
+    "Simulator",
+    "NetworkBuilder",
+    "ActiveNode",
+    "SwitchletLoader",
+    "SwitchletPackage",
+    "CostModel",
+]

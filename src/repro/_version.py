@@ -1,0 +1,3 @@
+"""Package version, kept in one place so documentation and tooling agree."""
+
+__version__ = "1.0.0"

@@ -1,0 +1,20 @@
+"""Rendering helpers used by the benchmark harness.
+
+The benchmarks print the same rows and series the paper reports; these
+helpers format them as plain-text tables and simple ASCII series so the
+output of ``pytest benchmarks/ --benchmark-only`` reads like the paper's
+Tables and Figures.
+"""
+
+from repro.analysis.tables import render_table, render_kv
+from repro.analysis.figures import render_series, render_ascii_chart
+from repro.analysis.report import ExperimentRecord, ExperimentReport
+
+__all__ = [
+    "render_table",
+    "render_kv",
+    "render_series",
+    "render_ascii_chart",
+    "ExperimentRecord",
+    "ExperimentReport",
+]

@@ -1,0 +1,56 @@
+"""Plain-text "figure" rendering: series tables and simple ASCII charts."""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Sequence
+
+from repro.analysis.tables import render_table
+
+
+def render_series(
+    x_label: str,
+    x_values: Sequence[object],
+    series: Mapping[str, Sequence[float]],
+    title: str = "",
+    y_format: str = "{:.2f}",
+) -> str:
+    """Render several y-series against a shared x-axis as a table.
+
+    This is the textual equivalent of the paper's line figures: one row per
+    x value, one column per curve.
+    """
+    headers = [x_label] + list(series)
+    rows = []
+    for index, x_value in enumerate(x_values):
+        row = [x_value]
+        for name in series:
+            values = series[name]
+            if index < len(values):
+                row.append(y_format.format(values[index]))
+            else:
+                row.append("-")
+        rows.append(row)
+    return render_table(headers, rows, title=title)
+
+
+def render_ascii_chart(
+    series: Mapping[str, Sequence[float]],
+    width: int = 60,
+    title: str = "",
+) -> str:
+    """Render each series as a horizontal bar per point (quick visual check)."""
+    flat = [value for values in series.values() for value in values]
+    peak = max(flat) if flat else 0.0
+    lines = [title] if title else []
+    for name, values in series.items():
+        lines.append(f"{name}:")
+        for index, value in enumerate(values):
+            length = 0 if peak <= 0 else int(round(width * value / peak))
+            bar = "#" * max(length, 0)
+            lines.append(f"  [{index:2d}] {bar} {value:.2f}")
+    return "\n".join(lines)
+
+
+def series_from_results(results: Dict[object, object], attribute: str) -> list:
+    """Extract ``attribute`` from a dict of result objects, ordered by key."""
+    return [getattr(results[key], attribute) for key in sorted(results)]

@@ -1,0 +1,56 @@
+"""Plain-text table rendering."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Mapping, Sequence
+
+
+def _stringify(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def render_table(headers: Sequence[str], rows: Iterable[Sequence[object]], title: str = "") -> str:
+    """Render a list of rows as an aligned plain-text table.
+
+    Args:
+        headers: column headers.
+        rows: row cells (converted with ``str``; floats get three decimals).
+        title: optional title printed above the table.
+    """
+    text_rows: List[List[str]] = [[_stringify(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in text_rows:
+        for index, cell in enumerate(row):
+            if index >= len(widths):
+                widths.append(len(cell))
+            else:
+                widths[index] = max(widths[index], len(cell))
+
+    def format_row(cells: Sequence[str]) -> str:
+        padded = [cell.ljust(widths[index]) for index, cell in enumerate(cells)]
+        return "| " + " | ".join(padded) + " |"
+
+    separator = "+-" + "-+-".join("-" * width for width in widths) + "-+"
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(separator)
+    lines.append(format_row(list(headers)))
+    lines.append(separator)
+    for row in text_rows:
+        lines.append(format_row(row))
+    lines.append(separator)
+    return "\n".join(lines)
+
+
+def render_kv(pairs: Mapping[str, object], title: str = "") -> str:
+    """Render a mapping as an aligned key/value listing."""
+    if not pairs:
+        return title
+    width = max(len(str(key)) for key in pairs)
+    lines = [title] if title else []
+    for key, value in pairs.items():
+        lines.append(f"  {str(key).ljust(width)} : {_stringify(value)}")
+    return "\n".join(lines)

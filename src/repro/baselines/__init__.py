@@ -1,0 +1,20 @@
+"""Baseline network elements the paper compares against.
+
+* :class:`~repro.baselines.c_repeater.BufferedRepeater` — "a very simple
+  buffered repeater in C" (Section 7.3): a user-space program that opens two
+  Ethernet devices in promiscuous mode and copies every frame from one to the
+  other.  It isolates the cost of getting frames through the kernel into user
+  space from the cost of the interpreted bridge logic.
+* the *direct connection* baseline is simply two hosts on one LAN segment
+  (no class needed; :mod:`repro.measurement.setups` builds it).
+* :class:`~repro.baselines.static_bridge.StaticLearningBridge` — a
+  conventional, non-programmable learning bridge with hardware-like per-frame
+  cost, standing in for the DEC LANbridge the active bridge replaced in the
+  authors' laboratory; the ablation benchmark uses it to show what the active
+  property costs relative to fixed-function hardware.
+"""
+
+from repro.baselines.c_repeater import BufferedRepeater
+from repro.baselines.static_bridge import StaticLearningBridge
+
+__all__ = ["BufferedRepeater", "StaticLearningBridge"]

@@ -1,0 +1,140 @@
+"""A conventional, non-programmable learning bridge.
+
+The active bridge in the paper replaced a DEC LANbridge in the authors'
+laboratory.  :class:`StaticLearningBridge` models that class of device: the
+same learning/forwarding behaviour as the learning switchlet, but implemented
+as fixed function with a hardware-like per-frame cost, and with no way to
+change its behaviour at run time.  The ablation benchmark uses it to separate
+"cost of bridging" from "cost of *active* bridging".
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Optional, Tuple
+
+from repro.costs.cpu import CpuQueue
+from repro.costs.model import CostModel
+from repro.ethernet.frame import EthernetFrame
+from repro.ethernet.mac import MacAddress
+from repro.exceptions import TopologyError
+from repro.lan.nic import NetworkInterface
+from repro.lan.segment import Segment
+from repro.sim.engine import Simulator
+
+_AUTO_MAC_IDS = itertools.count(0xD0_0000)
+
+#: Per-frame forwarding cost of the fixed-function bridge (5 microseconds;
+#: effectively wire-speed at the paper's frame rates).
+HARDWARE_FRAME_COST = 5e-6
+
+#: Learned entries older than this are ignored (802.1D default ageing time).
+DEFAULT_AGING_TIME = 300.0
+
+
+class StaticLearningBridge:
+    """A fixed-function transparent learning bridge.
+
+    Args:
+        sim: owning simulator.
+        name: station name used in traces.
+        cost_model: unused except for documentation symmetry; the hardware
+            cost is a constant.
+        frame_cost: per-frame forwarding cost in seconds.
+        aging_time: learned-entry lifetime in seconds.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        cost_model: Optional[CostModel] = None,
+        frame_cost: float = HARDWARE_FRAME_COST,
+        aging_time: float = DEFAULT_AGING_TIME,
+    ) -> None:
+        self.sim = sim
+        self.name = name
+        self.costs = cost_model if cost_model is not None else CostModel()
+        self.frame_cost = frame_cost
+        self.aging_time = aging_time
+        self.cpu = CpuQueue(sim, f"{name}.cpu")
+        self.interfaces: Dict[str, NetworkInterface] = {}
+        self._table: Dict[MacAddress, Tuple[float, str]] = {}
+        self.frames_received = 0
+        self.frames_forwarded = 0
+        self.frames_flooded = 0
+        self.frames_filtered = 0
+
+    def add_interface(
+        self, name: str, segment: Segment, mac: Optional[MacAddress] = None
+    ) -> NetworkInterface:
+        """Attach a promiscuous interface to a segment."""
+        if name in self.interfaces:
+            raise TopologyError(f"bridge {self.name!r} already has interface {name!r}")
+        if mac is None:
+            mac = MacAddress.locally_administered(next(_AUTO_MAC_IDS))
+        nic = NetworkInterface(self.sim, f"{self.name}.{name}", mac)
+        nic.attach(segment)
+        nic.set_promiscuous(True)
+        nic.set_handler(lambda _nic, frame, port=name: self._receive(port, frame))
+        self.interfaces[name] = nic
+        return nic
+
+    # ------------------------------------------------------------------
+    # Forwarding
+    # ------------------------------------------------------------------
+
+    def _receive(self, in_port: str, frame: EthernetFrame) -> None:
+        self.frames_received += 1
+        self.cpu.submit(self.frame_cost, lambda: self._forward(in_port, frame))
+
+    def _forward(self, in_port: str, frame: EthernetFrame) -> None:
+        now = self.sim.now
+        if frame.source.is_unicast:
+            self._table[frame.source] = (now, in_port)
+        if frame.destination.is_multicast:
+            self._flood(in_port, frame)
+            return
+        entry = self._table.get(frame.destination)
+        if entry is not None and now - entry[0] <= self.aging_time:
+            out_port = entry[1]
+            if out_port == in_port:
+                self.frames_filtered += 1
+                return
+            self.frames_forwarded += 1
+            self.interfaces[out_port].send(frame)
+            return
+        self._flood(in_port, frame)
+
+    def _flood(self, in_port: str, frame: EthernetFrame) -> None:
+        sent = False
+        for name, nic in self.interfaces.items():
+            if name == in_port:
+                continue
+            nic.send(frame)
+            sent = True
+        if sent:
+            self.frames_flooded += 1
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def learned_ports(self) -> Dict[str, str]:
+        """Mapping of learned MAC string to port name (current entries only)."""
+        now = self.sim.now
+        return {
+            str(mac): port
+            for mac, (when, port) in self._table.items()
+            if now - when <= self.aging_time
+        }
+
+    def statistics(self) -> dict:
+        """Forwarding counters."""
+        return {
+            "frames_received": self.frames_received,
+            "frames_forwarded": self.frames_forwarded,
+            "frames_flooded": self.frames_flooded,
+            "frames_filtered": self.frames_filtered,
+            "table_size": len(self._table),
+        }

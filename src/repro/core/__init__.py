@@ -1,0 +1,46 @@
+"""The active node: switchlet loader, thinned environment, and ``Unixnet``.
+
+This package is the reproduction of the paper's primary contribution
+(Section 5): a network element that can be reprogrammed on the fly with
+loadable modules ("switchlets") while remaining safe, because loaded code can
+only name what the loader's *thinned* environment exposes.
+
+Key pieces:
+
+* :class:`~repro.core.switchlet.SwitchletPackage` — a shippable unit of code
+  (name, source, interface digests), the analogue of a Caml byte-code file.
+* :class:`~repro.core.loader.SwitchletLoader` — compiles and executes
+  packages against the thinned environment, after verifying interface
+  digests (the analogue of ``Dynlink`` plus Caml's MD5 interface check).
+* :mod:`~repro.core.environment` — the "initial set of eight modules"
+  (``Safestd``, ``Safeunix``, ``Log``, ``Safethread``, ``Condition``,
+  ``Mutex``, ``Func``, ``Unixnet``) provided to every switchlet.
+* :class:`~repro.core.unixnet.Unixnet` — the Figure 4 port API.
+* :class:`~repro.core.node.ActiveNode` — ties NICs, the demultiplexer, the
+  loader, and the cost model together into the machine of Figures 5 and 6.
+* :class:`~repro.core.netloader.NetworkLoader` — the Ethernet/IP/UDP/TFTP
+  loading path of Section 5.2.
+"""
+
+from repro.core.switchlet import SwitchletPackage
+from repro.core.loader import SwitchletLoader
+from repro.core.node import ActiveNode
+from repro.core.unixnet import Unixnet, Packet
+from repro.core.registry import FuncRegistry
+from repro.core.environment import build_environment, ENVIRONMENT_MODULE_NAMES
+from repro.core.netloader import NetworkLoader
+from repro.core.capsule import encode_capsule, decode_capsule
+
+__all__ = [
+    "SwitchletPackage",
+    "SwitchletLoader",
+    "ActiveNode",
+    "Unixnet",
+    "Packet",
+    "FuncRegistry",
+    "build_environment",
+    "ENVIRONMENT_MODULE_NAMES",
+    "NetworkLoader",
+    "encode_capsule",
+    "decode_capsule",
+]

@@ -1,0 +1,91 @@
+"""The switchlet execution environment.
+
+Section 5.2.1: "Currently, the loader provides an initial set of eight
+modules.  These modules define the basic environment in which a switchlet
+will execute."  The eight are ``Safestd``, ``Safeunix``, ``Log``,
+``Safethread``, ``Condition``, ``Mutex``, ``Func`` and ``Unixnet``.
+
+:func:`build_environment` constructs exactly those eight as
+:class:`~repro.core.thinning.ThinnedModule` facades over the node's
+implementation objects.  The environment dict is what the loader injects into
+a switchlet's global namespace — nothing else is reachable by name.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.log import LogImplementation
+from repro.core.registry import FuncRegistry
+from repro.core.safestd import SafestdImplementation
+from repro.core.safethread import Condition, Mutex, SafethreadImplementation
+from repro.core.safeunix import SafeunixImplementation
+from repro.core.thinning import ThinnedModule, thin
+from repro.core.unixnet import Unixnet
+from repro.sim.engine import Simulator
+
+#: The names of the eight environment modules, in the order the paper lists them.
+ENVIRONMENT_MODULE_NAMES = (
+    "Safestd",
+    "Safeunix",
+    "Log",
+    "Safethread",
+    "Condition",
+    "Mutex",
+    "Func",
+    "Unixnet",
+)
+
+
+class NodeEnvironment:
+    """The implementation objects and thinned facades for one active node.
+
+    Attributes:
+        modules: mapping of module name to :class:`ThinnedModule`, i.e. what
+            switchlets actually see.
+        func: the (unthinned) function registry, for node-side introspection.
+        log: the (unthinned) log implementation, for node-side inspection.
+        safethread: the (unthinned) thread scheduler, so the node can cancel
+            outstanding timers on reset.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node_name: str,
+        unixnet: Unixnet,
+    ) -> None:
+        self.sim = sim
+        self.node_name = node_name
+        self.func = FuncRegistry()
+        self.log = LogImplementation(sim, node_name)
+        self.safethread = SafethreadImplementation(sim, node_name)
+        self.safestd = SafestdImplementation()
+        self.safeunix = SafeunixImplementation(sim)
+        self.unixnet = unixnet
+        self.modules: Dict[str, ThinnedModule] = {
+            "Safestd": thin("Safestd", self.safestd, SafestdImplementation.THINNED_EXPORTS),
+            "Safeunix": thin(
+                "Safeunix", self.safeunix, SafeunixImplementation.THINNED_EXPORTS
+            ),
+            "Log": thin("Log", self.log, LogImplementation.THINNED_EXPORTS),
+            "Safethread": thin(
+                "Safethread", self.safethread, SafethreadImplementation.THINNED_EXPORTS
+            ),
+            "Condition": thin("Condition", Condition, Condition.THINNED_EXPORTS),
+            "Mutex": thin("Mutex", Mutex, Mutex.THINNED_EXPORTS),
+            "Func": thin("Func", self.func, FuncRegistry.THINNED_EXPORTS),
+            "Unixnet": thin("Unixnet", self.unixnet, Unixnet.THINNED_EXPORTS),
+        }
+
+    def reset(self) -> None:
+        """Clear registrations, cancel timers, and drop port bindings."""
+        self.func.clear()
+        self.safethread.cancel_all()
+        self.unixnet.reset()
+        self.log.clear()
+
+
+def build_environment(sim: Simulator, node_name: str, unixnet: Unixnet) -> NodeEnvironment:
+    """Construct the eight-module environment for an active node."""
+    return NodeEnvironment(sim=sim, node_name=node_name, unixnet=unixnet)

@@ -1,0 +1,206 @@
+"""The switchlet loader.
+
+"A central aspect of an active network is the ability to load executable code
+into the network elements.  Thus, it is no surprise that a basic component of
+our system is our switchlet loader, which allows the user to load in new
+switchlets and to execute them.  Another important aspect of the loader is
+that it establishes the environment in which switchlets execute."
+(Section 5.1.)
+
+:class:`SwitchletLoader` mirrors the Caml ``Dynlink`` flow the paper
+describes in Section 5.1.2:
+
+* ``Dynlink.init``                → constructing the loader (empty namespace),
+* ``Dynlink.add_available_units`` → :meth:`add_available_units`, which makes
+  the eight thinned environment modules nameable by loaded code,
+* ``Dynlink.loadfile``            → :meth:`load` / :meth:`load_bytes`, which
+  verify the package's interface digests, compile its source with restricted
+  builtins, and execute its top-level forms — which, by convention, register
+  functions through ``Func`` so previously linked code can reach them.
+
+The loader never gives a switchlet access to the Python import system, the
+file system, or the loader itself.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional
+
+from repro.core.signature import digest_module, digest_source
+from repro.core.switchlet import SwitchletPackage
+from repro.core.thinning import safe_builtins
+from repro.exceptions import LoadError, SignatureMismatch
+from repro.sim.trace import TraceRecorder
+
+
+class LoadedSwitchlet:
+    """Book-keeping record for a switchlet that has been linked into a node."""
+
+    def __init__(self, package: SwitchletPackage, namespace: Dict[str, object], load_time: float) -> None:
+        self.package = package
+        self.namespace = namespace
+        self.load_time = load_time
+
+    @property
+    def name(self) -> str:
+        """The switchlet's name."""
+        return self.package.name
+
+    def __repr__(self) -> str:
+        return f"<loaded switchlet {self.name!r} at t={self.load_time:.6f}s>"
+
+
+class SwitchletLoader:
+    """Loads switchlet packages into a thinned environment.
+
+    Args:
+        trace: optional trace recorder (the owning node passes its
+            simulator's trace so loads show up in experiment timelines).
+        source_name: name used in trace records (normally the node name).
+    """
+
+    def __init__(
+        self,
+        trace: Optional[TraceRecorder] = None,
+        source_name: str = "loader",
+    ) -> None:
+        self._available_units: Dict[str, object] = {}
+        self._loaded: List[LoadedSwitchlet] = []
+        self._trace = trace
+        self._source_name = source_name
+        self.loads_attempted = 0
+        self.loads_succeeded = 0
+        self.loads_rejected = 0
+
+    # ------------------------------------------------------------------
+    # Environment management (Dynlink.add_available_units)
+    # ------------------------------------------------------------------
+
+    def add_available_units(self, modules: Mapping[str, object]) -> None:
+        """Make ``modules`` (name -> thinned module) nameable by loaded code."""
+        for name, module in modules.items():
+            self._available_units[name] = module
+
+    def available_units(self) -> list:
+        """Names of the modules currently available to switchlets."""
+        return sorted(self._available_units)
+
+    def environment_digest(self, module_name: str) -> str:
+        """Interface digest of one available module."""
+        try:
+            module = self._available_units[module_name]
+        except KeyError as exc:
+            raise LoadError(f"no available unit named {module_name!r}") from exc
+        return digest_module(module)
+
+    # ------------------------------------------------------------------
+    # Loading (Dynlink.loadfile)
+    # ------------------------------------------------------------------
+
+    def load(self, package: SwitchletPackage) -> LoadedSwitchlet:
+        """Verify, compile and execute a switchlet package.
+
+        Raises:
+            SignatureMismatch: if the source digest or any required interface
+                digest does not match — the link-time failure of Section
+                5.1.1.
+            LoadError: if the source does not compile or its top-level forms
+                raise.
+        """
+        self.loads_attempted += 1
+        self._check_integrity(package)
+        self._check_interfaces(package)
+        namespace = self._build_namespace()
+        try:
+            code = compile(package.source, filename=f"<switchlet {package.name}>", mode="exec")
+        except SyntaxError as exc:
+            self.loads_rejected += 1
+            raise LoadError(f"switchlet {package.name!r} failed to compile: {exc}") from exc
+        try:
+            exec(code, namespace)  # noqa: S102 - the namespace is the sandbox
+        except Exception as exc:
+            self.loads_rejected += 1
+            raise LoadError(
+                f"switchlet {package.name!r} raised during its top-level forms: {exc!r}"
+            ) from exc
+        load_time = self._now()
+        record = LoadedSwitchlet(package, namespace, load_time)
+        self._loaded.append(record)
+        self.loads_succeeded += 1
+        if self._trace is not None:
+            self._trace.record(
+                self._source_name,
+                "switchlet.load",
+                name=package.name,
+                source_bytes=len(package.source),
+            )
+        return record
+
+    def load_bytes(self, data: bytes) -> LoadedSwitchlet:
+        """Deserialize a transported package and load it."""
+        package = SwitchletPackage.from_bytes(data)
+        return self.load(package)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def loaded(self) -> list:
+        """The switchlets loaded so far, in load order."""
+        return list(self._loaded)
+
+    def loaded_names(self) -> list:
+        """Names of the loaded switchlets, in load order."""
+        return [record.name for record in self._loaded]
+
+    def is_loaded(self, name: str) -> bool:
+        """Whether a switchlet with this name has been loaded."""
+        return any(record.name == name for record in self._loaded)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _check_integrity(self, package: SwitchletPackage) -> None:
+        if digest_source(package.source) != package.source_digest:
+            self.loads_rejected += 1
+            raise SignatureMismatch(
+                f"switchlet {package.name!r} source digest mismatch "
+                "(package was altered after it was built)"
+            )
+
+    def _check_interfaces(self, package: SwitchletPackage) -> None:
+        for module_name, expected_digest in package.requires.items():
+            module = self._available_units.get(module_name)
+            if module is None:
+                self.loads_rejected += 1
+                raise SignatureMismatch(
+                    f"switchlet {package.name!r} requires module {module_name!r}, "
+                    "which this loader does not provide"
+                )
+            actual = digest_module(module)
+            if actual != expected_digest:
+                self.loads_rejected += 1
+                raise SignatureMismatch(
+                    f"switchlet {package.name!r} was compiled against a different "
+                    f"interface for {module_name!r} "
+                    f"(expected {expected_digest}, found {actual})"
+                )
+
+    def _build_namespace(self) -> Dict[str, object]:
+        namespace: Dict[str, object] = dict(self._available_units)
+        namespace["__builtins__"] = safe_builtins()
+        return namespace
+
+    def _now(self) -> float:
+        if self._trace is None:
+            return 0.0
+        # TraceRecorder keeps a reference to the clock; reuse it for timestamps.
+        return self._trace._clock.now  # noqa: SLF001 - deliberate internal access
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SwitchletLoader(units={len(self._available_units)}, "
+            f"loaded={len(self._loaded)})"
+        )

@@ -1,0 +1,68 @@
+"""``Log`` — the switchlet logging module.
+
+The paper: "Since we provide no functions for generating output as part of
+``Safeunix``, we provide a module called ``Log`` that allows logging messages
+to be generated.  It also allows us to change the method of logging, to a
+terminal, to disk, or not at all."
+
+The reproduction's ``Log`` writes into the simulator trace (category
+``"switchlet.log"``) and an in-memory ring so tests can assert on messages.
+The *method* of logging is selectable exactly as in the paper: ``memory``
+(default), ``stdout``, or ``off`` — but that selection is a loader-side
+operation, not exported to switchlets.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Tuple
+
+from repro.sim.engine import Simulator
+
+#: Number of recent messages retained in memory.
+DEFAULT_CAPACITY = 1024
+
+
+class LogImplementation:
+    """Implementation object behind the thinned ``Log`` module."""
+
+    def __init__(self, sim: Simulator, source: str, capacity: int = DEFAULT_CAPACITY) -> None:
+        self._sim = sim
+        self._source = source
+        self._messages: Deque[Tuple[float, str]] = deque(maxlen=capacity)
+        self._method = "memory"
+
+    # ------------------------------------------------------------------
+    # Exported to switchlets
+    # ------------------------------------------------------------------
+
+    def log(self, message: str) -> None:
+        """Record a log message (timestamped with simulated time)."""
+        text = str(message)
+        if self._method == "off":
+            return
+        self._messages.append((self._sim.now, text))
+        self._sim.trace.record(self._source, "switchlet.log", message=text)
+        if self._method == "stdout":  # pragma: no cover - interactive aid
+            print(f"[{self._sim.now:.6f}] {self._source}: {text}")
+
+    # ------------------------------------------------------------------
+    # Loader-side controls (not exported)
+    # ------------------------------------------------------------------
+
+    def set_method(self, method: str) -> None:
+        """Select ``"memory"``, ``"stdout"`` or ``"off"``."""
+        if method not in ("memory", "stdout", "off"):
+            raise ValueError(f"unknown logging method: {method!r}")
+        self._method = method
+
+    def messages(self) -> list:
+        """The retained ``(time, message)`` pairs (oldest first)."""
+        return list(self._messages)
+
+    def clear(self) -> None:
+        """Drop retained messages."""
+        self._messages.clear()
+
+    #: Names exported when thinned into ``Log``.
+    THINNED_EXPORTS = ("log",)

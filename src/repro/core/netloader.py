@@ -1,0 +1,190 @@
+"""The network loading path (Section 5.2).
+
+"To overcome this limitation [the initial loader can only load switchlets
+from disk], we load a network loader.  It consists of four layers.  The
+lowest layer captures those Ethernet layer frames destined for an Ethernet
+card installed on this machine.  It then demultiplexes these frames based on
+the Ethernet protocol identifier.  The next layer implements a minimal IP ...
+The next layer implements a minimal UDP in a similar fashion.  Finally, the
+highest layer in this stack implements a TFTP server.  This server only
+services write requests in binary format.  Any such file is taken to be a
+Caml byte code file and, upon successful receipt, an attempt is made to
+dynamically load and evaluate the file."
+
+:class:`NetworkLoader` is that stack for an :class:`~repro.core.node.ActiveNode`:
+
+* layer 1 — an address binding on the node's own interface MAC (frames
+  destined for the node itself), demultiplexed by EtherType;
+* layer 2 — the minimal IP of :mod:`repro.netstack.ip` (no fragmentation);
+* layer 3 — the minimal UDP of :mod:`repro.netstack.udp`;
+* layer 4 — the write-only TFTP server of :mod:`repro.netstack.tftp`, whose
+  completed files are handed to the node's switchlet loader.
+
+The loader also answers ICMP echo requests addressed to the node, which the
+examples use to check that a remote node is alive before programming it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.core.node import ActiveNode
+from repro.core.unixnet import Packet, packet_bytes_to_frame
+from repro.ethernet.ethertype import EtherType
+from repro.ethernet.frame import EthernetFrame
+from repro.ethernet.mac import MacAddress
+from repro.exceptions import LoadError, ProtocolError, SwitchletError
+from repro.netstack.icmp import IcmpMessage
+from repro.netstack.ip import IPv4Address, IPv4Packet, IpProtocol
+from repro.netstack.tftp import TFTP_PORT, TftpServer
+from repro.netstack.udp import UdpDatagram
+
+
+class NetworkLoader:
+    """The Ethernet → IP → UDP → TFTP switchlet loading path for one node.
+
+    Args:
+        node: the active node to program.
+        ip: the IP address the node answers on for loading traffic.
+        interface: which of the node's interfaces "owns" the address
+            (loading frames may still arrive on any interface, exactly as
+            with a multi-homed Linux box).
+        udp_port: the TFTP server port (69 by default).
+    """
+
+    def __init__(
+        self,
+        node: ActiveNode,
+        ip: IPv4Address,
+        interface: str = "eth0",
+        udp_port: int = TFTP_PORT,
+    ) -> None:
+        self.node = node
+        self.ip = ip
+        self.interface = interface
+        self.udp_port = udp_port
+        self.mac = node.unixnet.interface_mac(interface)
+        self.tftp = TftpServer(send=self._send_tftp, on_file=self._file_received)
+        self._iport = node.unixnet.bind_addr(str(self.mac))
+        node.unixnet.set_handler_in(self._iport, self._handle_packet)
+        # Statistics
+        self.switchlets_loaded = 0
+        self.load_failures = 0
+        self.last_error: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    # Layer 1: Ethernet demultiplexing
+    # ------------------------------------------------------------------
+
+    def _handle_packet(self, packet: Packet) -> None:
+        try:
+            frame = packet_bytes_to_frame(packet.pkt)
+        except ProtocolError:
+            return
+        if int(frame.ethertype) != int(EtherType.IPV4):
+            return
+        self._handle_ip(frame)
+
+    # ------------------------------------------------------------------
+    # Layer 2: minimal IP
+    # ------------------------------------------------------------------
+
+    def _handle_ip(self, frame: EthernetFrame) -> None:
+        try:
+            packet = IPv4Packet.decode(frame.payload)
+        except ProtocolError:
+            return
+        if packet.destination != self.ip:
+            return
+        if packet.protocol == int(IpProtocol.UDP):
+            self._handle_udp(frame, packet)
+        elif packet.protocol == int(IpProtocol.ICMP):
+            self._handle_icmp(frame, packet)
+
+    def _handle_icmp(self, frame: EthernetFrame, packet: IPv4Packet) -> None:
+        try:
+            message = IcmpMessage.decode(packet.payload)
+        except ProtocolError:
+            return
+        if not message.is_request:
+            return
+        reply = message.make_reply()
+        self._send_ip(frame.source, packet.source, IpProtocol.ICMP, reply.encode())
+
+    # ------------------------------------------------------------------
+    # Layer 3: minimal UDP
+    # ------------------------------------------------------------------
+
+    def _handle_udp(self, frame: EthernetFrame, packet: IPv4Packet) -> None:
+        try:
+            datagram = UdpDatagram.decode(packet.payload, packet.source, packet.destination)
+        except ProtocolError:
+            return
+        if datagram.destination_port != self.udp_port:
+            return
+        remote = (packet.source, datagram.source_port, frame.source)
+        self.tftp.handle_datagram(datagram.payload, remote)
+
+    # ------------------------------------------------------------------
+    # Layer 4: TFTP -> dynamic load
+    # ------------------------------------------------------------------
+
+    def _send_tftp(self, payload: bytes, remote: Tuple) -> None:
+        remote_ip, remote_port, remote_mac = remote
+        datagram = UdpDatagram(
+            source_port=self.udp_port, destination_port=remote_port, payload=payload
+        )
+        self._send_ip(
+            remote_mac, remote_ip, IpProtocol.UDP, datagram.encode(self.ip, remote_ip)
+        )
+
+    def _file_received(self, filename: str, data: bytes) -> None:
+        self.node.sim.trace.record(
+            self.node.name,
+            "netloader.file",
+            filename=filename,
+            bytes=len(data),
+        )
+        try:
+            self.node.load_switchlet_bytes(data)
+        except SwitchletError as exc:
+            # A bad module must not take the loader down; the paper's node
+            # likewise survives a failed Dynlink.load.
+            self.load_failures += 1
+            self.last_error = str(exc)
+            self.node.sim.trace.record(
+                self.node.name, "netloader.load_failed", filename=filename, error=str(exc)
+            )
+            return
+        self.switchlets_loaded += 1
+        self.node.sim.trace.record(
+            self.node.name, "netloader.load_ok", filename=filename
+        )
+
+    # ------------------------------------------------------------------
+    # Output helper
+    # ------------------------------------------------------------------
+
+    def _send_ip(
+        self,
+        destination_mac: MacAddress,
+        destination_ip: IPv4Address,
+        protocol: IpProtocol,
+        payload: bytes,
+    ) -> None:
+        packet = IPv4Packet(
+            source=self.ip,
+            destination=destination_ip,
+            protocol=int(protocol),
+            payload=payload,
+        )
+        frame = EthernetFrame(
+            destination=destination_mac,
+            source=self.mac,
+            ethertype=int(EtherType.IPV4),
+            payload=packet.encode(),
+        )
+        # The network loader is node infrastructure (it is what loads the
+        # switchlets), so it transmits through the node's own output path and
+        # is charged the same transmit-side kernel crossing.
+        self.node._transmit(self.interface, frame)

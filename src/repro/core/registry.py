@@ -1,0 +1,118 @@
+"""The ``Func`` registration module.
+
+Section 5.2.1: "The first of these, ``Func``, contains glue routines to allow
+the loaded functions to properly register themselves.  The register routine
+simply takes a string as a key and a function and enters them into a hash
+table.  There is also a function that allows one to evaluate one of these
+functions."
+
+Because dynamically loaded code cannot be called by previously linked code
+directly (there is no name for it), registration through ``Func`` is how a
+switchlet makes itself reachable: the dumb bridge registers the node's
+``"bridge.switch"`` function, the learning switchlet *replaces* that
+registration, the spanning-tree switchlet registers port filters, and the
+control switchlet registers and inspects all of them.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.exceptions import RegistrationError
+
+
+class FuncRegistry:
+    """A string-keyed table of registered functions (and values).
+
+    The registry is deliberately permissive about what gets registered — any
+    object is allowed, because the paper's switchlets also hang shared data
+    structures (host location tables, captured protocol state) off the same
+    mechanism ("the byte codes usually contain some top-level forms that call
+    a registration function, that changes a data structure visible to
+    previously linked functions").
+    """
+
+    def __init__(self) -> None:
+        self._table: Dict[str, object] = {}
+        self._history: List[tuple] = []
+
+    # ------------------------------------------------------------------
+    # The thinned interface (what switchlets see)
+    # ------------------------------------------------------------------
+
+    def register(self, key: str, value: object) -> None:
+        """Register ``value`` under ``key``, replacing any previous entry.
+
+        Replacement is intentional: the learning switchlet replaces the dumb
+        bridge's switching function by registering under the same key.
+        """
+        if not isinstance(key, str) or not key:
+            raise RegistrationError("registration key must be a non-empty string")
+        previous = self._table.get(key)
+        self._table[key] = value
+        self._history.append((key, previous is not None))
+
+    def unregister(self, key: str) -> None:
+        """Remove a registration (missing keys are ignored)."""
+        self._table.pop(key, None)
+
+    def registered(self, key: str) -> bool:
+        """Whether ``key`` currently has a registration."""
+        return key in self._table
+
+    def lookup(self, key: str) -> object:
+        """Return the registered value for ``key``.
+
+        Raises:
+            RegistrationError: if nothing is registered under ``key``.
+        """
+        try:
+            return self._table[key]
+        except KeyError as exc:
+            raise RegistrationError(f"nothing registered under {key!r}") from exc
+
+    def lookup_opt(self, key: str) -> Optional[object]:
+        """Return the registered value for ``key`` or ``None``."""
+        return self._table.get(key)
+
+    def call(self, key: str, *args: object) -> object:
+        """Evaluate the function registered under ``key`` with ``args``.
+
+        Raises:
+            RegistrationError: if nothing is registered or the entry is not
+                callable.
+        """
+        value = self.lookup(key)
+        if not callable(value):
+            raise RegistrationError(f"registration {key!r} is not callable")
+        function: Callable = value
+        return function(*args)
+
+    def keys(self) -> list:
+        """The currently registered keys, sorted."""
+        return sorted(self._table)
+
+    # ------------------------------------------------------------------
+    # Loader-side introspection (not exported to switchlets)
+    # ------------------------------------------------------------------
+
+    @property
+    def registration_history(self) -> list:
+        """``(key, replaced_existing)`` tuples, in registration order."""
+        return list(self._history)
+
+    def clear(self) -> None:
+        """Remove every registration (used when resetting a node)."""
+        self._table.clear()
+        self._history.clear()
+
+    #: Names exported to switchlets when this registry is thinned.
+    THINNED_EXPORTS = (
+        "register",
+        "unregister",
+        "registered",
+        "lookup",
+        "lookup_opt",
+        "call",
+        "keys",
+    )

@@ -1,0 +1,175 @@
+"""``Safestd`` — the thinned standard library for switchlets.
+
+The paper (Section 5.2.1): "The most basic of the modules provided is
+``Safestd``.  This is a slightly modified version of the Safestd module from
+the MMM browser.  It provides a set of standard Caml functions ranging from
+integer operations to an implementation of hash tables.  As the name implies,
+it has been thinned to only allow 'safe' operations."
+
+The reproduction provides the same categories of functionality:
+
+* ``Hashtbl`` — a small hash-table class with the Caml-flavoured API the
+  paper's example code uses (``create``/``add``/``find``/``mem``/...),
+  because the learning bridge keys its host-location table with it;
+* byte/string packing helpers (``pack_be``/``unpack_be``/...) that switchlets
+  use to marshal BPDUs and other wire formats without needing ``struct``;
+* a handful of numeric and sequence helpers.
+
+Nothing here can touch the file system, the Python import machinery, or the
+process.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+
+class Hashtbl:
+    """A Caml-``Hashtbl``-flavoured hash table.
+
+    Unlike a plain dict, ``add`` keeps previous bindings hidden underneath
+    (Caml semantics): ``find`` returns the most recent binding and ``remove``
+    pops it, re-exposing the previous one.  ``replace`` behaves like plain
+    assignment.  The learning bridge only needs ``replace``/``find``, but the
+    full semantics are provided (and tested) for fidelity with the paper's
+    example code.
+    """
+
+    def __init__(self, size_hint: int = 16) -> None:
+        # size_hint mirrors Hashtbl.create's argument; Python dicts size
+        # themselves, so it is accepted and ignored.
+        self._size_hint = size_hint
+        self._table: Dict[object, List[object]] = {}
+
+    @classmethod
+    def create(cls, size_hint: int = 16) -> "Hashtbl":
+        """Create an empty table (Caml's ``Hashtbl.create``)."""
+        return cls(size_hint)
+
+    def add(self, key: object, value: object) -> None:
+        """Bind ``key`` to ``value``, shadowing (not destroying) prior bindings."""
+        self._table.setdefault(key, []).append(value)
+
+    def replace(self, key: object, value: object) -> None:
+        """Replace the current binding of ``key`` (or create it)."""
+        bindings = self._table.setdefault(key, [])
+        if bindings:
+            bindings[-1] = value
+        else:
+            bindings.append(value)
+
+    def find(self, key: object) -> object:
+        """Return the most recent binding of ``key``.
+
+        Raises:
+            KeyError: if ``key`` has no binding (Caml raises ``Not_found``).
+        """
+        bindings = self._table.get(key)
+        if not bindings:
+            raise KeyError(key)
+        return bindings[-1]
+
+    def find_opt(self, key: object) -> Optional[object]:
+        """Return the most recent binding of ``key`` or ``None``."""
+        bindings = self._table.get(key)
+        if not bindings:
+            return None
+        return bindings[-1]
+
+    def mem(self, key: object) -> bool:
+        """Whether ``key`` has at least one binding."""
+        return bool(self._table.get(key))
+
+    def remove(self, key: object) -> None:
+        """Remove the most recent binding of ``key`` (no-op if absent)."""
+        bindings = self._table.get(key)
+        if not bindings:
+            return
+        bindings.pop()
+        if not bindings:
+            del self._table[key]
+
+    def length(self) -> int:
+        """Total number of bindings (shadowed bindings included)."""
+        return sum(len(bindings) for bindings in self._table.values())
+
+    def keys(self) -> list:
+        """The distinct keys currently bound."""
+        return list(self._table)
+
+    def items(self) -> list:
+        """``(key, current_value)`` pairs."""
+        return [(key, bindings[-1]) for key, bindings in self._table.items()]
+
+    def iter(self, visit) -> None:
+        """Apply ``visit(key, value)`` to every (current) binding."""
+        for key, bindings in list(self._table.items()):
+            visit(key, bindings[-1])
+
+    def clear(self) -> None:
+        """Remove every binding."""
+        self._table.clear()
+
+
+class SafestdImplementation:
+    """Implementation object behind the thinned ``Safestd`` module."""
+
+    #: The class itself is exported so switchlets can call ``Safestd.Hashtbl.create``.
+    Hashtbl = Hashtbl
+
+    # -- byte packing helpers (switchlets have no ``struct`` module) ---------
+
+    @staticmethod
+    def pack_be(value: int, width: int) -> bytes:
+        """Encode ``value`` as ``width`` big-endian bytes."""
+        return int(value).to_bytes(width, "big")
+
+    @staticmethod
+    def unpack_be(data: bytes, offset: int = 0, width: int = 1) -> int:
+        """Decode ``width`` big-endian bytes starting at ``offset``."""
+        return int.from_bytes(bytes(data[offset : offset + width]), "big")
+
+    @staticmethod
+    def bytes_concat(parts: Iterable[bytes]) -> bytes:
+        """Concatenate an iterable of byte strings."""
+        return b"".join(bytes(part) for part in parts)
+
+    @staticmethod
+    def bytes_slice(data: bytes, start: int, length: int) -> bytes:
+        """Return ``length`` bytes of ``data`` starting at ``start``."""
+        return bytes(data[start : start + length])
+
+    # -- numeric / sequence helpers ------------------------------------------
+
+    @staticmethod
+    def minimum(a, b):
+        """The smaller of two values."""
+        return a if a <= b else b
+
+    @staticmethod
+    def maximum(a, b):
+        """The larger of two values."""
+        return a if a >= b else b
+
+    @staticmethod
+    def string_of_int(value: int) -> str:
+        """Render an integer as a string (Caml's ``string_of_int``)."""
+        return str(int(value))
+
+    @staticmethod
+    def int_of_string(text: str) -> int:
+        """Parse an integer from a string (Caml's ``int_of_string``)."""
+        return int(text)
+
+    #: Names exported when this implementation is thinned into ``Safestd``.
+    THINNED_EXPORTS = (
+        "Hashtbl",
+        "pack_be",
+        "unpack_be",
+        "bytes_concat",
+        "bytes_slice",
+        "minimum",
+        "maximum",
+        "string_of_int",
+        "int_of_string",
+    )

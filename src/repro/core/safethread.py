@@ -1,0 +1,198 @@
+"""``Safethread``, ``Condition`` and ``Mutex`` — the thread-related modules.
+
+The paper provides "a set of thread related modules ... built on top of the
+basic Caml threads package that works entirely in user mode" — i.e. purely
+cooperative threads with no true parallelism (Section 7.4 notes that this is
+why the multiprocessor buys nothing).
+
+In an event-driven simulation, cooperative user-mode threads are naturally
+expressed as scheduled callbacks, so the thinned ``Safethread`` exposes:
+
+* ``create(fn)`` — run ``fn`` "in a new thread", i.e. as a separately
+  scheduled callback at the current simulated time;
+* ``delay(seconds, fn)`` — run ``fn`` after a delay (the building block the
+  spanning-tree timers use);
+* ``every(seconds, fn)`` — run ``fn`` periodically until the returned handle
+  is cancelled (the hello timer);
+* ``self_id()`` — an identifier for the currently running switchlet thread.
+
+``Mutex`` and ``Condition`` keep their Caml shapes but are trivial under
+cooperative scheduling (a lock can never be contended across a yield point we
+do not have); they exist so switchlet code written against the paper's
+interface runs unchanged, and they still detect programming errors such as
+unlocking a mutex that is not held.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.sim.engine import Simulator
+from repro.sim.timers import PeriodicTimer, Timer
+
+
+class ThreadHandle:
+    """Handle returned by ``Safethread`` scheduling calls; supports ``cancel``."""
+
+    def __init__(self, cancel: Callable[[], None], kind: str, thread_id: int) -> None:
+        self._cancel = cancel
+        self.kind = kind
+        self.thread_id = thread_id
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Stop the scheduled or periodic callback."""
+        if not self.cancelled:
+            self.cancelled = True
+            self._cancel()
+
+
+class SafethreadImplementation:
+    """Implementation object behind the thinned ``Safethread`` module."""
+
+    def __init__(self, sim: Simulator, source: str) -> None:
+        self._sim = sim
+        self._source = source
+        self._next_id = 1
+        self._handles: List[ThreadHandle] = []
+
+    def _allocate_id(self) -> int:
+        thread_id = self._next_id
+        self._next_id += 1
+        return thread_id
+
+    # ------------------------------------------------------------------
+    # Exported to switchlets
+    # ------------------------------------------------------------------
+
+    def create(self, fn: Callable[[], None]) -> ThreadHandle:
+        """Run ``fn`` as a new cooperative thread (scheduled immediately)."""
+        thread_id = self._allocate_id()
+        event = self._sim.call_soon(fn, label=f"{self._source}:thread{thread_id}")
+        handle = ThreadHandle(event.cancel, "create", thread_id)
+        self._handles.append(handle)
+        return handle
+
+    def delay(self, seconds: float, fn: Callable[[], None]) -> ThreadHandle:
+        """Run ``fn`` once, ``seconds`` from now."""
+        thread_id = self._allocate_id()
+        timer = Timer(self._sim, float(seconds), fn, label=f"{self._source}:delay{thread_id}")
+        timer.start()
+        handle = ThreadHandle(timer.stop, "delay", thread_id)
+        self._handles.append(handle)
+        return handle
+
+    def every(self, seconds: float, fn: Callable[[], None]) -> ThreadHandle:
+        """Run ``fn`` every ``seconds`` until the handle is cancelled."""
+        thread_id = self._allocate_id()
+        timer = PeriodicTimer(
+            self._sim, float(seconds), fn, label=f"{self._source}:every{thread_id}"
+        )
+        timer.start()
+        handle = ThreadHandle(timer.stop, "every", thread_id)
+        self._handles.append(handle)
+        return handle
+
+    def self_id(self) -> int:
+        """Identifier of the calling thread (monotonic per node; cosmetic)."""
+        return self._next_id
+
+    # ------------------------------------------------------------------
+    # Loader-side controls (not exported)
+    # ------------------------------------------------------------------
+
+    def cancel_all(self) -> None:
+        """Cancel every outstanding handle (used when a node is reset)."""
+        for handle in self._handles:
+            handle.cancel()
+        self._handles.clear()
+
+    #: Names exported when thinned into ``Safethread``.
+    THINNED_EXPORTS = ("create", "delay", "every", "self_id")
+
+
+class Mutex:
+    """A cooperative mutex with Caml's ``Mutex`` interface.
+
+    Under run-to-completion cooperative scheduling the lock can never be
+    observed held by another thread at a yield point, so ``lock`` simply
+    records ownership; ``unlock`` checks for the classic misuse of unlocking
+    a mutex that is not locked.
+    """
+
+    def __init__(self) -> None:
+        self._locked = False
+
+    @classmethod
+    def create(cls) -> "Mutex":
+        """Create a new mutex (Caml's ``Mutex.create``)."""
+        return cls()
+
+    def lock(self) -> None:
+        """Acquire the mutex."""
+        self._locked = True
+
+    def try_lock(self) -> bool:
+        """Acquire the mutex if free; returns whether it was acquired."""
+        if self._locked:
+            return False
+        self._locked = True
+        return True
+
+    def unlock(self) -> None:
+        """Release the mutex.
+
+        Raises:
+            RuntimeError: if the mutex is not currently locked.
+        """
+        if not self._locked:
+            raise RuntimeError("Mutex.unlock called on an unlocked mutex")
+        self._locked = False
+
+    @property
+    def locked(self) -> bool:
+        """Whether the mutex is currently held."""
+        return self._locked
+
+    THINNED_EXPORTS = ("create",)
+
+
+class Condition:
+    """A condition variable with Caml's ``Condition`` interface.
+
+    ``wait`` cannot block in a run-to-completion model; instead, callbacks
+    registered with ``wait_callback`` are invoked by ``signal``/``broadcast``.
+    The paper's bridge switchlets do not use conditions on their hot path, so
+    this fidelity trade-off is documented rather than hidden.
+    """
+
+    def __init__(self) -> None:
+        self._waiters: List[Callable[[], None]] = []
+
+    @classmethod
+    def create(cls) -> "Condition":
+        """Create a new condition variable."""
+        return cls()
+
+    def wait_callback(self, fn: Callable[[], None]) -> None:
+        """Register ``fn`` to be invoked on the next ``signal``/``broadcast``."""
+        self._waiters.append(fn)
+
+    def signal(self) -> None:
+        """Wake one waiter (FIFO)."""
+        if self._waiters:
+            waiter = self._waiters.pop(0)
+            waiter()
+
+    def broadcast(self) -> None:
+        """Wake every waiter."""
+        waiters, self._waiters = self._waiters, []
+        for waiter in waiters:
+            waiter()
+
+    @property
+    def waiting(self) -> int:
+        """Number of registered waiters."""
+        return len(self._waiters)
+
+    THINNED_EXPORTS = ("create",)

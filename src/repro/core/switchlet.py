@@ -1,0 +1,162 @@
+"""Switchlet packages — the shippable unit of code.
+
+A :class:`SwitchletPackage` corresponds to a Caml byte-code file in the
+paper: it carries the module's code, the digest of that code, and the digests
+of the interfaces it was compiled against.  Packages serialize to bytes so
+they can be shipped over the network-loading path (TFTP write requests,
+Section 5.2) or carried in-band inside a capsule frame.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional
+
+from repro.core.signature import digest_module, digest_source
+from repro.exceptions import LoadError
+
+#: Format tag embedded in every serialized package.
+PACKAGE_FORMAT = "repro-switchlet-v1"
+
+
+@dataclass(frozen=True)
+class SwitchletPackage:
+    """A loadable switchlet.
+
+    Attributes:
+        name: the switchlet's name (e.g. ``"learning-bridge"``).
+        source: Python source text executed by the loader in the thinned
+            environment.
+        requires: mapping of environment module name to the MD5 interface
+            digest the switchlet was built against.  The loader verifies
+            these before linking — the analogue of Caml's interface MD5
+            check.
+        source_digest: MD5 of the source text, checked after transport.
+        metadata: free-form descriptive fields (version, description, ...).
+    """
+
+    name: str
+    source: str
+    requires: Dict[str, str] = field(default_factory=dict)
+    source_digest: str = ""
+    metadata: Dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise LoadError("switchlet package must have a name")
+        if self.source_digest == "":
+            object.__setattr__(self, "source_digest", digest_source(self.source))
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        name: str,
+        source: str,
+        environment: Mapping[str, object],
+        required_modules: Optional[list] = None,
+        metadata: Optional[Mapping[str, str]] = None,
+    ) -> "SwitchletPackage":
+        """Build a package "compiled against" the given environment.
+
+        Args:
+            name: package name.
+            source: source text.
+            environment: the environment the package is intended to run in;
+                its module digests are recorded as requirements.
+            required_modules: restrict the recorded requirements to this
+                subset of environment modules (default: all of them).
+            metadata: optional descriptive fields.
+        """
+        names = (
+            list(required_modules)
+            if required_modules is not None
+            else sorted(environment)
+        )
+        requires = {}
+        for module_name in names:
+            if module_name not in environment:
+                raise LoadError(
+                    f"package {name!r} requires unknown environment module "
+                    f"{module_name!r}"
+                )
+            requires[module_name] = digest_module(environment[module_name])
+        return cls(
+            name=name,
+            source=source,
+            requires=requires,
+            metadata=dict(metadata or {}),
+        )
+
+    # ------------------------------------------------------------------
+    # Integrity
+    # ------------------------------------------------------------------
+
+    def verify_source(self) -> bool:
+        """Whether the source text still matches its recorded digest."""
+        return digest_source(self.source) == self.source_digest
+
+    def with_tampered_source(self, source: str) -> "SwitchletPackage":
+        """Return a copy whose source was replaced *without* updating the digest.
+
+        Exists for the security test-suite: a package altered in transit must
+        be rejected by the loader.
+        """
+        return SwitchletPackage(
+            name=self.name,
+            source=source,
+            requires=dict(self.requires),
+            source_digest=self.source_digest,
+            metadata=dict(self.metadata),
+        )
+
+    # ------------------------------------------------------------------
+    # Serialization (for TFTP / capsules)
+    # ------------------------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        """Serialize the package for transport."""
+        document = {
+            "format": PACKAGE_FORMAT,
+            "name": self.name,
+            "source": self.source,
+            "requires": self.requires,
+            "source_digest": self.source_digest,
+            "metadata": self.metadata,
+        }
+        return json.dumps(document, sort_keys=True).encode("utf-8")
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "SwitchletPackage":
+        """Deserialize a package received over the network.
+
+        Raises:
+            LoadError: if the data is not a valid serialized package.
+        """
+        try:
+            document = json.loads(data.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise LoadError(f"malformed switchlet package: {exc}") from exc
+        if not isinstance(document, dict) or document.get("format") != PACKAGE_FORMAT:
+            raise LoadError("malformed switchlet package: bad format tag")
+        try:
+            return cls(
+                name=document["name"],
+                source=document["source"],
+                requires=dict(document.get("requires", {})),
+                source_digest=document.get("source_digest", ""),
+                metadata=dict(document.get("metadata", {})),
+            )
+        except (KeyError, TypeError) as exc:
+            raise LoadError(f"malformed switchlet package: {exc}") from exc
+
+    def describe(self) -> str:
+        """One-line summary used in logs."""
+        return (
+            f"switchlet {self.name!r} ({len(self.source)} bytes of source, "
+            f"{len(self.requires)} required interfaces)"
+        )

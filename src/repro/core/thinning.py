@@ -1,0 +1,210 @@
+"""Module thinning.
+
+Section 5.1 of the paper: "We have thinned the signature of the modules to be
+accessed by switchlets to exclude those functions that might allow security
+violations.  This leaves the switchlet with no way of naming the excluded
+function and thus, no way of accessing it."
+
+A :class:`ThinnedModule` is a facade over an implementation object that
+exposes *only* an explicit allow-list of names.  Attribute access outside the
+allow-list raises :class:`ThinningViolation` — the excluded members simply do
+not exist from the switchlet's point of view.  The thinner also refuses to
+expose dunder attributes, so a switchlet cannot crawl from a facade back to
+the implementation object through ``__dict__``-style reflection.
+
+The companion :data:`SAFE_BUILTINS` dictionary plays the role the *language*
+plays in Caml: it is the restricted set of built-in operations a switchlet's
+code executes with.  ``open``, ``__import__``, ``eval``, ``exec`` and other
+escape hatches are absent, so a switchlet cannot reach the file system or the
+Python module space at all — only what the environment names.
+"""
+
+from __future__ import annotations
+
+import builtins
+from typing import Dict, Iterable, Mapping
+
+from repro.exceptions import ThinningViolation
+
+
+class ThinnedModule:
+    """A facade exposing only an allow-list of names from an implementation.
+
+    Args:
+        name: the module name a switchlet sees (e.g. ``"Safestd"``).
+        exports: mapping of exported name to value.  The values themselves
+            are typically bound methods of the implementation object, so the
+            switchlet can call them but cannot reach the object they close
+            over except through them.
+    """
+
+    def __init__(self, name: str, exports: Mapping[str, object]) -> None:
+        object.__setattr__(self, "_name", str(name))
+        object.__setattr__(self, "_exports", dict(exports))
+
+    @property
+    def __exports__(self) -> tuple:
+        """The exported interface (sorted names); used for signature digests."""
+        return tuple(sorted(object.__getattribute__(self, "_exports")))
+
+    @property
+    def __module_name__(self) -> str:
+        """The module name as seen by switchlets."""
+        return object.__getattribute__(self, "_name")
+
+    def __getattr__(self, name: str):
+        exports = object.__getattribute__(self, "_exports")
+        if name in exports:
+            return exports[name]
+        module_name = object.__getattribute__(self, "_name")
+        raise ThinningViolation(
+            f"module {module_name!r} does not export {name!r} "
+            "(excluded by module thinning)"
+        )
+
+    def __setattr__(self, name: str, value: object) -> None:
+        module_name = object.__getattribute__(self, "_name")
+        raise ThinningViolation(
+            f"module {module_name!r} is immutable: cannot set {name!r}"
+        )
+
+    def __dir__(self) -> list:
+        return list(object.__getattribute__(self, "_exports"))
+
+    def __repr__(self) -> str:
+        module_name = object.__getattribute__(self, "_name")
+        count = len(object.__getattribute__(self, "_exports"))
+        return f"<thinned module {module_name!r} ({count} exports)>"
+
+
+def thin(name: str, implementation: object, allowed: Iterable[str]) -> ThinnedModule:
+    """Build a :class:`ThinnedModule` exposing ``allowed`` names of ``implementation``.
+
+    Raises:
+        ThinningViolation: if an allowed name does not exist on the
+            implementation (a thinning list referring to a non-existent
+            member is almost certainly a bug in the environment).
+    """
+    exports: Dict[str, object] = {}
+    for attr in allowed:
+        if not hasattr(implementation, attr):
+            raise ThinningViolation(
+                f"cannot thin {name!r}: implementation has no member {attr!r}"
+            )
+        exports[attr] = getattr(implementation, attr)
+    return ThinnedModule(name, exports)
+
+
+#: Names of builtin functions and types a switchlet may use.  Everything not
+#: listed here is unavailable inside switchlet code — notably ``open``,
+#: ``__import__``, ``eval``, ``exec``, ``compile``, ``globals``, ``locals``,
+#: ``vars``, ``input`` and ``breakpoint``.
+_SAFE_BUILTIN_NAMES = (
+    # Types and constructors
+    "bool",
+    "bytearray",
+    "bytes",
+    "dict",
+    "float",
+    "frozenset",
+    "int",
+    "list",
+    "object",
+    "set",
+    "str",
+    "tuple",
+    "type",
+    # Functions
+    "abs",
+    "all",
+    "any",
+    "callable",
+    "chr",
+    "divmod",
+    "enumerate",
+    "filter",
+    "format",
+    "getattr",
+    "hasattr",
+    "hash",
+    "hex",
+    "id",
+    "isinstance",
+    "issubclass",
+    "iter",
+    "len",
+    "map",
+    "max",
+    "min",
+    "next",
+    "ord",
+    "pow",
+    "print",
+    "range",
+    "repr",
+    "reversed",
+    "round",
+    "sorted",
+    "sum",
+    "zip",
+    # Decorators / class machinery
+    "classmethod",
+    "property",
+    "staticmethod",
+    "super",
+    # Exceptions a switchlet may reasonably raise or handle
+    "ArithmeticError",
+    "AssertionError",
+    "AttributeError",
+    "BaseException",
+    "Exception",
+    "ImportError",
+    "IndexError",
+    "KeyError",
+    "LookupError",
+    "NameError",
+    "NotImplementedError",
+    "OSError",
+    "OverflowError",
+    "RuntimeError",
+    "StopIteration",
+    "TypeError",
+    "ValueError",
+    "ZeroDivisionError",
+)
+
+
+def safe_builtins() -> Dict[str, object]:
+    """Return a fresh restricted ``__builtins__`` dictionary for switchlet code.
+
+    ``__build_class__`` is included because switchlet source may define
+    classes; it does not grant any ambient authority.
+    """
+    table: Dict[str, object] = {}
+    for name in _SAFE_BUILTIN_NAMES:
+        table[name] = getattr(builtins, name)
+    table["__build_class__"] = builtins.__build_class__
+    table["__name__"] = "switchlet"
+    return table
+
+
+#: A ready-made safe builtins table (callers should copy it before mutating).
+SAFE_BUILTINS: Dict[str, object] = safe_builtins()
+
+#: Builtin names that must never appear in the safe table; the test suite
+#: asserts this stays true as the allow-list evolves.
+FORBIDDEN_BUILTIN_NAMES = (
+    "open",
+    "__import__",
+    "eval",
+    "exec",
+    "compile",
+    "globals",
+    "locals",
+    "vars",
+    "input",
+    "breakpoint",
+    "exit",
+    "quit",
+    "memoryview",
+)

@@ -1,0 +1,21 @@
+"""Calibrated cost model for the user-space frame path.
+
+The paper's performance results are dominated by software costs: the Linux
+kernel path into and out of user space, the Caml byte-code interpreter, and
+the bridge logic itself ("Additional instrumentation showed a cost per frame
+within Caml of 0.47 ms on average during a ttcp trial", Section 7.3).  The
+reproduction runs on a simulator, so those costs are *modelled*: every frame
+crossing a node is charged per-frame and per-byte costs drawn from
+:class:`~repro.costs.model.CostModel`, whose defaults are calibrated from the
+paper's measurements (see :mod:`repro.costs.calibration`).
+
+Processing is serialized through a :class:`~repro.costs.cpu.CpuQueue`
+(one frame at a time, like the single bridge thread in the prototype), which
+is what produces the ~1800 frames/second ceiling.
+"""
+
+from repro.costs.model import CostModel
+from repro.costs.cpu import CpuQueue
+from repro.costs import calibration
+
+__all__ = ["CostModel", "CpuQueue", "calibration"]

@@ -1,0 +1,96 @@
+"""A single-server processing queue.
+
+The paper's bridge is effectively a single thread of Caml code: frames are
+handled one at a time, and a frame arriving while another is being processed
+waits.  (Section 7.4 notes that the Caml threads run entirely in user mode,
+"thus, no speedup occurs due to our multiprocessor".)  :class:`CpuQueue`
+models exactly that: work items are served in FIFO order, one at a time, each
+occupying the server for its submitted cost.
+
+The same class models an end host's protocol processing and the C repeater's
+loop, just with different costs.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Optional, Tuple
+
+from repro.sim.engine import Simulator
+
+
+class CpuQueue:
+    """A FIFO, single-server queue of timed work items.
+
+    Args:
+        sim: owning simulator.
+        name: used in traces (e.g. ``"bridge1.cpu"``).
+    """
+
+    def __init__(self, sim: Simulator, name: str) -> None:
+        self.sim = sim
+        self.name = name
+        self._pending: Deque[Tuple[float, Callable[[], None]]] = deque()
+        self._busy = False
+        self._stall_until = 0.0
+        # Statistics
+        self.items_processed = 0
+        self.busy_time = 0.0
+        self.max_queue_depth = 0
+
+    @property
+    def queue_depth(self) -> int:
+        """Number of items waiting (not including the one in service)."""
+        return len(self._pending)
+
+    @property
+    def busy(self) -> bool:
+        """Whether an item is currently in service."""
+        return self._busy
+
+    def submit(self, cost_seconds: float, callback: Callable[[], None]) -> None:
+        """Submit a work item that occupies the CPU for ``cost_seconds``.
+
+        ``callback`` runs when the item *finishes* service.
+        """
+        if cost_seconds < 0:
+            cost_seconds = 0.0
+        self._pending.append((cost_seconds, callback))
+        self.max_queue_depth = max(self.max_queue_depth, len(self._pending))
+        if not self._busy:
+            self._serve_next()
+
+    def stall(self, duration_seconds: float) -> None:
+        """Block the server for ``duration_seconds`` (models a GC pause).
+
+        Items already queued wait; items submitted during the stall queue
+        behind them.
+        """
+        if duration_seconds <= 0:
+            return
+        release = self.sim.now + duration_seconds
+        self._stall_until = max(self._stall_until, release)
+
+    def _serve_next(self) -> None:
+        if not self._pending:
+            self._busy = False
+            return
+        self._busy = True
+        cost, callback = self._pending.popleft()
+        start_delay = max(0.0, self._stall_until - self.sim.now)
+        total = start_delay + cost
+        self.busy_time += cost
+        self.items_processed += 1
+
+        def finish() -> None:
+            callback()
+            self._serve_next()
+
+        self.sim.schedule(total, finish, label=f"{self.name}:service")
+
+    def utilization(self, elapsed: Optional[float] = None) -> float:
+        """Fraction of elapsed simulated time the server spent in service."""
+        total = self.sim.now if elapsed is None else elapsed
+        if total <= 0:
+            return 0.0
+        return min(1.0, self.busy_time / total)

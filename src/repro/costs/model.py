@@ -1,0 +1,142 @@
+"""The cost model charged to every frame that crosses a node in software.
+
+:class:`CostModel` is a plain dataclass of per-frame / per-byte constants.
+The active node, the C-repeater baseline and the hosts each query it for the
+time a given frame costs them, and charge that time on their
+:class:`~repro.costs.cpu.CpuQueue`.
+
+Separate knobs exist for the interpreter, the kernel crossings, and the
+per-byte copies so that the ablation benchmark can ask the questions the
+paper poses in its conclusions: what would native-code switchlets buy?
+what would a shorter kernel path (U-Net style) buy?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.costs import calibration
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Per-frame and per-byte software costs (all times in seconds).
+
+    Attributes:
+        interpreter_frame_cost: fixed per-frame cost of the interpreted
+            switchlet path (the Caml byte-code interpreter in the paper).
+        interpreter_byte_cost: per-byte data-touching cost in the interpreter.
+        kernel_crossing_cost: one-way cost of moving a frame between the
+            kernel and user space; charged once on receive and once on send.
+        repeater_frame_cost: fixed per-frame cost of the C buffered repeater.
+        repeater_byte_cost: per-byte cost of the C repeater.
+        host_frame_cost: fixed per-frame protocol cost at an end host.
+        host_byte_cost: per-byte cost at an end host.
+        host_syscall_cost: additional per-write overhead for a ttcp sender.
+        switchlet_load_cost: time to dynamically link one switchlet.
+        switchlet_register_cost: time to run a switchlet's registration code.
+        gc_pause_interval: mean time between GC pauses (ablation only).
+        gc_pause_duration: length of one GC pause; zero disables pauses.
+    """
+
+    interpreter_frame_cost: float = calibration.INTERPRETER_FRAME_COST
+    interpreter_byte_cost: float = calibration.INTERPRETER_BYTE_COST
+    kernel_crossing_cost: float = calibration.KERNEL_CROSSING_COST
+    repeater_frame_cost: float = calibration.REPEATER_FRAME_COST
+    repeater_byte_cost: float = calibration.REPEATER_BYTE_COST
+    host_frame_cost: float = calibration.HOST_FRAME_COST
+    host_byte_cost: float = calibration.HOST_BYTE_COST
+    host_syscall_cost: float = calibration.HOST_SYSCALL_COST
+    switchlet_load_cost: float = calibration.SWITCHLET_LOAD_COST
+    switchlet_register_cost: float = calibration.SWITCHLET_REGISTER_COST
+    gc_pause_interval: float = calibration.GC_PAUSE_INTERVAL
+    gc_pause_duration: float = calibration.GC_PAUSE_DURATION
+
+    # ------------------------------------------------------------------
+    # Per-node costs
+    # ------------------------------------------------------------------
+
+    def switchlet_frame_cost(self, frame_bytes: int) -> float:
+        """Cost of running the loaded switchlets over one frame (interpreter only)."""
+        return self.interpreter_frame_cost + self.interpreter_byte_cost * frame_bytes
+
+    def bridge_frame_cost(self, frame_bytes: int) -> float:
+        """Total active-bridge cost for one forwarded frame.
+
+        Receive kernel crossing + interpreted switchlet processing + transmit
+        kernel crossing — the seven-step path of Figure 5 collapsed into its
+        three software components.
+        """
+        return 2 * self.kernel_crossing_cost + self.switchlet_frame_cost(frame_bytes)
+
+    def repeater_frame_cost_total(self, frame_bytes: int) -> float:
+        """Total C-buffered-repeater cost for one forwarded frame."""
+        return (
+            2 * self.kernel_crossing_cost
+            + self.repeater_frame_cost
+            + self.repeater_byte_cost * frame_bytes
+        )
+
+    def host_frame_cost_total(self, frame_bytes: int) -> float:
+        """End-host protocol processing cost for sending or receiving one frame."""
+        return self.host_frame_cost + self.host_byte_cost * frame_bytes
+
+    def load_cost(self) -> float:
+        """Time to dynamically link and register one switchlet."""
+        return self.switchlet_load_cost + self.switchlet_register_cost
+
+    # ------------------------------------------------------------------
+    # Derived quantities (used by benchmarks and tests)
+    # ------------------------------------------------------------------
+
+    def bridge_frame_rate_ceiling(self, frame_bytes: int) -> float:
+        """Maximum frames/second the active bridge can forward at this size."""
+        return 1.0 / self.bridge_frame_cost(frame_bytes)
+
+    def interpreter_frame_rate_ceiling(self, frame_bytes: int) -> float:
+        """The paper's "limiting rate before OS overheads" (2100 f/s at 1024 B)."""
+        return 1.0 / self.switchlet_frame_cost(frame_bytes)
+
+    # ------------------------------------------------------------------
+    # Ablation helpers
+    # ------------------------------------------------------------------
+
+    def with_native_code(self, speedup: float = 10.0) -> "CostModel":
+        """A model in which switchlets are compiled to native code.
+
+        The interpreter costs shrink by ``speedup``; kernel costs are
+        unchanged.  This is the first optimization the paper proposes.
+        """
+        return replace(
+            self,
+            interpreter_frame_cost=self.interpreter_frame_cost / speedup,
+            interpreter_byte_cost=self.interpreter_byte_cost / speedup,
+        )
+
+    def with_user_level_networking(self, reduction: float = 0.9) -> "CostModel":
+        """A model with a U-Net style user-level network interface.
+
+        Kernel-crossing costs shrink by ``reduction`` (default 90 %); this is
+        the second optimization direction the paper names.
+        """
+        return replace(
+            self,
+            kernel_crossing_cost=self.kernel_crossing_cost * (1.0 - reduction),
+        )
+
+    def with_gc_pauses(
+        self, interval: float = calibration.GC_PAUSE_INTERVAL, duration: float = 2e-3
+    ) -> "CostModel":
+        """A model in which the garbage collector pauses forwarding periodically."""
+        return replace(self, gc_pause_interval=interval, gc_pause_duration=duration)
+
+    def scaled(self, factor: float) -> "CostModel":
+        """Scale every node-side cost by ``factor`` (sensitivity sweeps)."""
+        return replace(
+            self,
+            interpreter_frame_cost=self.interpreter_frame_cost * factor,
+            interpreter_byte_cost=self.interpreter_byte_cost * factor,
+            kernel_crossing_cost=self.kernel_crossing_cost * factor,
+            repeater_frame_cost=self.repeater_frame_cost * factor,
+            repeater_byte_cost=self.repeater_byte_cost * factor,
+        )

@@ -1,0 +1,30 @@
+"""Ethernet substrate: MAC addresses, EtherTypes, frames, and CRC-32.
+
+The active bridge is a *transparent* data-link-layer device: everything it
+touches is an Ethernet frame.  This package provides the wire format used by
+every other layer of the reproduction — the LAN substrate transports encoded
+frames, the minimal IP/UDP/TFTP stack rides in frame payloads, and the
+spanning-tree protocols define their own frame formats on top of it.
+"""
+
+from repro.ethernet.mac import (
+    MacAddress,
+    BROADCAST,
+    ALL_BRIDGES_MULTICAST,
+    DEC_MANAGEMENT_MULTICAST,
+)
+from repro.ethernet.ethertype import EtherType
+from repro.ethernet.frame import EthernetFrame, MIN_PAYLOAD, MAX_PAYLOAD
+from repro.ethernet.crc import crc32_ethernet
+
+__all__ = [
+    "MacAddress",
+    "BROADCAST",
+    "ALL_BRIDGES_MULTICAST",
+    "DEC_MANAGEMENT_MULTICAST",
+    "EtherType",
+    "EthernetFrame",
+    "MIN_PAYLOAD",
+    "MAX_PAYLOAD",
+    "crc32_ethernet",
+]

@@ -1,0 +1,48 @@
+"""IEEE 802.3 CRC-32 (frame check sequence).
+
+The paper notes that its prototype receives the CRC on a read but cannot set
+it on a write (one of its 802.1D incompatibilities).  The simulated NICs
+compute and verify the FCS so that corrupted frames can be injected and
+dropped in failure-injection tests.
+
+The implementation is the standard reflected CRC-32 (polynomial 0xEDB88320)
+with a precomputed table; it matches :func:`zlib.crc32` and is kept local so
+the wire format is fully self-contained and testable against a reference.
+"""
+
+from __future__ import annotations
+
+_POLYNOMIAL = 0xEDB88320
+
+
+def _build_table() -> tuple:
+    table = []
+    for index in range(256):
+        value = index
+        for _ in range(8):
+            if value & 1:
+                value = (value >> 1) ^ _POLYNOMIAL
+            else:
+                value >>= 1
+        table.append(value)
+    return tuple(table)
+
+
+_TABLE = _build_table()
+
+
+def crc32_ethernet(data: bytes) -> int:
+    """Compute the IEEE 802.3 CRC-32 of ``data``.
+
+    Returns:
+        The 32-bit frame check sequence as an unsigned integer.
+    """
+    crc = 0xFFFFFFFF
+    for byte in data:
+        crc = (crc >> 8) ^ _TABLE[(crc ^ byte) & 0xFF]
+    return crc ^ 0xFFFFFFFF
+
+
+def verify_crc32(data: bytes, expected: int) -> bool:
+    """Return True if ``expected`` is the CRC-32 of ``data``."""
+    return crc32_ethernet(data) == (expected & 0xFFFFFFFF)

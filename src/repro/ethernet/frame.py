@@ -1,0 +1,147 @@
+"""The Ethernet II frame wire format.
+
+Frames are represented as an immutable dataclass and can be serialized to and
+parsed from bytes.  The paper represents packets as ``{len; addr; pkt}``
+records whose data the switchlet must unmarshal itself; our
+:class:`EthernetFrame` plays the role of that record, and the switchlets
+still do their own unmarshalling of the payloads they care about (BPDUs, IP
+headers, ...).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field, replace
+
+from repro.ethernet.crc import crc32_ethernet
+from repro.ethernet.ethertype import EtherType
+from repro.ethernet.mac import MacAddress
+from repro.exceptions import FrameError
+
+#: Minimum Ethernet payload (frames shorter than this are padded on the wire).
+MIN_PAYLOAD = 46
+
+#: Maximum Ethernet payload (the classic 1500-byte MTU).
+MAX_PAYLOAD = 1500
+
+#: Header: destination (6) + source (6) + type (2).
+HEADER_LENGTH = 14
+
+#: Trailer: the 4-byte frame check sequence.
+FCS_LENGTH = 4
+
+#: Preamble + SFD + inter-frame gap, counted when computing wire occupancy.
+WIRE_OVERHEAD = 8 + 12
+
+
+@dataclass(frozen=True)
+class EthernetFrame:
+    """An Ethernet II frame.
+
+    Attributes:
+        destination: destination MAC address.
+        source: source MAC address.
+        ethertype: 16-bit protocol identifier (see :class:`EtherType`).
+        payload: the payload bytes (not yet padded to the 46-byte minimum).
+    """
+
+    destination: MacAddress
+    source: MacAddress
+    ethertype: int
+    payload: bytes = field(default=b"")
+
+    def __post_init__(self) -> None:
+        if len(self.payload) > MAX_PAYLOAD:
+            raise FrameError(
+                f"payload of {len(self.payload)} bytes exceeds the "
+                f"{MAX_PAYLOAD}-byte Ethernet MTU"
+            )
+        if not 0 <= int(self.ethertype) <= 0xFFFF:
+            raise FrameError(f"ethertype out of range: {self.ethertype}")
+
+    # -- size accounting -----------------------------------------------------
+
+    @property
+    def padded_payload(self) -> bytes:
+        """The payload padded with zero bytes up to the 46-byte minimum."""
+        if len(self.payload) >= MIN_PAYLOAD:
+            return self.payload
+        return self.payload + b"\x00" * (MIN_PAYLOAD - len(self.payload))
+
+    @property
+    def frame_length(self) -> int:
+        """Length of the frame on the wire excluding preamble/IFG (header+payload+FCS)."""
+        return HEADER_LENGTH + len(self.padded_payload) + FCS_LENGTH
+
+    @property
+    def wire_length(self) -> int:
+        """Total wire occupancy including preamble, SFD and inter-frame gap."""
+        return self.frame_length + WIRE_OVERHEAD
+
+    @property
+    def is_multicast(self) -> bool:
+        """True if addressed to a multicast group (including broadcast)."""
+        return self.destination.is_multicast
+
+    @property
+    def is_broadcast(self) -> bool:
+        """True if addressed to the broadcast address."""
+        return self.destination.is_broadcast
+
+    # -- serialization -------------------------------------------------------
+
+    def encode(self) -> bytes:
+        """Serialize to wire bytes (header, padded payload, FCS)."""
+        header = (
+            self.destination.octets
+            + self.source.octets
+            + struct.pack("!H", int(self.ethertype))
+        )
+        body = header + self.padded_payload
+        fcs = struct.pack("!I", crc32_ethernet(body))
+        return body + fcs
+
+    @classmethod
+    def decode(cls, data: bytes, verify_fcs: bool = True) -> "EthernetFrame":
+        """Parse wire bytes back into a frame.
+
+        Args:
+            data: encoded frame bytes.
+            verify_fcs: if true (default), a bad frame check sequence raises
+                :class:`FrameError` — this is how the simulated NIC drops
+                corrupted frames.
+
+        Note:
+            Padding cannot be distinguished from genuine payload at this
+            layer (exactly as on real Ethernet); higher layers carry their
+            own length fields.
+        """
+        if len(data) < HEADER_LENGTH + MIN_PAYLOAD + FCS_LENGTH:
+            raise FrameError(f"frame too short: {len(data)} bytes")
+        destination = MacAddress(data[0:6])
+        source = MacAddress(data[6:12])
+        (ethertype,) = struct.unpack("!H", data[12:14])
+        payload = data[14:-FCS_LENGTH]
+        (fcs,) = struct.unpack("!I", data[-FCS_LENGTH:])
+        if verify_fcs and crc32_ethernet(data[:-FCS_LENGTH]) != fcs:
+            raise FrameError("frame check sequence mismatch")
+        return cls(
+            destination=destination,
+            source=source,
+            ethertype=ethertype,
+            payload=payload,
+        )
+
+    # -- convenience ---------------------------------------------------------
+
+    def with_payload(self, payload: bytes) -> "EthernetFrame":
+        """Return a copy of this frame carrying a different payload."""
+        return replace(self, payload=payload)
+
+    def describe(self) -> str:
+        """One-line human-readable summary used by logs and debug output."""
+        return (
+            f"{self.source} -> {self.destination} "
+            f"type={EtherType.describe(int(self.ethertype))} "
+            f"len={len(self.payload)}"
+        )

@@ -1,0 +1,109 @@
+"""Exception hierarchy shared across the :mod:`repro` package.
+
+The paper's system distinguishes three broad failure classes and so do we:
+
+* simulation/kernel misuse (``SimulationError``),
+* malformed or unparsable wire data (``ProtocolError`` and friends),
+* violations of the switchlet safety model (``SwitchletError`` and friends).
+
+Every subpackage raises subclasses of :class:`ReproError`, which makes it easy
+for applications to catch "anything this library raised" with a single clause
+while still allowing fine-grained handling.
+"""
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the ``repro`` package."""
+
+
+# ---------------------------------------------------------------------------
+# Simulation kernel
+# ---------------------------------------------------------------------------
+
+
+class SimulationError(ReproError):
+    """Misuse of the discrete-event kernel (e.g. scheduling in the past)."""
+
+
+class SchedulingError(SimulationError):
+    """An event was scheduled at a time earlier than the current clock."""
+
+
+# ---------------------------------------------------------------------------
+# Wire formats / protocol substrates
+# ---------------------------------------------------------------------------
+
+
+class ProtocolError(ReproError):
+    """A frame or packet could not be parsed or violates its protocol."""
+
+
+class FrameError(ProtocolError):
+    """Malformed Ethernet frame (bad length, bad CRC, bad address)."""
+
+
+class PacketError(ProtocolError):
+    """Malformed IP/UDP/ICMP/TFTP packet."""
+
+
+class ChecksumError(PacketError):
+    """A checksum did not verify."""
+
+
+# ---------------------------------------------------------------------------
+# LAN substrate
+# ---------------------------------------------------------------------------
+
+
+class TopologyError(ReproError):
+    """Invalid network construction (duplicate names, unattached NICs...)."""
+
+
+class InterfaceError(ReproError):
+    """A NIC/port operation was invalid (already attached, down, ...)."""
+
+
+# ---------------------------------------------------------------------------
+# Switchlet infrastructure (the paper's safety model)
+# ---------------------------------------------------------------------------
+
+
+class SwitchletError(ReproError):
+    """Base class for switchlet loading and execution failures."""
+
+
+class SignatureMismatch(SwitchletError):
+    """The interface digest a switchlet was compiled against does not match.
+
+    This is the analogue of Caml's link-time MD5 interface check: a switchlet
+    built against a different (e.g. attacker-supplied) signature fails to
+    link.
+    """
+
+
+class ThinningViolation(SwitchletError):
+    """A switchlet attempted to reach a name excluded by module thinning."""
+
+
+class LoadError(SwitchletError):
+    """The switchlet source failed to compile or its top level raised."""
+
+
+class AlreadyBound(SwitchletError):
+    """A second switchlet tried to bind an input/output port already bound.
+
+    Mirrors the ``Already_bound`` exception of the paper's ``Unixnet``
+    interface (Figure 4): the first switchlet to bind a given port succeeds
+    and all others fail.
+    """
+
+
+class NoInterface(SwitchletError):
+    """No (further) network interface is available to bind.
+
+    Mirrors the ``No_interface`` exception of the paper's ``Unixnet``.
+    """
+
+
+class RegistrationError(SwitchletError):
+    """A switchlet registration (``Func.register``) was invalid."""

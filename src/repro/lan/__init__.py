@@ -1,0 +1,29 @@
+"""LAN substrate: shared broadcast segments, NICs, hosts and topologies.
+
+The paper's testbed is a set of 100 Mb/s Ethernet LANs joined by the active
+bridge (Figures 6-8) plus a ring of bridges for the agility experiment
+(Section 7.5).  This package models those pieces:
+
+* :class:`~repro.lan.segment.Segment` — a shared half-duplex broadcast medium
+  with configurable bandwidth and propagation delay;
+* :class:`~repro.lan.nic.NetworkInterface` — an attachment point with a MAC
+  address, promiscuous mode, and transmit/receive accounting;
+* :class:`~repro.lan.host.Host` — an end station with a small protocol stack
+  (Ethernet demux, IP, UDP, ICMP) used by the measurement tools;
+* :class:`~repro.lan.topology.NetworkBuilder` — a convenience layer that
+  builds the paper's topologies (two-LAN bridge setup, baseline single LAN,
+  the three-bridge ring) in a few calls.
+"""
+
+from repro.lan.segment import Segment
+from repro.lan.nic import NetworkInterface
+from repro.lan.host import Host
+from repro.lan.topology import NetworkBuilder, Network
+
+__all__ = [
+    "Segment",
+    "NetworkInterface",
+    "Host",
+    "NetworkBuilder",
+    "Network",
+]

@@ -1,0 +1,151 @@
+"""Network interface cards.
+
+A :class:`NetworkInterface` is the attachment point between a station (host,
+bridge, repeater) and a :class:`~repro.lan.segment.Segment`.  It mirrors the
+behaviour the paper depends on:
+
+* **promiscuous mode** — "whenever an input port is bound, it is put into
+  promiscuous mode", because a transparent bridge must see every frame on the
+  segment, not just frames addressed to it;
+* per-interface transmit/receive counters used by the measurement tools;
+* an owner-supplied receive handler, which for an active node is the node's
+  demultiplexer and for a host is the host protocol stack.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.ethernet.frame import EthernetFrame
+from repro.ethernet.mac import MacAddress
+from repro.exceptions import InterfaceError
+from repro.lan.segment import Segment
+from repro.sim.engine import Simulator
+
+FrameHandler = Callable[["NetworkInterface", EthernetFrame], None]
+
+
+class NetworkInterface:
+    """A simulated Ethernet NIC.
+
+    Args:
+        sim: owning simulator.
+        name: interface name used in traces (e.g. ``"bridge1.eth0"``).
+        mac: the interface's unicast MAC address.
+    """
+
+    def __init__(self, sim: Simulator, name: str, mac: MacAddress) -> None:
+        self.sim = sim
+        self.name = name
+        self.mac = mac
+        self.segment: Optional[Segment] = None
+        self.promiscuous = False
+        self.up = True
+        self._handler: Optional[FrameHandler] = None
+        # Statistics
+        self.frames_sent = 0
+        self.frames_received = 0
+        self.frames_dropped = 0
+        self.bytes_sent = 0
+        self.bytes_received = 0
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+
+    def attach(self, segment: Segment) -> None:
+        """Attach this NIC to a segment (at most one segment per NIC)."""
+        if self.segment is not None:
+            raise InterfaceError(f"{self.name} is already attached to {self.segment.name}")
+        segment.attach(self)
+        self.segment = segment
+
+    def detach(self) -> None:
+        """Detach from the current segment."""
+        if self.segment is None:
+            raise InterfaceError(f"{self.name} is not attached to any segment")
+        self.segment.detach(self)
+        self.segment = None
+
+    def set_handler(self, handler: Optional[FrameHandler]) -> None:
+        """Install the owner's receive handler (called for every accepted frame)."""
+        self._handler = handler
+
+    def set_promiscuous(self, enabled: bool) -> None:
+        """Enable or disable promiscuous mode."""
+        self.promiscuous = enabled
+
+    def set_up(self, up: bool) -> None:
+        """Administratively enable/disable the interface.
+
+        A downed interface neither sends nor receives; the spanning-tree
+        benchmarks use this to simulate link failures.
+        """
+        self.up = up
+
+    # ------------------------------------------------------------------
+    # Data path
+    # ------------------------------------------------------------------
+
+    def send(self, frame: EthernetFrame) -> None:
+        """Transmit ``frame`` onto the attached segment."""
+        if self.segment is None:
+            raise InterfaceError(f"{self.name} cannot send: not attached to a segment")
+        if not self.up:
+            self.frames_dropped += 1
+            return
+        self.frames_sent += 1
+        self.bytes_sent += frame.frame_length
+        self.sim.trace.record(self.name, "nic.tx", frame=frame.describe())
+        self.segment.transmit(self, frame)
+
+    def deliver(self, frame: EthernetFrame) -> None:
+        """Called by the segment when a frame arrives at this station.
+
+        Applies the hardware address filter (unless promiscuous) and then
+        hands the frame to the owner's handler.
+        """
+        if not self.up:
+            self.frames_dropped += 1
+            return
+        if not self.accepts(frame):
+            return
+        self.frames_received += 1
+        self.bytes_received += frame.frame_length
+        self.sim.trace.record(self.name, "nic.rx", frame=frame.describe())
+        if self._handler is not None:
+            self._handler(self, frame)
+
+    def accepts(self, frame: EthernetFrame) -> bool:
+        """Whether the hardware filter passes this frame up.
+
+        In promiscuous mode everything is accepted; otherwise only frames
+        addressed to this NIC, to the broadcast address, or to a multicast
+        group (hosts filter multicast in software, which is all our thin host
+        stack needs).
+        """
+        if self.promiscuous:
+            return True
+        if frame.destination == self.mac:
+            return True
+        if frame.is_broadcast or frame.is_multicast:
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def statistics(self) -> dict:
+        """A snapshot of the interface counters."""
+        return {
+            "frames_sent": self.frames_sent,
+            "frames_received": self.frames_received,
+            "frames_dropped": self.frames_dropped,
+            "bytes_sent": self.bytes_sent,
+            "bytes_received": self.bytes_received,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        attached = self.segment.name if self.segment else "detached"
+        return f"NetworkInterface({self.name!r}, {self.mac}, {attached})"

@@ -1,0 +1,170 @@
+"""A shared broadcast LAN segment.
+
+The segment models classic shared Ethernet: one transmission at a time, every
+attached station sees every frame, and a frame occupies the wire for
+``wire_length * 8 / bandwidth`` seconds plus a small propagation delay.
+Stations that want to transmit while the medium is busy are queued in FIFO
+order (an idealized, collision-free CSMA — adequate because the paper's
+experiments are not collision-bound, they are bridge-CPU-bound).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Deque, Optional, Tuple
+
+from repro.ethernet.frame import EthernetFrame
+from repro.exceptions import TopologyError
+from repro.sim.engine import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checking only
+    from repro.lan.nic import NetworkInterface
+
+#: 100 Mb/s, the LAN speed used throughout the paper's evaluation.
+DEFAULT_BANDWIDTH_BPS = 100_000_000
+
+#: A few microseconds of propagation/repeater latency per segment.
+DEFAULT_PROPAGATION_DELAY = 2e-6
+
+
+class Segment:
+    """A shared, half-duplex broadcast Ethernet segment.
+
+    Args:
+        sim: the owning simulator.
+        name: segment name used in traces (e.g. ``"lan1"``).
+        bandwidth_bps: wire speed in bits per second.
+        propagation_delay: one-way propagation delay in seconds.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        bandwidth_bps: float = DEFAULT_BANDWIDTH_BPS,
+        propagation_delay: float = DEFAULT_PROPAGATION_DELAY,
+    ) -> None:
+        if bandwidth_bps <= 0:
+            raise TopologyError("segment bandwidth must be positive")
+        if propagation_delay < 0:
+            raise TopologyError("propagation delay cannot be negative")
+        self.sim = sim
+        self.name = name
+        self.bandwidth_bps = float(bandwidth_bps)
+        self.propagation_delay = float(propagation_delay)
+        self._interfaces: list["NetworkInterface"] = []
+        self._busy_until = 0.0
+        self._pending: Deque[Tuple["NetworkInterface", EthernetFrame]] = deque()
+        self._in_service = False
+        # Statistics
+        self.frames_carried = 0
+        self.bytes_carried = 0
+
+    # ------------------------------------------------------------------
+    # Attachment
+    # ------------------------------------------------------------------
+
+    @property
+    def interfaces(self) -> tuple:
+        """The NICs currently attached to this segment."""
+        return tuple(self._interfaces)
+
+    def attach(self, interface: "NetworkInterface") -> None:
+        """Attach a NIC.  A NIC may be attached to at most one segment."""
+        if interface in self._interfaces:
+            raise TopologyError(
+                f"interface {interface.name} is already attached to {self.name}"
+            )
+        self._interfaces.append(interface)
+
+    def detach(self, interface: "NetworkInterface") -> None:
+        """Detach a NIC (frames already queued from it still complete)."""
+        if interface not in self._interfaces:
+            raise TopologyError(
+                f"interface {interface.name} is not attached to {self.name}"
+            )
+        self._interfaces.remove(interface)
+
+    # ------------------------------------------------------------------
+    # Transmission
+    # ------------------------------------------------------------------
+
+    def serialization_delay(self, frame: EthernetFrame) -> float:
+        """Time the frame occupies the wire, in seconds."""
+        return frame.wire_length * 8.0 / self.bandwidth_bps
+
+    def transmit(self, sender: "NetworkInterface", frame: EthernetFrame) -> None:
+        """Queue ``frame`` from ``sender`` for transmission on this segment.
+
+        Delivery to every other attached NIC happens after the medium becomes
+        free, the frame serializes, and the propagation delay elapses.
+        """
+        if sender not in self._interfaces:
+            raise TopologyError(
+                f"interface {sender.name} transmitted on {self.name} "
+                "without being attached"
+            )
+        self._pending.append((sender, frame))
+        self.sim.trace.record(
+            self.name,
+            "segment.enqueue",
+            sender=sender.name,
+            frame=frame.describe(),
+        )
+        if not self._in_service:
+            self._service_next()
+
+    def _service_next(self) -> None:
+        if not self._pending:
+            self._in_service = False
+            return
+        self._in_service = True
+        sender, frame = self._pending.popleft()
+        now = self.sim.now
+        start = max(now, self._busy_until)
+        serialization = self.serialization_delay(frame)
+        finish = start + serialization
+        self._busy_until = finish
+        deliver_at = finish + self.propagation_delay
+        self.frames_carried += 1
+        self.bytes_carried += frame.frame_length
+
+        def deliver() -> None:
+            self._deliver(sender, frame)
+
+        def next_transmission() -> None:
+            self._service_next()
+
+        self.sim.schedule_at(deliver_at, deliver, label=f"{self.name}:deliver")
+        self.sim.schedule_at(finish, next_transmission, label=f"{self.name}:next")
+
+    def _deliver(self, sender: "NetworkInterface", frame: EthernetFrame) -> None:
+        self.sim.trace.record(
+            self.name,
+            "segment.deliver",
+            sender=sender.name,
+            frame=frame.describe(),
+        )
+        # Snapshot the list: receivers may attach/detach during delivery.
+        for interface in list(self._interfaces):
+            if interface is sender:
+                continue
+            interface.deliver(frame)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def utilization(self, elapsed_seconds: Optional[float] = None) -> float:
+        """Fraction of wire capacity used since time zero (or over ``elapsed_seconds``)."""
+        elapsed = self.sim.now if elapsed_seconds is None else elapsed_seconds
+        if elapsed <= 0:
+            return 0.0
+        bits = self.bytes_carried * 8.0
+        return min(1.0, bits / (self.bandwidth_bps * elapsed))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Segment({self.name!r}, {self.bandwidth_bps/1e6:.0f} Mb/s, "
+            f"{len(self._interfaces)} stations)"
+        )

@@ -1,0 +1,196 @@
+"""Topology construction.
+
+:class:`NetworkBuilder` allocates MAC and IP addresses, creates LAN segments
+and hosts, attaches arbitrary stations (active bridges, baseline repeaters)
+and produces a :class:`Network` handle that experiments drive.  The paper's
+concrete configurations (Figures 7 and 8, and the Section 7.5 ring) are built
+on top of this by :mod:`repro.measurement.setups`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.costs.model import CostModel
+from repro.ethernet.mac import MacAddress
+from repro.exceptions import TopologyError
+from repro.lan.host import Host
+from repro.lan.segment import (
+    DEFAULT_BANDWIDTH_BPS,
+    DEFAULT_PROPAGATION_DELAY,
+    Segment,
+)
+from repro.netstack.ip import IPv4Address
+from repro.sim.engine import Simulator
+
+
+@dataclass
+class Network:
+    """The assembled network: simulator plus named components.
+
+    Attributes:
+        sim: the shared simulator.
+        segments: LAN segments by name.
+        hosts: end hosts by name.
+        stations: every non-host station (active bridges, repeaters) by name.
+        cost_model: the cost model shared by default across components.
+    """
+
+    sim: Simulator
+    cost_model: CostModel
+    segments: Dict[str, Segment] = field(default_factory=dict)
+    hosts: Dict[str, Host] = field(default_factory=dict)
+    stations: Dict[str, object] = field(default_factory=dict)
+
+    def segment(self, name: str) -> Segment:
+        """Look up a segment by name (raises :class:`TopologyError` if absent)."""
+        try:
+            return self.segments[name]
+        except KeyError as exc:
+            raise TopologyError(f"no segment named {name!r}") from exc
+
+    def host(self, name: str) -> Host:
+        """Look up a host by name."""
+        try:
+            return self.hosts[name]
+        except KeyError as exc:
+            raise TopologyError(f"no host named {name!r}") from exc
+
+    def station(self, name: str) -> object:
+        """Look up a non-host station (bridge, repeater) by name."""
+        try:
+            return self.stations[name]
+        except KeyError as exc:
+            raise TopologyError(f"no station named {name!r}") from exc
+
+    def run_until(self, until_seconds: float) -> int:
+        """Convenience passthrough to :meth:`Simulator.run_until`."""
+        return self.sim.run_until(until_seconds)
+
+
+class NetworkBuilder:
+    """Incrementally build a :class:`Network`.
+
+    Args:
+        seed: simulator seed (deterministic experiments).
+        cost_model: cost constants shared by hosts and stations created
+            through this builder; ``None`` selects the calibrated defaults.
+        subnet_prefix: first three octets of the IPv4 addresses handed to
+            hosts (the fourth octet is allocated sequentially from 1).
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        cost_model: Optional[CostModel] = None,
+        subnet_prefix: str = "10.0.0",
+    ) -> None:
+        self.sim = Simulator(seed=seed)
+        self.cost_model = cost_model if cost_model is not None else CostModel()
+        self.subnet_prefix = subnet_prefix
+        self._network = Network(sim=self.sim, cost_model=self.cost_model)
+        self._next_station_id = 1
+        self._next_host_octet = 1
+
+    # ------------------------------------------------------------------
+    # Address allocation
+    # ------------------------------------------------------------------
+
+    def allocate_mac(self) -> MacAddress:
+        """Allocate the next locally-administered MAC address."""
+        mac = MacAddress.locally_administered(self._next_station_id)
+        self._next_station_id += 1
+        return mac
+
+    def allocate_ip(self) -> IPv4Address:
+        """Allocate the next host IPv4 address in the builder's subnet."""
+        if self._next_host_octet > 254:
+            raise TopologyError("subnet exhausted: more than 254 hosts requested")
+        address = IPv4Address.from_string(f"{self.subnet_prefix}.{self._next_host_octet}")
+        self._next_host_octet += 1
+        return address
+
+    # ------------------------------------------------------------------
+    # Components
+    # ------------------------------------------------------------------
+
+    def add_segment(
+        self,
+        name: str,
+        bandwidth_bps: float = DEFAULT_BANDWIDTH_BPS,
+        propagation_delay: float = DEFAULT_PROPAGATION_DELAY,
+    ) -> Segment:
+        """Create a LAN segment."""
+        if name in self._network.segments:
+            raise TopologyError(f"segment {name!r} already exists")
+        segment = Segment(
+            self.sim,
+            name,
+            bandwidth_bps=bandwidth_bps,
+            propagation_delay=propagation_delay,
+        )
+        self._network.segments[name] = segment
+        return segment
+
+    def add_host(
+        self,
+        name: str,
+        segment: str,
+        ip: Optional[str] = None,
+        cost_model: Optional[CostModel] = None,
+    ) -> Host:
+        """Create a host and attach it to ``segment``."""
+        if name in self._network.hosts:
+            raise TopologyError(f"host {name!r} already exists")
+        address = (
+            IPv4Address.from_string(ip) if ip is not None else self.allocate_ip()
+        )
+        host = Host(
+            self.sim,
+            name,
+            mac=self.allocate_mac(),
+            ip=address,
+            cost_model=cost_model if cost_model is not None else self.cost_model,
+        )
+        host.attach(self._network.segment(segment))
+        self._network.hosts[name] = host
+        return host
+
+    def register_station(self, name: str, station: object) -> None:
+        """Record a non-host station (active bridge, repeater) in the network.
+
+        The station object is created by higher-level code (it needs classes
+        from :mod:`repro.core` or :mod:`repro.baselines`, which sit above this
+        package); the builder just tracks it and can hand out addresses for
+        its NICs via :meth:`allocate_mac`.
+        """
+        if name in self._network.stations:
+            raise TopologyError(f"station {name!r} already exists")
+        self._network.stations[name] = station
+
+    # ------------------------------------------------------------------
+    # Finalization helpers
+    # ------------------------------------------------------------------
+
+    def populate_static_arp(self, host_names: Optional[Iterable[str]] = None) -> None:
+        """Install static ARP entries between the named hosts (all hosts by default).
+
+        Latency measurements want the first ping to be representative, so the
+        benchmark setups pre-populate ARP exactly as a long-running testbed
+        would have it warm.
+        """
+        names: List[str] = (
+            list(host_names) if host_names is not None else list(self._network.hosts)
+        )
+        for name in names:
+            host = self._network.host(name)
+            for other_name in names:
+                if other_name == name:
+                    continue
+                other = self._network.host(other_name)
+                host.stack.add_static_arp(other.ip, other.mac)
+
+    def build(self) -> Network:
+        """Return the assembled :class:`Network`."""
+        return self._network

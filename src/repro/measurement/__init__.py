@@ -1,0 +1,53 @@
+"""Measurement tools and experimental setups.
+
+This package contains the workloads and probes the paper's evaluation uses:
+
+* :mod:`~repro.measurement.setups` — the direct / repeater / bridged pair
+  configurations (Figures 7, 8) and the Section 7.5 ring;
+* :mod:`~repro.measurement.ping` — ICMP echo latency (Figure 9);
+* :mod:`~repro.measurement.ttcp` — bulk throughput and frame rates
+  (Figure 10, Section 7.3);
+* :mod:`~repro.measurement.framerate` — forwarding-rate probes and the
+  cost-model ceilings;
+* :mod:`~repro.measurement.agility` — the function-agility experiment
+  (Section 7.5);
+* :mod:`~repro.measurement.stats` — summary statistics helpers.
+"""
+
+from repro.measurement.ping import PingRunner, PingResult, ping_sweep
+from repro.measurement.ttcp import TtcpSession, TtcpResult, ttcp_sweep
+from repro.measurement.framerate import FrameRateProbe, FrameRateSample
+from repro.measurement.agility import AgilityProbe, AgilityResult
+from repro.measurement.setups import (
+    PairSetup,
+    RingSetup,
+    build_direct_pair,
+    build_repeater_pair,
+    build_bridged_pair,
+    build_static_bridge_pair,
+    build_ring,
+    PAIR_BUILDERS,
+)
+from repro.measurement import stats
+
+__all__ = [
+    "PingRunner",
+    "PingResult",
+    "ping_sweep",
+    "TtcpSession",
+    "TtcpResult",
+    "ttcp_sweep",
+    "FrameRateProbe",
+    "FrameRateSample",
+    "AgilityProbe",
+    "AgilityResult",
+    "PairSetup",
+    "RingSetup",
+    "build_direct_pair",
+    "build_repeater_pair",
+    "build_bridged_pair",
+    "build_static_bridge_pair",
+    "build_ring",
+    "PAIR_BUILDERS",
+    "stats",
+]

@@ -1,0 +1,218 @@
+"""The function-agility experiment (Section 7.5).
+
+"The function-agility of a system is the latency for a functional
+transformation. ... We performed a final test using a ring shaped network.
+The HP Netserver acted as an end-node to take measurements.  It was
+configured with two Ethernet cards, eth0 and eth1.  Attached between these
+cards were three of the 166 MHz Pentiums ... each running the bridge software
+with the control switchlet to allow automatic switch-over.
+
+A test program running on the HP sent out an 802.1D spanning tree packet on
+eth0 and then waits to see one on eth1.  (This indicates that each of the
+bridges in the path between eth0 and eth1 have switched to the "new"
+algorithm.)  The program then starts two threads one of which sends out a
+prebuilt ICMP ECHO on eth0, then delays for 1 second, and repeats.  The other
+thread reads packets on eth1 until it sees one of these pings."
+
+The measured answers in the paper: start-to-IEEE ≈ 0.056 s (reconfiguration
+is fast), start-to-ping ≈ 30.1 s (dominated by the 2 x 15 s forward-delay
+timers).  :class:`AgilityProbe` is that test program.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.ethernet.ethertype import EtherType
+from repro.ethernet.frame import EthernetFrame
+from repro.ethernet.mac import ALL_BRIDGES_MULTICAST, MacAddress
+from repro.lan.nic import NetworkInterface
+from repro.lan.segment import Segment
+from repro.measurement.setups import RingSetup
+from repro.netstack.icmp import IcmpMessage, IcmpType
+from repro.netstack.ip import IPv4Address, IPv4Packet, IpProtocol
+from repro.sim.engine import Simulator
+from repro.switchlets.bpdu import ConfigBpdu
+
+#: ICMP identifier marking the probe's prebuilt echo frames.
+PROBE_IDENTIFIER = 0xA617
+
+#: MAC addresses of the probe's two cards.
+PROBE_ETH0_MAC = MacAddress.from_string("02:a6:17:00:00:01")
+PROBE_ETH1_MAC = MacAddress.from_string("02:a6:17:00:00:02")
+
+
+@dataclass
+class AgilityResult:
+    """The two latencies of the Section 7.5 experiment.
+
+    Attributes:
+        start_time: when the probe injected the 802.1D packet.
+        ieee_seen_at: when an 802.1D packet was first seen on the far card.
+        ping_seen_at: when one of the probe's pings was first seen there.
+    """
+
+    start_time: float
+    ieee_seen_at: Optional[float] = None
+    ping_seen_at: Optional[float] = None
+
+    @property
+    def start_to_ieee(self) -> Optional[float]:
+        """Seconds from injection to the far-side 802.1D packet (None if never)."""
+        if self.ieee_seen_at is None:
+            return None
+        return self.ieee_seen_at - self.start_time
+
+    @property
+    def start_to_ping(self) -> Optional[float]:
+        """Seconds from injection to the far-side ping (None if never)."""
+        if self.ping_seen_at is None:
+            return None
+        return self.ping_seen_at - self.start_time
+
+
+class AgilityProbe:
+    """The two-NIC measurement end-node of Section 7.5.
+
+    Args:
+        sim: the simulator.
+        left_segment: the segment ``eth0`` attaches to (where packets are
+            injected).
+        right_segment: the segment ``eth1`` attaches to (where packets are
+            awaited).
+        ping_interval: seconds between prebuilt echoes (1 s in the paper).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        left_segment: Segment,
+        right_segment: Segment,
+        ping_interval: float = 1.0,
+    ) -> None:
+        self.sim = sim
+        self.ping_interval = ping_interval
+        self.eth0 = NetworkInterface(sim, "probe.eth0", PROBE_ETH0_MAC)
+        self.eth1 = NetworkInterface(sim, "probe.eth1", PROBE_ETH1_MAC)
+        self.eth0.attach(left_segment)
+        self.eth1.attach(right_segment)
+        self.eth1.set_promiscuous(True)
+        self.eth1.set_handler(self._on_far_frame)
+        self.result: Optional[AgilityResult] = None
+        self.pings_sent = 0
+        self._pinging = False
+
+    @classmethod
+    def for_ring(cls, ring: RingSetup, ping_interval: float = 1.0) -> "AgilityProbe":
+        """Attach a probe to the two end segments of a ring setup."""
+        return cls(
+            ring.network.sim,
+            ring.left_segment,
+            ring.right_segment,
+            ping_interval=ping_interval,
+        )
+
+    # ------------------------------------------------------------------
+    # Driving
+    # ------------------------------------------------------------------
+
+    def start(self, at_time: float) -> None:
+        """Schedule the experiment to begin at ``at_time`` (after the old protocol settles)."""
+        self.sim.schedule_at(at_time, self._inject, label="agility.inject")
+
+    def run(self, start_time: float, deadline: float = 120.0) -> AgilityResult:
+        """Run the experiment and return its result (fields ``None`` if unseen)."""
+        self.start(start_time)
+        self.sim.run_until(start_time + deadline)
+        if self.result is None:
+            self.result = AgilityResult(start_time=start_time)
+        return self.result
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _inject(self) -> None:
+        self.result = AgilityResult(start_time=self.sim.now)
+        self.eth0.send(self._build_trigger_bpdu())
+        self._pinging = True
+        self._send_ping()
+
+    def _build_trigger_bpdu(self) -> EthernetFrame:
+        # A deliberately *inferior* BPDU (worst possible priority): it
+        # triggers the control switchlets (any packet on the All-Bridges
+        # address does) without distorting the tree the new protocol computes.
+        bpdu = ConfigBpdu(
+            root_priority=0xFFFF,
+            root_mac=PROBE_ETH0_MAC.octets,
+            root_path_cost=0,
+            bridge_priority=0xFFFF,
+            bridge_mac=PROBE_ETH0_MAC.octets,
+            port_id=1,
+        )
+        return EthernetFrame(
+            destination=ALL_BRIDGES_MULTICAST,
+            source=PROBE_ETH0_MAC,
+            ethertype=int(EtherType.STP_8021D),
+            payload=bpdu.encode(),
+        )
+
+    def _build_ping_frame(self, sequence: int) -> EthernetFrame:
+        echo = IcmpMessage(
+            icmp_type=int(IcmpType.ECHO_REQUEST),
+            identifier=PROBE_IDENTIFIER,
+            sequence=sequence & 0xFFFF,
+            payload=b"agility-probe",
+        )
+        packet = IPv4Packet(
+            source=IPv4Address.from_string("10.99.0.1"),
+            destination=IPv4Address.from_string("10.99.0.2"),
+            protocol=int(IpProtocol.ICMP),
+            payload=echo.encode(),
+        )
+        # Addressed to the far card's unicast MAC: the bridges never learn it
+        # (the far card never transmits), so the frame is flooded across the
+        # chain once forwarding resumes.
+        return EthernetFrame(
+            destination=PROBE_ETH1_MAC,
+            source=PROBE_ETH0_MAC,
+            ethertype=int(EtherType.IPV4),
+            payload=packet.encode(),
+        )
+
+    def _send_ping(self) -> None:
+        if not self._pinging:
+            return
+        if self.result is not None and self.result.ping_seen_at is not None:
+            self._pinging = False
+            return
+        self.eth0.send(self._build_ping_frame(self.pings_sent))
+        self.pings_sent += 1
+        self.sim.schedule(self.ping_interval, self._send_ping, label="agility.ping")
+
+    def _on_far_frame(self, _nic: NetworkInterface, frame: EthernetFrame) -> None:
+        if self.result is None:
+            return
+        if (
+            self.result.ieee_seen_at is None
+            and int(frame.ethertype) == int(EtherType.STP_8021D)
+            and frame.destination == ALL_BRIDGES_MULTICAST
+        ):
+            self.result.ieee_seen_at = self.sim.now
+            return
+        if self.result.ping_seen_at is None and int(frame.ethertype) == int(EtherType.IPV4):
+            if self._is_probe_ping(frame):
+                self.result.ping_seen_at = self.sim.now
+                self._pinging = False
+
+    @staticmethod
+    def _is_probe_ping(frame: EthernetFrame) -> bool:
+        try:
+            packet = IPv4Packet.decode(frame.payload)
+            if packet.protocol != int(IpProtocol.ICMP):
+                return False
+            echo = IcmpMessage.decode(packet.payload)
+        except Exception:  # noqa: BLE001 - any malformed frame is simply not ours
+            return False
+        return echo.identifier == PROBE_IDENTIFIER

@@ -1,0 +1,263 @@
+"""The paper's experimental configurations.
+
+Three two-host configurations (Figures 7 and 8):
+
+* **direct** — two hosts on one 100 Mb/s LAN (the "best case" baseline),
+* **repeater** — two LANs joined by the C buffered repeater,
+* **bridged** — two LANs joined by the active bridge running the switchlet
+  stack (dumb → learning → spanning tree),
+* **static** — two LANs joined by a fixed-function learning bridge (the
+  DEC-LANbridge-like device; used by the ablation benchmark),
+
+plus the Section 7.5 **ring**: a chain of active bridges between the two
+NICs of a measurement host, each bridge running the DEC protocol with the
+IEEE protocol loaded-but-idle and the control switchlet armed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.baselines.c_repeater import BufferedRepeater
+from repro.baselines.static_bridge import StaticLearningBridge
+from repro.core.node import ActiveNode
+from repro.costs.model import CostModel
+from repro.lan.host import Host
+from repro.lan.segment import Segment
+from repro.lan.topology import Network, NetworkBuilder
+from repro.switchlets.packaging import (
+    control_package,
+    dec_spanning_tree_package,
+    dumb_bridge_package,
+    learning_bridge_package,
+    spanning_tree_package,
+)
+
+#: Extra settling time after the forwarding-delay window before measuring.
+SPANNING_TREE_WARMUP = 31.0
+
+#: Settling time for configurations with no spanning tree.
+BASIC_WARMUP = 0.1
+
+
+@dataclass
+class PairSetup:
+    """A two-host configuration ready for ping/ttcp measurements.
+
+    Attributes:
+        network: the assembled network.
+        left / right: the two measurement hosts.
+        device: the interconnecting device (``None`` for the direct baseline).
+        ready_time: simulated time after which the path is forwarding (the
+            spanning-tree configurations need ~30 s of warm-up).
+        label: short name used in benchmark output.
+    """
+
+    network: Network
+    left: Host
+    right: Host
+    device: Optional[object]
+    ready_time: float
+    label: str
+
+
+@dataclass
+class RingSetup:
+    """The Section 7.5 ring of active bridges.
+
+    Attributes:
+        network: the assembled network.
+        bridges: the active bridges, in chain order.
+        left_segment / right_segment: the end segments the measurement
+            host's two NICs attach to.
+        ready_time: time by which the old (DEC) protocol has converged.
+    """
+
+    network: Network
+    bridges: List[ActiveNode] = field(default_factory=list)
+    left_segment: Optional[Segment] = None
+    right_segment: Optional[Segment] = None
+    ready_time: float = SPANNING_TREE_WARMUP
+
+
+# ---------------------------------------------------------------------------
+# Two-host configurations
+# ---------------------------------------------------------------------------
+
+
+def build_direct_pair(seed: int = 0, cost_model: Optional[CostModel] = None) -> PairSetup:
+    """Two hosts on a single LAN (Figure 8's baseline setup)."""
+    builder = NetworkBuilder(seed=seed, cost_model=cost_model)
+    builder.add_segment("lan1")
+    left = builder.add_host("host1", "lan1")
+    right = builder.add_host("host2", "lan1")
+    builder.populate_static_arp()
+    network = builder.build()
+    return PairSetup(
+        network=network,
+        left=left,
+        right=right,
+        device=None,
+        ready_time=BASIC_WARMUP,
+        label="direct",
+    )
+
+
+def build_repeater_pair(seed: int = 0, cost_model: Optional[CostModel] = None) -> PairSetup:
+    """Two LANs joined by the C buffered repeater."""
+    builder = NetworkBuilder(seed=seed, cost_model=cost_model)
+    builder.add_segment("lan1")
+    builder.add_segment("lan2")
+    left = builder.add_host("host1", "lan1")
+    right = builder.add_host("host2", "lan2")
+    builder.populate_static_arp()
+    network = builder.build()
+    repeater = BufferedRepeater(network.sim, "repeater", cost_model=network.cost_model)
+    repeater.add_interface("eth0", network.segment("lan1"))
+    repeater.add_interface("eth1", network.segment("lan2"))
+    builder.register_station("repeater", repeater)
+    return PairSetup(
+        network=network,
+        left=left,
+        right=right,
+        device=repeater,
+        ready_time=BASIC_WARMUP,
+        label="c-repeater",
+    )
+
+
+def build_bridged_pair(
+    seed: int = 0,
+    cost_model: Optional[CostModel] = None,
+    include_spanning_tree: bool = True,
+    include_learning: bool = True,
+) -> PairSetup:
+    """Two LANs joined by the active bridge (Figure 7's bridging setup).
+
+    The bridge is programmed exactly as in Section 5.3: the dumb bridge
+    switchlet, then (optionally) the learning switchlet, then (optionally)
+    the 802.1D spanning-tree switchlet.
+    """
+    builder = NetworkBuilder(seed=seed, cost_model=cost_model)
+    builder.add_segment("lan1")
+    builder.add_segment("lan2")
+    left = builder.add_host("host1", "lan1")
+    right = builder.add_host("host2", "lan2")
+    builder.populate_static_arp()
+    network = builder.build()
+    bridge = ActiveNode(network.sim, "bridge", cost_model=network.cost_model)
+    bridge.add_interface("eth0", network.segment("lan1"))
+    bridge.add_interface("eth1", network.segment("lan2"))
+    environment = bridge.environment.modules
+    bridge.load_switchlet(dumb_bridge_package(environment))
+    if include_learning:
+        bridge.load_switchlet(learning_bridge_package(environment))
+    if include_spanning_tree:
+        bridge.load_switchlet(spanning_tree_package(environment, autostart=True))
+    builder.register_station("bridge", bridge)
+    ready_time = SPANNING_TREE_WARMUP if include_spanning_tree else BASIC_WARMUP
+    return PairSetup(
+        network=network,
+        left=left,
+        right=right,
+        device=bridge,
+        ready_time=ready_time,
+        label="active-bridge",
+    )
+
+
+def build_static_bridge_pair(
+    seed: int = 0, cost_model: Optional[CostModel] = None
+) -> PairSetup:
+    """Two LANs joined by a fixed-function learning bridge (ablation baseline)."""
+    builder = NetworkBuilder(seed=seed, cost_model=cost_model)
+    builder.add_segment("lan1")
+    builder.add_segment("lan2")
+    left = builder.add_host("host1", "lan1")
+    right = builder.add_host("host2", "lan2")
+    builder.populate_static_arp()
+    network = builder.build()
+    bridge = StaticLearningBridge(network.sim, "lanbridge", cost_model=network.cost_model)
+    bridge.add_interface("eth0", network.segment("lan1"))
+    bridge.add_interface("eth1", network.segment("lan2"))
+    builder.register_station("lanbridge", bridge)
+    return PairSetup(
+        network=network,
+        left=left,
+        right=right,
+        device=bridge,
+        ready_time=BASIC_WARMUP,
+        label="static-bridge",
+    )
+
+
+#: The three configurations of the paper's Figures 9 and 10, by label.
+PAIR_BUILDERS = {
+    "direct": build_direct_pair,
+    "c-repeater": build_repeater_pair,
+    "active-bridge": build_bridged_pair,
+}
+
+
+# ---------------------------------------------------------------------------
+# The Section 7.5 ring
+# ---------------------------------------------------------------------------
+
+
+def build_ring(
+    n_bridges: int = 3,
+    seed: int = 0,
+    cost_model: Optional[CostModel] = None,
+    with_control: bool = True,
+    suppression_period: float = 30.0,
+    validation_delay: float = 60.0,
+    buggy_new_protocol: bool = False,
+) -> RingSetup:
+    """A chain of active bridges between two end segments.
+
+    Each bridge runs: dumb bridge, learning bridge, the DEC spanning tree
+    (started), the IEEE spanning tree (loaded, idle), and — when
+    ``with_control`` is true — the transition control switchlet.  The
+    measurement host of Section 7.5 closes the chain into a ring with its two
+    NICs but does not forward, so the topology the bridges see is loop-free.
+
+    Args:
+        n_bridges: number of bridges in the chain (the paper uses three).
+        buggy_new_protocol: ship the deliberately faulty 802.1D variant as
+            the new protocol, to exercise the automatic fallback.
+    """
+    if n_bridges < 1:
+        raise ValueError("a ring needs at least one bridge")
+    builder = NetworkBuilder(seed=seed, cost_model=cost_model)
+    segments = []
+    for index in range(n_bridges + 1):
+        segments.append(builder.add_segment(f"seg{index}"))
+    network = builder.build()
+    setup = RingSetup(
+        network=network,
+        left_segment=segments[0],
+        right_segment=segments[-1],
+    )
+    for index in range(n_bridges):
+        bridge = ActiveNode(network.sim, f"bridge{index + 1}", cost_model=network.cost_model)
+        bridge.add_interface("eth0", segments[index])
+        bridge.add_interface("eth1", segments[index + 1])
+        environment = bridge.environment.modules
+        bridge.load_switchlet(dumb_bridge_package(environment))
+        bridge.load_switchlet(learning_bridge_package(environment))
+        bridge.load_switchlet(dec_spanning_tree_package(environment))
+        bridge.load_switchlet(
+            spanning_tree_package(environment, autostart=False, buggy=buggy_new_protocol)
+        )
+        if with_control:
+            bridge.load_switchlet(
+                control_package(
+                    environment,
+                    suppression_period=suppression_period,
+                    validation_delay=validation_delay,
+                )
+            )
+        builder.register_station(bridge.name, bridge)
+        setup.bridges.append(bridge)
+    return setup

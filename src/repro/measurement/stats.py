@@ -1,0 +1,73 @@
+"""Small statistics helpers shared by the measurement tools and benchmarks."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Sequence
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean (0.0 for an empty sequence)."""
+    data = list(values)
+    if not data:
+        return 0.0
+    return sum(data) / len(data)
+
+
+def median(values: Sequence[float]) -> float:
+    """Median (0.0 for an empty sequence)."""
+    data = sorted(values)
+    if not data:
+        return 0.0
+    middle = len(data) // 2
+    if len(data) % 2:
+        return data[middle]
+    return (data[middle - 1] + data[middle]) / 2.0
+
+
+def stdev(values: Sequence[float]) -> float:
+    """Population standard deviation (0.0 for fewer than two samples)."""
+    data = list(values)
+    if len(data) < 2:
+        return 0.0
+    center = mean(data)
+    return math.sqrt(sum((value - center) ** 2 for value in data) / len(data))
+
+
+def percentile(values: Sequence[float], fraction: float) -> float:
+    """Linear-interpolated percentile; ``fraction`` in [0, 1]."""
+    data = sorted(values)
+    if not data:
+        return 0.0
+    if fraction <= 0:
+        return data[0]
+    if fraction >= 1:
+        return data[-1]
+    position = fraction * (len(data) - 1)
+    lower = int(math.floor(position))
+    upper = int(math.ceil(position))
+    if lower == upper:
+        return data[lower]
+    weight = position - lower
+    return data[lower] * (1 - weight) + data[upper] * weight
+
+
+def summarize(values: Iterable[float]) -> Dict[str, float]:
+    """A dict of the usual summary statistics for a sample."""
+    data: List[float] = list(values)
+    return {
+        "count": float(len(data)),
+        "mean": mean(data),
+        "median": median(data),
+        "stdev": stdev(data),
+        "min": min(data) if data else 0.0,
+        "max": max(data) if data else 0.0,
+        "p95": percentile(data, 0.95),
+    }
+
+
+def megabits_per_second(byte_count: int, elapsed_seconds: float) -> float:
+    """Convert a byte count over an interval to Mb/s (0.0 if the interval is empty)."""
+    if elapsed_seconds <= 0:
+        return 0.0
+    return byte_count * 8.0 / elapsed_seconds / 1e6

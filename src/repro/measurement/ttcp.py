@@ -1,0 +1,251 @@
+"""The ttcp-style bulk-throughput measurement tool (Section 7.3, Figure 10).
+
+"Throughput for various packet sizes was measured with repeated ttcp trials."
+
+:class:`TtcpSession` moves a configurable number of bytes from a sender host
+to a receiver host in ``buffer_size``-byte application writes, each write
+carried in one or more UDP segments, with a fixed window of unacknowledged
+segments providing the self-clocking a TCP transfer would have.  The
+throughput it reports is receiver-side goodput, and it also reports the frame
+rate, which is the quantity the paper's Section 7.3 discusses (360-1790
+frames/second through the active bridge).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.lan.host import Host
+from repro.measurement.stats import megabits_per_second
+from repro.netstack.ip import IPv4Address
+from repro.netstack.stack import MAX_UDP_PAYLOAD
+from repro.sim.engine import Simulator
+
+#: UDP port the receiver listens on (ttcp's traditional port).
+RECEIVER_PORT = 5001
+
+#: UDP port the sender uses for acknowledgements.
+SENDER_PORT = 5002
+
+#: Bytes of sequencing header carried in every data segment.
+SEGMENT_HEADER = 8
+
+#: Acknowledge every Nth data segment (a delayed-ACK policy, as a real TCP
+#: receiver would use); the final segment is always acknowledged.
+ACK_INTERVAL = 4
+
+
+@dataclass
+class TtcpResult:
+    """The outcome of one ttcp trial.
+
+    Attributes:
+        buffer_size: application write size in bytes.
+        bytes_received: goodput bytes delivered to the receiver.
+        segments_sent / segments_received: data segment counts.
+        elapsed: seconds from the first send to the last delivery.
+        completed: whether every byte arrived before the deadline.
+    """
+
+    buffer_size: int
+    bytes_received: int = 0
+    segments_sent: int = 0
+    segments_received: int = 0
+    elapsed: float = 0.0
+    completed: bool = False
+
+    @property
+    def throughput_mbps(self) -> float:
+        """Receiver goodput in megabits per second."""
+        return megabits_per_second(self.bytes_received, self.elapsed)
+
+    @property
+    def frames_per_second(self) -> float:
+        """Data frames delivered per second."""
+        if self.elapsed <= 0:
+            return 0.0
+        return self.segments_received / self.elapsed
+
+
+class TtcpSession:
+    """A windowed bulk transfer between two hosts.
+
+    Args:
+        sim: the simulator.
+        sender / receiver: the two hosts.
+        buffer_size: application write size in bytes (the paper's x-axis).
+        total_bytes: how many bytes to move.
+        window: maximum unacknowledged data segments.
+        receiver_port / sender_port: UDP ports used by the trial (distinct
+            ports allow several trials to share a pair of hosts).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        sender: Host,
+        receiver: Host,
+        buffer_size: int,
+        total_bytes: int,
+        window: int = 8,
+        receiver_port: int = RECEIVER_PORT,
+        sender_port: int = SENDER_PORT,
+    ) -> None:
+        if buffer_size <= 0:
+            raise ValueError("buffer_size must be positive")
+        if total_bytes <= 0:
+            raise ValueError("total_bytes must be positive")
+        self.sim = sim
+        self.sender = sender
+        self.receiver = receiver
+        self.buffer_size = int(buffer_size)
+        self.total_bytes = int(total_bytes)
+        # The window must exceed the delayed-ACK interval or the sender would
+        # stall waiting for an acknowledgement the receiver is withholding.
+        self.window = max(ACK_INTERVAL + 1, int(window))
+        self.receiver_port = receiver_port
+        self.sender_port = sender_port
+        self.result = TtcpResult(buffer_size=self.buffer_size)
+        self._segment_data = min(self.buffer_size, MAX_UDP_PAYLOAD - SEGMENT_HEADER)
+        self._segments: Dict[int, int] = {}
+        self._plan_segments()
+        self._next_to_send = 0
+        self._outstanding = 0
+        self._received_segments = 0
+        self._unacked_count = 0
+        self._start_time: Optional[float] = None
+        self._end_time: Optional[float] = None
+        self._installed = False
+
+    def _plan_segments(self) -> None:
+        """Pre-compute the byte length of every data segment of the transfer."""
+        sequence = 0
+        remaining = self.total_bytes
+        while remaining > 0:
+            write = min(self.buffer_size, remaining)
+            offset = 0
+            while offset < write:
+                chunk = min(self._segment_data, write - offset)
+                self._segments[sequence] = chunk
+                sequence += 1
+                offset += chunk
+            remaining -= write
+
+    @property
+    def total_segments(self) -> int:
+        """Number of data segments the transfer consists of."""
+        return len(self._segments)
+
+    # ------------------------------------------------------------------
+    # Driving
+    # ------------------------------------------------------------------
+
+    def start(self, at_time: float) -> None:
+        """Install the endpoints and schedule the transfer to start."""
+        if not self._installed:
+            self.receiver.bind_udp(self.receiver_port, self._on_data)
+            self.sender.bind_udp(self.sender_port, self._on_ack)
+            self._installed = True
+        self.sim.schedule_at(at_time, self._begin, label="ttcp.start")
+
+    def run(self, start_time: float, deadline: float = 120.0) -> TtcpResult:
+        """Start at ``start_time`` and run until completion or ``deadline`` seconds pass."""
+        self.start(start_time)
+        self.sim.run_until(start_time + deadline)
+        if not self.result.completed and self._start_time is not None:
+            # Report partial progress with the elapsed time observed so far.
+            last = self._end_time if self._end_time is not None else self.sim.now
+            self.result.elapsed = max(0.0, last - self._start_time)
+        return self.result
+
+    # ------------------------------------------------------------------
+    # Sender side
+    # ------------------------------------------------------------------
+
+    def _begin(self) -> None:
+        self._start_time = self.sim.now
+        self._fill_window()
+
+    def _fill_window(self) -> None:
+        while self._outstanding < self.window and self._next_to_send < self.total_segments:
+            self._send_segment(self._next_to_send)
+            self._next_to_send += 1
+            self._outstanding += 1
+
+    def _send_segment(self, sequence: int) -> None:
+        length = self._segments[sequence]
+        # Charge the per-write system-call overhead on the first segment of
+        # each application write; this is what keeps small-buffer trials
+        # sender-limited, as in the paper's low small-frame rates.
+        segments_per_write = max(
+            1, (min(self.buffer_size, self.total_bytes) + self._segment_data - 1) // self._segment_data
+        )
+        if sequence % segments_per_write == 0:
+            self.sender.cpu.submit(self.sender.costs.host_syscall_cost, lambda: None)
+        header = sequence.to_bytes(4, "big") + length.to_bytes(4, "big")
+        payload = header + bytes(length)
+        self.result.segments_sent += 1
+        self.sender.send_udp(self.receiver.ip, self.receiver_port, self.sender_port, payload)
+
+    def _on_ack(self, payload: bytes, _remote: Tuple[IPv4Address, int]) -> None:
+        if len(payload) < 4:
+            return
+        acked = int.from_bytes(payload[0:4], "big")
+        self._outstanding = max(0, self._outstanding - acked)
+        if self.result.completed:
+            return
+        self._fill_window()
+
+    # ------------------------------------------------------------------
+    # Receiver side
+    # ------------------------------------------------------------------
+
+    def _on_data(self, payload: bytes, remote: Tuple[IPv4Address, int]) -> None:
+        if len(payload) < SEGMENT_HEADER:
+            return
+        length = int.from_bytes(payload[4:8], "big")
+        self.result.segments_received += 1
+        self.result.bytes_received += length
+        self._received_segments += 1
+        self._unacked_count += 1
+        finished = self._received_segments >= self.total_segments
+        if self._unacked_count >= ACK_INTERVAL or finished:
+            remote_ip, remote_port = remote
+            ack = self._unacked_count.to_bytes(4, "big")
+            self._unacked_count = 0
+            self.receiver.send_udp(remote_ip, remote_port, self.receiver_port, ack)
+        if finished and not self.result.completed:
+            self.result.completed = True
+            self._end_time = self.sim.now
+            if self._start_time is not None:
+                self.result.elapsed = self._end_time - self._start_time
+
+
+def ttcp_sweep(
+    sim: Simulator,
+    sender: Host,
+    receiver: Host,
+    buffer_sizes: list,
+    start_time: float,
+    total_bytes: int = 400_000,
+    window: int = 16,
+    deadline_per_trial: float = 120.0,
+) -> Dict[int, TtcpResult]:
+    """Run one ttcp trial per buffer size, back to back, and return results by size."""
+    results: Dict[int, TtcpResult] = {}
+    when = start_time
+    for index, size in enumerate(buffer_sizes):
+        session = TtcpSession(
+            sim,
+            sender,
+            receiver,
+            buffer_size=size,
+            total_bytes=total_bytes,
+            window=window,
+            receiver_port=RECEIVER_PORT + 2 * index,
+            sender_port=SENDER_PORT + 2 * index + 1,
+        )
+        results[size] = session.run(start_time=when, deadline=deadline_per_trial)
+        when = sim.now + 0.5
+    return results

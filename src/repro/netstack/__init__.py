@@ -1,0 +1,52 @@
+"""Minimal protocol stack used as the network loading path.
+
+The paper's network loader "consists of four layers": an Ethernet
+demultiplexer, "a minimal IP sufficient for our purposes (it does not, for
+example, implement fragmentation)", a minimal UDP, and a TFTP server that
+accepts binary write requests whose payload is a byte-code module to load
+(Section 5.2).  This package implements exactly that stack, plus ICMP echo
+(the paper measures latency with ``ping``) and a small ARP helper so hosts
+can resolve each other without manual tables.
+
+All wire formats round-trip (``encode``/``decode``) and carry their checksums
+so that corrupted packets can be injected and must be rejected.
+"""
+
+from repro.netstack.checksum import internet_checksum
+from repro.netstack.ip import IPv4Address, IPv4Packet, IpProtocol
+from repro.netstack.udp import UdpDatagram
+from repro.netstack.icmp import IcmpMessage, IcmpType
+from repro.netstack.arp import ArpPacket, ArpOperation
+from repro.netstack.tftp import (
+    TftpOpcode,
+    TftpWriteRequest,
+    TftpData,
+    TftpAck,
+    TftpError,
+    TftpServer,
+    TftpClient,
+    decode_tftp,
+)
+from repro.netstack.stack import EthernetDemux, HostStack
+
+__all__ = [
+    "internet_checksum",
+    "IPv4Address",
+    "IPv4Packet",
+    "IpProtocol",
+    "UdpDatagram",
+    "IcmpMessage",
+    "IcmpType",
+    "ArpPacket",
+    "ArpOperation",
+    "TftpOpcode",
+    "TftpWriteRequest",
+    "TftpData",
+    "TftpAck",
+    "TftpError",
+    "TftpServer",
+    "TftpClient",
+    "decode_tftp",
+    "EthernetDemux",
+    "HostStack",
+]

@@ -1,0 +1,108 @@
+"""ARP (address resolution) for the host substrate.
+
+The paper's hosts are ordinary Linux machines; they resolve each other's MAC
+addresses with ARP before ping/ttcp traffic flows.  Bridges are transparent
+to ARP (they just forward the broadcasts), so implementing it keeps the host
+substrate faithful and gives the learning bridge realistic broadcast traffic
+to learn from.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from enum import IntEnum
+
+from repro.ethernet.mac import MacAddress
+from repro.exceptions import PacketError
+from repro.netstack.ip import IPv4Address
+
+ARP_PACKET_LENGTH = 28
+HARDWARE_TYPE_ETHERNET = 1
+PROTOCOL_TYPE_IPV4 = 0x0800
+
+
+class ArpOperation(IntEnum):
+    """ARP operation codes."""
+
+    REQUEST = 1
+    REPLY = 2
+
+
+@dataclass(frozen=True)
+class ArpPacket:
+    """An ARP request or reply for IPv4 over Ethernet."""
+
+    operation: int
+    sender_mac: MacAddress
+    sender_ip: IPv4Address
+    target_mac: MacAddress
+    target_ip: IPv4Address
+
+    def encode(self) -> bytes:
+        """Serialize to the standard 28-byte ARP payload."""
+        return (
+            struct.pack(
+                "!HHBBH",
+                HARDWARE_TYPE_ETHERNET,
+                PROTOCOL_TYPE_IPV4,
+                6,
+                4,
+                int(self.operation),
+            )
+            + self.sender_mac.octets
+            + self.sender_ip.to_bytes()
+            + self.target_mac.octets
+            + self.target_ip.to_bytes()
+        )
+
+    @classmethod
+    def decode(cls, data: bytes) -> "ArpPacket":
+        """Parse the 28-byte ARP payload (trailing Ethernet padding is ignored)."""
+        if len(data) < ARP_PACKET_LENGTH:
+            raise PacketError(f"ARP packet too short: {len(data)} bytes")
+        hardware_type, protocol_type, hlen, plen, operation = struct.unpack(
+            "!HHBBH", data[:8]
+        )
+        if hardware_type != HARDWARE_TYPE_ETHERNET or protocol_type != PROTOCOL_TYPE_IPV4:
+            raise PacketError("unsupported ARP hardware/protocol type")
+        if hlen != 6 or plen != 4:
+            raise PacketError("unsupported ARP address lengths")
+        if operation not in (int(ArpOperation.REQUEST), int(ArpOperation.REPLY)):
+            raise PacketError(f"unsupported ARP operation: {operation}")
+        sender_mac = MacAddress(data[8:14])
+        sender_ip = IPv4Address.from_bytes(data[14:18])
+        target_mac = MacAddress(data[18:24])
+        target_ip = IPv4Address.from_bytes(data[24:28])
+        return cls(
+            operation=operation,
+            sender_mac=sender_mac,
+            sender_ip=sender_ip,
+            target_mac=target_mac,
+            target_ip=target_ip,
+        )
+
+    @classmethod
+    def request(
+        cls, sender_mac: MacAddress, sender_ip: IPv4Address, target_ip: IPv4Address
+    ) -> "ArpPacket":
+        """Build a who-has request for ``target_ip``."""
+        return cls(
+            operation=int(ArpOperation.REQUEST),
+            sender_mac=sender_mac,
+            sender_ip=sender_ip,
+            target_mac=MacAddress(b"\x00" * 6),
+            target_ip=target_ip,
+        )
+
+    def make_reply(self, responder_mac: MacAddress) -> "ArpPacket":
+        """Build the reply to this request, claiming ``target_ip`` is at ``responder_mac``."""
+        if self.operation != int(ArpOperation.REQUEST):
+            raise PacketError("make_reply() called on a non-request ARP packet")
+        return ArpPacket(
+            operation=int(ArpOperation.REPLY),
+            sender_mac=responder_mac,
+            sender_ip=self.target_ip,
+            target_mac=self.sender_mac,
+            target_ip=self.sender_ip,
+        )

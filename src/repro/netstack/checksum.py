@@ -1,0 +1,39 @@
+"""The Internet checksum (RFC 1071).
+
+Used by the minimal IP, UDP and ICMP implementations.  The algorithm is the
+classic ones'-complement sum of 16-bit words with end-around carry.
+"""
+
+from __future__ import annotations
+
+
+def internet_checksum(data: bytes) -> int:
+    """Compute the 16-bit Internet checksum of ``data``.
+
+    Odd-length input is padded with a trailing zero byte, per RFC 1071.
+
+    Returns:
+        The checksum as an unsigned 16-bit integer.  A packet whose checksum
+        field is included in ``data`` sums to zero when intact.
+    """
+    if len(data) % 2:
+        data = data + b"\x00"
+    total = 0
+    for index in range(0, len(data), 2):
+        word = (data[index] << 8) | data[index + 1]
+        total += word
+        # Fold the carry back in as it appears to keep the sum bounded.
+        total = (total & 0xFFFF) + (total >> 16)
+    return (~total) & 0xFFFF
+
+
+def verify_checksum(data: bytes) -> bool:
+    """Return True if ``data`` (which includes its checksum field) verifies."""
+    if len(data) % 2:
+        data = data + b"\x00"
+    total = 0
+    for index in range(0, len(data), 2):
+        word = (data[index] << 8) | data[index + 1]
+        total += word
+        total = (total & 0xFFFF) + (total >> 16)
+    return total == 0xFFFF

@@ -1,0 +1,102 @@
+"""ICMP echo request/reply.
+
+The paper measures bridge latency "with the ping facility for generating ICMP
+ECHOs, using various packet sizes" (Section 7.2, Figure 9), and the agility
+experiment's probe is a prebuilt ICMP ECHO resent every second (Section 7.5).
+This module implements just the echo message pair, which is all those
+experiments need.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from enum import IntEnum
+
+from repro.exceptions import ChecksumError, PacketError
+from repro.netstack.checksum import internet_checksum
+
+ICMP_HEADER_LENGTH = 8
+
+
+class IcmpType(IntEnum):
+    """ICMP message types used by the reproduction."""
+
+    ECHO_REPLY = 0
+    ECHO_REQUEST = 8
+
+
+@dataclass(frozen=True)
+class IcmpMessage:
+    """An ICMP echo request or reply.
+
+    Attributes:
+        icmp_type: :class:`IcmpType` value.
+        identifier: echo identifier (ping process id in classic ping).
+        sequence: echo sequence number.
+        payload: echo data; ping's packet-size parameter controls this length.
+    """
+
+    icmp_type: int
+    identifier: int
+    sequence: int
+    payload: bytes = field(default=b"")
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.identifier <= 0xFFFF:
+            raise PacketError(f"ICMP identifier out of range: {self.identifier}")
+        if not 0 <= self.sequence <= 0xFFFF:
+            raise PacketError(f"ICMP sequence out of range: {self.sequence}")
+
+    @property
+    def is_request(self) -> bool:
+        """True for echo requests."""
+        return self.icmp_type == IcmpType.ECHO_REQUEST
+
+    @property
+    def is_reply(self) -> bool:
+        """True for echo replies."""
+        return self.icmp_type == IcmpType.ECHO_REPLY
+
+    def encode(self) -> bytes:
+        """Serialize with a valid ICMP checksum."""
+        header_no_checksum = struct.pack(
+            "!BBHHH", int(self.icmp_type), 0, 0, self.identifier, self.sequence
+        )
+        checksum = internet_checksum(header_no_checksum + self.payload)
+        header = struct.pack(
+            "!BBHHH", int(self.icmp_type), 0, checksum, self.identifier, self.sequence
+        )
+        return header + self.payload
+
+    @classmethod
+    def decode(cls, data: bytes, verify: bool = True) -> "IcmpMessage":
+        """Parse wire bytes, verifying the checksum."""
+        if len(data) < ICMP_HEADER_LENGTH:
+            raise PacketError(f"ICMP message too short: {len(data)} bytes")
+        icmp_type, code, _checksum, identifier, sequence = struct.unpack(
+            "!BBHHH", data[:ICMP_HEADER_LENGTH]
+        )
+        if code != 0:
+            raise PacketError(f"unsupported ICMP code: {code}")
+        if icmp_type not in (int(IcmpType.ECHO_REQUEST), int(IcmpType.ECHO_REPLY)):
+            raise PacketError(f"unsupported ICMP type: {icmp_type}")
+        if verify and internet_checksum(data) != 0:
+            raise ChecksumError("ICMP checksum mismatch")
+        return cls(
+            icmp_type=icmp_type,
+            identifier=identifier,
+            sequence=sequence,
+            payload=data[ICMP_HEADER_LENGTH:],
+        )
+
+    def make_reply(self) -> "IcmpMessage":
+        """Build the echo reply corresponding to this echo request."""
+        if not self.is_request:
+            raise PacketError("make_reply() called on a non-request ICMP message")
+        return IcmpMessage(
+            icmp_type=int(IcmpType.ECHO_REPLY),
+            identifier=self.identifier,
+            sequence=self.sequence,
+            payload=self.payload,
+        )

@@ -1,0 +1,198 @@
+"""Minimal IPv4, as described in Section 5.2 of the paper.
+
+The paper's loader implements "a minimal IP sufficient for our purposes" —
+enough to carry UDP to the TFTP server — and explicitly does **not**
+implement fragmentation.  This module follows the same scope:
+
+* full header encode/decode with checksum verification,
+* protocol demultiplexing by the protocol field,
+* no fragmentation: packets whose total length would exceed the MTU raise
+  :class:`PacketError` instead of being fragmented,
+* no options.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from enum import IntEnum
+from functools import total_ordering
+
+from repro.exceptions import ChecksumError, PacketError
+from repro.netstack.checksum import internet_checksum
+
+IPV4_HEADER_LENGTH = 20
+IPV4_VERSION = 4
+DEFAULT_TTL = 64
+
+
+class IpProtocol(IntEnum):
+    """IP protocol numbers used by the reproduction."""
+
+    ICMP = 1
+    UDP = 17
+
+
+@total_ordering
+class IPv4Address:
+    """A 32-bit IPv4 address."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self, value: int) -> None:
+        if not 0 <= value < (1 << 32):
+            raise PacketError(f"IPv4 address out of range: {value}")
+        self._value = value
+
+    @classmethod
+    def from_string(cls, text: str) -> "IPv4Address":
+        """Parse dotted-quad notation (``10.0.0.1``)."""
+        parts = text.strip().split(".")
+        if len(parts) != 4:
+            raise PacketError(f"malformed IPv4 address: {text!r}")
+        value = 0
+        for part in parts:
+            try:
+                octet = int(part)
+            except ValueError as exc:
+                raise PacketError(f"malformed IPv4 address: {text!r}") from exc
+            if not 0 <= octet <= 255:
+                raise PacketError(f"malformed IPv4 address: {text!r}")
+            value = (value << 8) | octet
+        return cls(value)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "IPv4Address":
+        """Parse the 4-byte network representation."""
+        if len(data) != 4:
+            raise PacketError(f"IPv4 address must be 4 bytes, got {len(data)}")
+        return cls(int.from_bytes(data, "big"))
+
+    @property
+    def value(self) -> int:
+        """The 32-bit integer value."""
+        return self._value
+
+    def to_bytes(self) -> bytes:
+        """The 4-byte network representation."""
+        return self._value.to_bytes(4, "big")
+
+    def __str__(self) -> str:
+        octets = self.to_bytes()
+        return ".".join(str(octet) for octet in octets)
+
+    def __repr__(self) -> str:
+        return f"IPv4Address('{self}')"
+
+    def __hash__(self) -> int:
+        return hash(self._value)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, IPv4Address):
+            return self._value == other._value
+        return NotImplemented
+
+    def __lt__(self, other: "IPv4Address") -> bool:
+        if isinstance(other, IPv4Address):
+            return self._value < other._value
+        return NotImplemented
+
+
+@dataclass(frozen=True)
+class IPv4Packet:
+    """An IPv4 packet (header without options, plus payload).
+
+    Attributes:
+        source: source address.
+        destination: destination address.
+        protocol: payload protocol number (see :class:`IpProtocol`).
+        payload: the payload bytes.
+        ttl: time-to-live; decremented by routers, *not* by bridges (a point
+            the paper makes: bridges cannot modify the packet, which is why
+            loops are catastrophic and the spanning tree is required).
+        identification: identification field (no fragmentation, informational).
+    """
+
+    source: IPv4Address
+    destination: IPv4Address
+    protocol: int
+    payload: bytes = field(default=b"")
+    ttl: int = DEFAULT_TTL
+    identification: int = 0
+
+    @property
+    def total_length(self) -> int:
+        """Header plus payload length in bytes."""
+        return IPV4_HEADER_LENGTH + len(self.payload)
+
+    def encode(self) -> bytes:
+        """Serialize to wire bytes with a valid header checksum."""
+        if self.total_length > 0xFFFF:
+            raise PacketError(f"IPv4 packet too large: {self.total_length} bytes")
+        version_ihl = (IPV4_VERSION << 4) | (IPV4_HEADER_LENGTH // 4)
+        header_without_checksum = struct.pack(
+            "!BBHHHBBH4s4s",
+            version_ihl,
+            0,  # DSCP/ECN
+            self.total_length,
+            self.identification & 0xFFFF,
+            0,  # flags + fragment offset: never fragmented
+            self.ttl & 0xFF,
+            self.protocol & 0xFF,
+            0,  # checksum placeholder
+            self.source.to_bytes(),
+            self.destination.to_bytes(),
+        )
+        checksum = internet_checksum(header_without_checksum)
+        header = header_without_checksum[:10] + struct.pack("!H", checksum) + header_without_checksum[12:]
+        return header + self.payload
+
+    @classmethod
+    def decode(cls, data: bytes, verify: bool = True) -> "IPv4Packet":
+        """Parse wire bytes.
+
+        Args:
+            data: encoded packet.
+            verify: verify the header checksum (default true).
+
+        Raises:
+            PacketError: for malformed headers (wrong version, IHL, length).
+            ChecksumError: if the header checksum does not verify.
+        """
+        if len(data) < IPV4_HEADER_LENGTH:
+            raise PacketError(f"IPv4 packet too short: {len(data)} bytes")
+        (
+            version_ihl,
+            _tos,
+            total_length,
+            identification,
+            flags_fragment,
+            ttl,
+            protocol,
+            _checksum,
+            source_bytes,
+            destination_bytes,
+        ) = struct.unpack("!BBHHHBBH4s4s", data[:IPV4_HEADER_LENGTH])
+        version = version_ihl >> 4
+        ihl = version_ihl & 0x0F
+        if version != IPV4_VERSION:
+            raise PacketError(f"unsupported IP version: {version}")
+        if ihl != IPV4_HEADER_LENGTH // 4:
+            raise PacketError("IP options are not supported by the minimal IP layer")
+        if flags_fragment & 0x3FFF:
+            raise PacketError("fragmentation is not supported by the minimal IP layer")
+        if total_length < IPV4_HEADER_LENGTH or total_length > len(data):
+            raise PacketError(
+                f"IPv4 total length {total_length} inconsistent with frame of {len(data)} bytes"
+            )
+        if verify and internet_checksum(data[:IPV4_HEADER_LENGTH]) != 0:
+            raise ChecksumError("IPv4 header checksum mismatch")
+        payload = data[IPV4_HEADER_LENGTH:total_length]
+        return cls(
+            source=IPv4Address.from_bytes(source_bytes),
+            destination=IPv4Address.from_bytes(destination_bytes),
+            protocol=protocol,
+            payload=payload,
+            ttl=ttl,
+            identification=identification,
+        )

@@ -1,0 +1,316 @@
+"""TFTP, the top layer of the paper's network loading stack.
+
+Section 5.2: "the highest layer in this stack implements a TFTP server.
+This server only services write requests in binary format.  Any such file is
+taken to be a Caml byte code file and, upon successful receipt, an attempt is
+made to dynamically load and evaluate the file."
+
+This module provides:
+
+* the four packet types needed for writes (WRQ, DATA, ACK, ERROR) with
+  encode/decode,
+* :class:`TftpServer` — accepts binary (octet-mode) write requests only, and
+  hands the completely received file to a caller-supplied callback (the
+  active node passes the switchlet loader's ``load_bytes``),
+* :class:`TftpClient` — writes a file to a server; used by the examples and
+  benchmarks to ship switchlets over the simulated network.
+
+Both endpoints are transport-agnostic: they receive datagrams through
+``handle_datagram(payload, remote)`` and send through a callable supplied at
+construction, so they plug directly into :class:`repro.netstack.stack.HostStack`
+or the active node's UDP switchlet.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from enum import IntEnum
+from typing import Callable, Dict, Optional, Tuple, Union
+
+from repro.exceptions import PacketError
+
+#: Standard TFTP well-known port.
+TFTP_PORT = 69
+
+#: Standard TFTP data block size.
+BLOCK_SIZE = 512
+
+
+class TftpOpcode(IntEnum):
+    """TFTP opcodes (read requests are intentionally unsupported)."""
+
+    RRQ = 1
+    WRQ = 2
+    DATA = 3
+    ACK = 4
+    ERROR = 5
+
+
+class TftpErrorCode(IntEnum):
+    """TFTP error codes used by the server."""
+
+    NOT_DEFINED = 0
+    ILLEGAL_OPERATION = 4
+
+
+@dataclass(frozen=True)
+class TftpWriteRequest:
+    """A WRQ packet: filename plus transfer mode."""
+
+    filename: str
+    mode: str = "octet"
+
+    def encode(self) -> bytes:
+        return (
+            struct.pack("!H", int(TftpOpcode.WRQ))
+            + self.filename.encode("ascii")
+            + b"\x00"
+            + self.mode.encode("ascii")
+            + b"\x00"
+        )
+
+
+@dataclass(frozen=True)
+class TftpData:
+    """A DATA packet: block number plus up to 512 bytes of data."""
+
+    block: int
+    data: bytes
+
+    def encode(self) -> bytes:
+        if len(self.data) > BLOCK_SIZE:
+            raise PacketError(f"TFTP data block too large: {len(self.data)} bytes")
+        return struct.pack("!HH", int(TftpOpcode.DATA), self.block & 0xFFFF) + self.data
+
+
+@dataclass(frozen=True)
+class TftpAck:
+    """An ACK packet acknowledging a block number."""
+
+    block: int
+
+    def encode(self) -> bytes:
+        return struct.pack("!HH", int(TftpOpcode.ACK), self.block & 0xFFFF)
+
+
+@dataclass(frozen=True)
+class TftpError:
+    """An ERROR packet."""
+
+    code: int
+    message: str
+
+    def encode(self) -> bytes:
+        return (
+            struct.pack("!HH", int(TftpOpcode.ERROR), self.code & 0xFFFF)
+            + self.message.encode("ascii")
+            + b"\x00"
+        )
+
+
+TftpPacket = Union[TftpWriteRequest, TftpData, TftpAck, TftpError]
+
+
+def decode_tftp(data: bytes) -> TftpPacket:
+    """Decode a TFTP packet; raises :class:`PacketError` on malformed input."""
+    if len(data) < 2:
+        raise PacketError("TFTP packet too short")
+    (opcode,) = struct.unpack("!H", data[:2])
+    if opcode in (int(TftpOpcode.WRQ), int(TftpOpcode.RRQ)):
+        body = data[2:]
+        parts = body.split(b"\x00")
+        if len(parts) < 2:
+            raise PacketError("malformed TFTP request")
+        filename = parts[0].decode("ascii", errors="replace")
+        mode = parts[1].decode("ascii", errors="replace")
+        if opcode == int(TftpOpcode.RRQ):
+            # Represent RRQs so the server can reject them explicitly.
+            return TftpError(
+                code=int(TftpErrorCode.ILLEGAL_OPERATION),
+                message=f"read requests are not supported (file {filename!r})",
+            )
+        return TftpWriteRequest(filename=filename, mode=mode)
+    if opcode == int(TftpOpcode.DATA):
+        if len(data) < 4:
+            raise PacketError("malformed TFTP DATA packet")
+        (block,) = struct.unpack("!H", data[2:4])
+        return TftpData(block=block, data=data[4:])
+    if opcode == int(TftpOpcode.ACK):
+        if len(data) < 4:
+            raise PacketError("malformed TFTP ACK packet")
+        (block,) = struct.unpack("!H", data[2:4])
+        return TftpAck(block=block)
+    if opcode == int(TftpOpcode.ERROR):
+        if len(data) < 5:
+            raise PacketError("malformed TFTP ERROR packet")
+        (code,) = struct.unpack("!H", data[2:4])
+        message = data[4:].split(b"\x00")[0].decode("ascii", errors="replace")
+        return TftpError(code=code, message=message)
+    raise PacketError(f"unsupported TFTP opcode: {opcode}")
+
+
+SendCallable = Callable[[bytes, Tuple], None]
+FileCallback = Callable[[str, bytes], None]
+
+
+class _WriteSession:
+    """State for one in-progress write transfer on the server side."""
+
+    def __init__(self, filename: str) -> None:
+        self.filename = filename
+        self.expected_block = 1
+        self.received = bytearray()
+        self.complete = False
+
+
+class TftpServer:
+    """A write-only, octet-mode-only TFTP server.
+
+    Args:
+        send: callable used to transmit a raw TFTP payload back to a remote
+            endpoint; the remote identifier is whatever the transport passed
+            to :meth:`handle_datagram`.
+        on_file: called with ``(filename, data)`` once a transfer completes.
+    """
+
+    def __init__(self, send: SendCallable, on_file: FileCallback) -> None:
+        self._send = send
+        self._on_file = on_file
+        self._sessions: Dict[Tuple, _WriteSession] = {}
+        # Statistics useful to tests and benchmarks.
+        self.transfers_completed = 0
+        self.requests_rejected = 0
+
+    def handle_datagram(self, payload: bytes, remote: Tuple) -> None:
+        """Process one UDP payload from ``remote``."""
+        try:
+            packet = decode_tftp(payload)
+        except PacketError:
+            self.requests_rejected += 1
+            self._send(
+                TftpError(int(TftpErrorCode.NOT_DEFINED), "malformed packet").encode(),
+                remote,
+            )
+            return
+        if isinstance(packet, TftpWriteRequest):
+            self._handle_wrq(packet, remote)
+        elif isinstance(packet, TftpData):
+            self._handle_data(packet, remote)
+        elif isinstance(packet, TftpError):
+            # Either a client-side error, or a decoded RRQ that we refuse.
+            self.requests_rejected += 1
+            self._send(packet.encode(), remote)
+        # ACKs are ignored by a write-only server.
+
+    def _handle_wrq(self, request: TftpWriteRequest, remote: Tuple) -> None:
+        if request.mode.lower() != "octet":
+            self.requests_rejected += 1
+            self._send(
+                TftpError(
+                    int(TftpErrorCode.ILLEGAL_OPERATION),
+                    "only binary (octet) transfers are supported",
+                ).encode(),
+                remote,
+            )
+            return
+        self._sessions[remote] = _WriteSession(request.filename)
+        self._send(TftpAck(0).encode(), remote)
+
+    def _handle_data(self, packet: TftpData, remote: Tuple) -> None:
+        session = self._sessions.get(remote)
+        if session is None or session.complete:
+            self._send(
+                TftpError(
+                    int(TftpErrorCode.ILLEGAL_OPERATION), "no transfer in progress"
+                ).encode(),
+                remote,
+            )
+            return
+        if packet.block == session.expected_block:
+            session.received.extend(packet.data)
+            session.expected_block += 1
+        # Acknowledge the latest in-order block (duplicates re-ACKed).
+        self._send(TftpAck(packet.block).encode(), remote)
+        if packet.block == session.expected_block - 1 and len(packet.data) < BLOCK_SIZE:
+            session.complete = True
+            self.transfers_completed += 1
+            data = bytes(session.received)
+            del self._sessions[remote]
+            self._on_file(session.filename, data)
+
+
+class TftpClient:
+    """A TFTP client that writes one file to a server.
+
+    The client is event-driven: construct it, call :meth:`start`, then feed
+    it every UDP payload arriving from the server via :meth:`handle_datagram`.
+    ``on_complete`` fires with ``True`` on success, ``False`` on error.
+    """
+
+    def __init__(
+        self,
+        send: SendCallable,
+        filename: str,
+        data: bytes,
+        remote: Tuple,
+        on_complete: Optional[Callable[[bool], None]] = None,
+    ) -> None:
+        self._send = send
+        self.filename = filename
+        self.data = data
+        self.remote = remote
+        self._on_complete = on_complete
+        self._next_block = 1
+        self._finished = False
+        self._started = False
+
+    @property
+    def finished(self) -> bool:
+        """Whether the transfer has completed (successfully or not)."""
+        return self._finished
+
+    def start(self) -> None:
+        """Send the write request."""
+        if self._started:
+            return
+        self._started = True
+        self._send(TftpWriteRequest(self.filename).encode(), self.remote)
+
+    def handle_datagram(self, payload: bytes, remote: Tuple) -> None:
+        """Process a server response (ACK or ERROR)."""
+        if self._finished:
+            return
+        try:
+            packet = decode_tftp(payload)
+        except PacketError:
+            return
+        if isinstance(packet, TftpError):
+            self._finish(False)
+            return
+        if not isinstance(packet, TftpAck):
+            return
+        if packet.block != self._next_block - 1:
+            return  # Stale or out-of-order ACK; ignore.
+        offset = (self._next_block - 1) * BLOCK_SIZE
+        if offset > len(self.data) or (
+            offset == len(self.data) and self._sent_final_full_block(offset)
+        ):
+            self._finish(True)
+            return
+        block_data = self.data[offset : offset + BLOCK_SIZE]
+        self._send(TftpData(self._next_block, block_data).encode(), self.remote)
+        self._next_block += 1
+        if len(block_data) < BLOCK_SIZE:
+            # The final (short) block was just sent; we complete on its ACK.
+            pass
+
+    def _sent_final_full_block(self, offset: int) -> bool:
+        # If the file length is an exact multiple of the block size, a final
+        # zero-length DATA block must still be sent to terminate the transfer.
+        return len(self.data) % BLOCK_SIZE != 0 or offset != len(self.data)
+
+    def _finish(self, success: bool) -> None:
+        self._finished = True
+        if self._on_complete is not None:
+            self._on_complete(success)

@@ -1,0 +1,106 @@
+"""Minimal UDP, the third layer of the paper's network loading stack.
+
+The paper's loader implements "a minimal UDP in a similar fashion" to its
+minimal IP; the UDP port number is what demultiplexes packets to switchlets
+(the TFTP loader listens on UDP port 69).  We implement the standard 8-byte
+header with the optional checksum computed over the usual pseudo-header.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+from repro.exceptions import ChecksumError, PacketError
+from repro.netstack.checksum import internet_checksum
+from repro.netstack.ip import IPv4Address, IpProtocol
+
+UDP_HEADER_LENGTH = 8
+
+
+def _pseudo_header(source: IPv4Address, destination: IPv4Address, udp_length: int) -> bytes:
+    return (
+        source.to_bytes()
+        + destination.to_bytes()
+        + struct.pack("!BBH", 0, int(IpProtocol.UDP), udp_length)
+    )
+
+
+@dataclass(frozen=True)
+class UdpDatagram:
+    """A UDP datagram.
+
+    Attributes:
+        source_port: 16-bit source port.
+        destination_port: 16-bit destination port.
+        payload: the payload bytes.
+    """
+
+    source_port: int
+    destination_port: int
+    payload: bytes = field(default=b"")
+
+    def __post_init__(self) -> None:
+        for port in (self.source_port, self.destination_port):
+            if not 0 <= port <= 0xFFFF:
+                raise PacketError(f"UDP port out of range: {port}")
+
+    @property
+    def length(self) -> int:
+        """Header plus payload length."""
+        return UDP_HEADER_LENGTH + len(self.payload)
+
+    def encode(self, source: IPv4Address, destination: IPv4Address) -> bytes:
+        """Serialize with a checksum over the IPv4 pseudo-header.
+
+        Args:
+            source: the IP source address (needed for the pseudo-header).
+            destination: the IP destination address.
+        """
+        if self.length > 0xFFFF:
+            raise PacketError(f"UDP datagram too large: {self.length} bytes")
+        header_no_checksum = struct.pack(
+            "!HHHH", self.source_port, self.destination_port, self.length, 0
+        )
+        checksum = internet_checksum(
+            _pseudo_header(source, destination, self.length)
+            + header_no_checksum
+            + self.payload
+        )
+        if checksum == 0:
+            checksum = 0xFFFF  # RFC 768: transmitted zero means "no checksum"
+        header = struct.pack(
+            "!HHHH", self.source_port, self.destination_port, self.length, checksum
+        )
+        return header + self.payload
+
+    @classmethod
+    def decode(
+        cls,
+        data: bytes,
+        source: IPv4Address,
+        destination: IPv4Address,
+        verify: bool = True,
+    ) -> "UdpDatagram":
+        """Parse wire bytes, verifying the checksum unless it is zero (unused)."""
+        if len(data) < UDP_HEADER_LENGTH:
+            raise PacketError(f"UDP datagram too short: {len(data)} bytes")
+        source_port, destination_port, length, checksum = struct.unpack(
+            "!HHHH", data[:UDP_HEADER_LENGTH]
+        )
+        if length < UDP_HEADER_LENGTH or length > len(data):
+            raise PacketError(
+                f"UDP length {length} inconsistent with payload of {len(data)} bytes"
+            )
+        payload = data[UDP_HEADER_LENGTH:length]
+        if verify and checksum != 0:
+            computed = internet_checksum(
+                _pseudo_header(source, destination, length) + data[:length]
+            )
+            if computed != 0:
+                raise ChecksumError("UDP checksum mismatch")
+        return cls(
+            source_port=source_port,
+            destination_port=destination_port,
+            payload=payload,
+        )

@@ -1,0 +1,200 @@
+"""The discrete-event simulator.
+
+:class:`Simulator` ties the :class:`~repro.sim.clock.Clock` and the
+:class:`~repro.sim.events.EventQueue` together and provides the scheduling
+API that the rest of the library uses:
+
+* :meth:`Simulator.schedule` / :meth:`Simulator.schedule_at` — one-shot events,
+* :meth:`Simulator.run` / :meth:`Simulator.run_until` / :meth:`Simulator.step`
+  — drive the simulation,
+* :attr:`Simulator.trace` — a :class:`~repro.sim.trace.TraceRecorder` every
+  component can append measurement records to.
+
+A single simulator instance is shared by every host, LAN segment and active
+node in an experiment; the :class:`~repro.lan.topology.NetworkBuilder` wires
+that up.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.exceptions import SimulationError
+from repro.sim.clock import Clock, seconds_to_ns
+from repro.sim.events import Event, EventQueue
+from repro.sim.random_source import RandomSource
+from repro.sim.trace import TraceRecorder
+
+
+class Simulator:
+    """A deterministic discrete-event simulator.
+
+    Args:
+        seed: seed for the simulator-owned :class:`RandomSource`.  Two
+            simulators constructed with the same seed and driven by the same
+            code produce identical event sequences and traces.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.clock = Clock()
+        self.random = RandomSource(seed)
+        self.trace = TraceRecorder(self.clock)
+        self._queue = EventQueue()
+        self._running = False
+        self._dispatched = 0
+
+    # ------------------------------------------------------------------
+    # Time
+    # ------------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self.clock.now
+
+    @property
+    def now_ns(self) -> int:
+        """Current simulated time in nanoseconds."""
+        return self.clock.now_ns
+
+    @property
+    def events_dispatched(self) -> int:
+        """Total number of events that have fired since construction/reset."""
+        return self._dispatched
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still waiting to fire."""
+        return len(self._queue)
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+
+    def schedule(
+        self, delay_seconds: float, callback: Callable[[], None], label: str = ""
+    ) -> Event:
+        """Schedule ``callback`` to run ``delay_seconds`` from now.
+
+        Args:
+            delay_seconds: non-negative delay in seconds.
+            callback: zero-argument callable.
+            label: human-readable label recorded on the event.
+
+        Returns:
+            The scheduled :class:`Event`, which can be cancelled.
+
+        Raises:
+            SchedulingError: if ``delay_seconds`` is negative.
+        """
+        when_ns = self.clock.now_ns + seconds_to_ns(delay_seconds)
+        return self.schedule_at_ns(when_ns, callback, label)
+
+    def schedule_at(
+        self, when_seconds: float, callback: Callable[[], None], label: str = ""
+    ) -> Event:
+        """Schedule ``callback`` at absolute simulated time ``when_seconds``."""
+        return self.schedule_at_ns(seconds_to_ns(when_seconds), callback, label)
+
+    def schedule_at_ns(
+        self, when_ns: int, callback: Callable[[], None], label: str = ""
+    ) -> Event:
+        """Schedule ``callback`` at absolute time ``when_ns`` (nanoseconds)."""
+        self._queue.validate_schedule_time(self.clock.now_ns, when_ns)
+        return self._queue.push(when_ns, callback, label)
+
+    def call_soon(self, callback: Callable[[], None], label: str = "") -> Event:
+        """Schedule ``callback`` at the current simulated time (after pending work)."""
+        return self._queue.push(self.clock.now_ns, callback, label)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def step(self) -> bool:
+        """Dispatch a single event.
+
+        Returns:
+            ``True`` if an event was dispatched, ``False`` if the queue was
+            empty.
+        """
+        event = self._queue.pop()
+        if event is None:
+            return False
+        self.clock.advance_to_ns(event.time_ns)
+        self._dispatched += 1
+        event.callback()
+        return True
+
+    def run(self, max_events: Optional[int] = None) -> int:
+        """Run until the event queue drains (or ``max_events`` is reached).
+
+        Returns:
+            The number of events dispatched by this call.
+        """
+        if self._running:
+            raise SimulationError("Simulator.run() called re-entrantly")
+        self._running = True
+        dispatched = 0
+        try:
+            while self._queue:
+                if max_events is not None and dispatched >= max_events:
+                    break
+                if not self.step():
+                    break
+                dispatched += 1
+        finally:
+            self._running = False
+        return dispatched
+
+    def run_until(self, until_seconds: float, max_events: Optional[int] = None) -> int:
+        """Run events with firing times ``<= until_seconds``.
+
+        The clock is advanced to ``until_seconds`` at the end even if the
+        queue drained earlier, so that back-to-back ``run_until`` calls see a
+        monotonically advancing clock.
+
+        Returns:
+            The number of events dispatched by this call.
+        """
+        if self._running:
+            raise SimulationError("Simulator.run_until() called re-entrantly")
+        until_ns = seconds_to_ns(until_seconds)
+        if until_ns < self.clock.now_ns:
+            raise SimulationError(
+                f"run_until({until_seconds}s) is earlier than the current "
+                f"time {self.clock.now}s"
+            )
+        self._running = True
+        dispatched = 0
+        try:
+            while True:
+                if max_events is not None and dispatched >= max_events:
+                    break
+                next_time = self._queue.peek_time_ns()
+                if next_time is None or next_time > until_ns:
+                    break
+                self.step()
+                dispatched += 1
+            if self.clock.now_ns < until_ns:
+                self.clock.advance_to_ns(until_ns)
+        finally:
+            self._running = False
+        return dispatched
+
+    def run_for(self, duration_seconds: float, max_events: Optional[int] = None) -> int:
+        """Run for ``duration_seconds`` of simulated time starting from now."""
+        return self.run_until(self.now + duration_seconds, max_events=max_events)
+
+    def reset(self) -> None:
+        """Discard all pending events and rewind the clock to zero."""
+        self._queue.clear()
+        self.clock.reset()
+        self.trace.clear()
+        self._dispatched = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Simulator(now={self.now:.6f}s, pending={self.pending_events}, "
+            f"dispatched={self._dispatched})"
+        )

@@ -1,0 +1,108 @@
+"""Events and the event queue.
+
+An :class:`Event` is a callback scheduled at an absolute simulated time.
+The :class:`EventQueue` orders events by ``(time, sequence number)`` so that
+two events scheduled for the same instant fire in the order they were
+scheduled — this makes the whole simulation deterministic, which the paper's
+reproducible measurements depend on.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.exceptions import SchedulingError
+
+
+@dataclass(order=True)
+class Event:
+    """A single scheduled event.
+
+    Attributes:
+        time_ns: absolute simulated time (nanoseconds) at which to fire.
+        sequence: tie-breaker preserving scheduling order at equal times.
+        callback: zero-argument callable invoked when the event fires.
+        label: free-form string used by traces and debugging output.
+        cancelled: set by :meth:`cancel`; cancelled events are skipped.
+    """
+
+    time_ns: int
+    sequence: int
+    callback: Callable[[], None] = field(compare=False)
+    label: str = field(compare=False, default="")
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Mark the event as cancelled; it will be skipped when popped."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """A priority queue of :class:`Event` objects keyed by time.
+
+    The queue never removes cancelled events eagerly; they are discarded when
+    popped.  This keeps :meth:`cancel` O(1), which matters because the
+    802.1D switchlet cancels and re-arms many timers.
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    def __bool__(self) -> bool:
+        return any(not event.cancelled for event in self._heap)
+
+    def push(self, time_ns: int, callback: Callable[[], None], label: str = "") -> Event:
+        """Schedule ``callback`` at absolute time ``time_ns`` and return the event."""
+        event = Event(
+            time_ns=time_ns,
+            sequence=next(self._counter),
+            callback=callback,
+            label=label,
+        )
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Optional[Event]:
+        """Pop the earliest non-cancelled event, or ``None`` if the queue is empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                return event
+        return None
+
+    def peek_time_ns(self) -> Optional[int]:
+        """Return the firing time of the earliest pending event, if any."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0].time_ns
+
+    def clear(self) -> None:
+        """Drop every pending event."""
+        self._heap.clear()
+
+    def validate_schedule_time(self, now_ns: int, when_ns: int) -> None:
+        """Raise :class:`SchedulingError` if ``when_ns`` lies in the past."""
+        if when_ns < now_ns:
+            raise SchedulingError(
+                f"cannot schedule an event at t={when_ns}ns, "
+                f"which is before the current time t={now_ns}ns"
+            )
+
+
+def describe_event(event: Event) -> dict[str, Any]:
+    """Return a JSON-friendly description of an event (for traces and tests)."""
+    return {
+        "time_ns": event.time_ns,
+        "sequence": event.sequence,
+        "label": event.label,
+        "cancelled": event.cancelled,
+    }

@@ -1,0 +1,81 @@
+"""Cooperative processes on top of the event queue.
+
+Some workloads are most naturally written as a sequential program that
+alternates work and waiting — the paper's ``ttcp`` sender, for example, is a
+loop of "write a buffer, wait for it to drain".  :class:`Process` lets such
+code be written as a generator that ``yield``s the number of seconds to
+sleep; the kernel resumes it after that delay.
+
+This is intentionally minimal (no channels, no signals): anything more
+complex in the reproduction is written in the event-callback style directly.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, Optional
+
+from repro.sim.engine import Simulator
+
+ProcessBody = Generator[float, None, None]
+
+
+class Process:
+    """A generator-based cooperative process.
+
+    The body is a generator function; every value it yields is interpreted as
+    a sleep duration in seconds.  When the generator returns (or raises
+    ``StopIteration``), the process is finished and the optional
+    ``on_complete`` callback runs.
+
+    Example:
+        >>> def body():
+        ...     for _ in range(3):
+        ...         yield 1.0   # sleep one simulated second
+        >>> process = Process(sim, body())
+        >>> process.start()
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        body: ProcessBody,
+        label: str = "process",
+        on_complete: Optional[Callable[[], None]] = None,
+    ) -> None:
+        self._sim = sim
+        self._body = body
+        self.label = label
+        self._on_complete = on_complete
+        self._finished = False
+        self._started = False
+
+    @property
+    def finished(self) -> bool:
+        """Whether the process body has run to completion."""
+        return self._finished
+
+    @property
+    def started(self) -> bool:
+        """Whether :meth:`start` has been called."""
+        return self._started
+
+    def start(self, delay: float = 0.0) -> None:
+        """Begin executing the process after ``delay`` seconds."""
+        if self._started:
+            return
+        self._started = True
+        self._sim.schedule(delay, self._resume, label=f"{self.label}:start")
+
+    def _resume(self) -> None:
+        if self._finished:
+            return
+        try:
+            delay = next(self._body)
+        except StopIteration:
+            self._finished = True
+            if self._on_complete is not None:
+                self._on_complete()
+            return
+        if delay < 0:
+            delay = 0.0
+        self._sim.schedule(delay, self._resume, label=f"{self.label}:resume")

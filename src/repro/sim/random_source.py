@@ -1,0 +1,68 @@
+"""Deterministic randomness for experiments.
+
+All stochastic choices in the reproduction (workload inter-arrival jitter,
+payload contents, bridge identifier assignment in randomized topologies) draw
+from a :class:`RandomSource` owned by the simulator, so a single seed pins
+down an entire experiment.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+class RandomSource:
+    """A seeded wrapper around :class:`random.Random` with networking helpers."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self._rng = random.Random(seed)
+
+    def reseed(self, seed: int) -> None:
+        """Reset the underlying generator with a new seed."""
+        self.seed = seed
+        self._rng = random.Random(seed)
+
+    # -- thin passthroughs -------------------------------------------------
+
+    def uniform(self, low: float, high: float) -> float:
+        """Uniform float in [low, high]."""
+        return self._rng.uniform(low, high)
+
+    def expovariate(self, rate: float) -> float:
+        """Exponential inter-arrival sample with the given rate (1/mean)."""
+        return self._rng.expovariate(rate)
+
+    def randint(self, low: int, high: int) -> int:
+        """Uniform integer in [low, high]."""
+        return self._rng.randint(low, high)
+
+    def choice(self, seq: Sequence[T]) -> T:
+        """Uniformly choose one element of ``seq``."""
+        return self._rng.choice(seq)
+
+    def shuffle(self, items: list) -> None:
+        """Shuffle ``items`` in place."""
+        self._rng.shuffle(items)
+
+    # -- networking helpers --------------------------------------------------
+
+    def payload(self, length: int) -> bytes:
+        """Return ``length`` pseudo-random bytes (used as frame payloads)."""
+        if length <= 0:
+            return b""
+        return bytes(self._rng.getrandbits(8) for _ in range(length))
+
+    def mac_suffix(self) -> bytes:
+        """Return three random bytes usable as the low half of a MAC address."""
+        return bytes(self._rng.getrandbits(8) for _ in range(3))
+
+    def jitter(self, nominal: float, fraction: float = 0.1) -> float:
+        """Return ``nominal`` perturbed by up to +/- ``fraction`` of itself."""
+        if nominal <= 0:
+            return nominal
+        spread = nominal * fraction
+        return self._rng.uniform(nominal - spread, nominal + spread)

@@ -1,0 +1,131 @@
+"""Timer helpers built on top of the simulator.
+
+The 802.1D and DEC spanning-tree switchlets are timer-driven (hello timer,
+message-age timer, forward-delay timer, topology-change timer), and the
+protocol-transition control switchlet uses 30- and 60-second timers for its
+suppression and validation windows (Table 1 of the paper).  These helpers
+provide restartable one-shot timers and periodic timers with the exact
+semantics those protocols need.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.sim.engine import Simulator
+from repro.sim.events import Event
+
+
+class Timer:
+    """A restartable one-shot timer.
+
+    The callback fires once, ``duration`` seconds after the most recent
+    :meth:`start` (earlier starts are cancelled).  The timer can be stopped
+    and restarted any number of times.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        duration: float,
+        callback: Callable[[], None],
+        label: str = "timer",
+    ) -> None:
+        self._sim = sim
+        self.duration = duration
+        self._callback = callback
+        self.label = label
+        self._event: Optional[Event] = None
+        self._expiry_count = 0
+
+    @property
+    def running(self) -> bool:
+        """Whether the timer is currently armed."""
+        return self._event is not None and not self._event.cancelled
+
+    @property
+    def expiry_count(self) -> int:
+        """How many times the timer has expired since construction."""
+        return self._expiry_count
+
+    def start(self, duration: Optional[float] = None) -> None:
+        """(Re)arm the timer; an optional ``duration`` overrides the default."""
+        self.stop()
+        effective = self.duration if duration is None else duration
+        self._event = self._sim.schedule(effective, self._fire, label=self.label)
+
+    def stop(self) -> None:
+        """Disarm the timer if it is running."""
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def _fire(self) -> None:
+        self._event = None
+        self._expiry_count += 1
+        self._callback()
+
+
+class PeriodicTimer:
+    """A timer that fires every ``interval`` seconds until stopped.
+
+    Used for the spanning-tree hello timer and for measurement tools that
+    sample at a fixed rate (e.g. the agility probe sends a ping every
+    second, exactly as the paper's test program does).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        interval: float,
+        callback: Callable[[], None],
+        label: str = "periodic-timer",
+    ) -> None:
+        self._sim = sim
+        self.interval = interval
+        self._callback = callback
+        self.label = label
+        self._event: Optional[Event] = None
+        self._running = False
+        self._fire_count = 0
+
+    @property
+    def running(self) -> bool:
+        """Whether the periodic timer is active."""
+        return self._running
+
+    @property
+    def fire_count(self) -> int:
+        """Number of times the callback has fired."""
+        return self._fire_count
+
+    def start(self, fire_immediately: bool = False) -> None:
+        """Start the periodic schedule.
+
+        Args:
+            fire_immediately: if true, the first firing happens "now" (at the
+                current simulated time) rather than one interval from now.
+                The 802.1D hello timer fires immediately when a bridge
+                believes it is the root.
+        """
+        self.stop()
+        self._running = True
+        if fire_immediately:
+            self._event = self._sim.call_soon(self._fire, label=self.label)
+        else:
+            self._event = self._sim.schedule(self.interval, self._fire, label=self.label)
+
+    def stop(self) -> None:
+        """Stop the periodic schedule."""
+        self._running = False
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def _fire(self) -> None:
+        if not self._running:
+            return
+        self._fire_count += 1
+        self._callback()
+        if self._running:
+            self._event = self._sim.schedule(self.interval, self._fire, label=self.label)

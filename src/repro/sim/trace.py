@@ -1,0 +1,116 @@
+"""Event tracing.
+
+Every component in the reproduction can append structured records to the
+simulator's :class:`TraceRecorder`.  The measurement tools (ping, ttcp, the
+agility probe) and the protocol-transition benchmark (Table 1) are all built
+by filtering this trace, which keeps measurement completely decoupled from
+the components being measured — the same property the paper gets from
+instrumenting its bridge externally with ``ping``/``ttcp``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Optional
+
+from repro.sim.clock import Clock
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """A single trace record.
+
+    Attributes:
+        time: simulated time (seconds) the record was emitted.
+        source: name of the component that emitted the record
+            (e.g. ``"bridge1"``, ``"host-a"``, ``"control-switchlet"``).
+        category: machine-readable record category
+            (e.g. ``"frame.rx"``, ``"stp.state"``, ``"transition"``).
+        detail: free-form key/value payload.
+    """
+
+    time: float
+    source: str
+    category: str
+    detail: dict = field(default_factory=dict)
+
+
+class TraceRecorder:
+    """An append-only, filterable list of :class:`TraceRecord` objects."""
+
+    def __init__(self, clock: Clock) -> None:
+        self._clock = clock
+        self._records: list[TraceRecord] = []
+        self._enabled = True
+        self._listeners: list[Callable[[TraceRecord], None]] = []
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    @property
+    def enabled(self) -> bool:
+        """Whether records are currently being captured."""
+        return self._enabled
+
+    def disable(self) -> None:
+        """Stop capturing records (listeners also stop firing)."""
+        self._enabled = False
+
+    def enable(self) -> None:
+        """Resume capturing records."""
+        self._enabled = True
+
+    def clear(self) -> None:
+        """Drop all captured records."""
+        self._records.clear()
+
+    def add_listener(self, listener: Callable[[TraceRecord], None]) -> None:
+        """Register a callback invoked synchronously for every new record."""
+        self._listeners.append(listener)
+
+    def record(self, source: str, category: str, **detail: Any) -> Optional[TraceRecord]:
+        """Append a record stamped with the current simulated time."""
+        if not self._enabled:
+            return None
+        entry = TraceRecord(
+            time=self._clock.now, source=source, category=category, detail=dict(detail)
+        )
+        self._records.append(entry)
+        for listener in self._listeners:
+            listener(entry)
+        return entry
+
+    def filter(
+        self,
+        category: Optional[str] = None,
+        source: Optional[str] = None,
+        since: Optional[float] = None,
+        until: Optional[float] = None,
+    ) -> list[TraceRecord]:
+        """Return records matching every provided criterion."""
+        selected = []
+        for entry in self._records:
+            if category is not None and entry.category != category:
+                continue
+            if source is not None and entry.source != source:
+                continue
+            if since is not None and entry.time < since:
+                continue
+            if until is not None and entry.time > until:
+                continue
+            selected.append(entry)
+        return selected
+
+    def count(self, category: Optional[str] = None, source: Optional[str] = None) -> int:
+        """Number of records matching the criteria."""
+        return len(self.filter(category=category, source=source))
+
+    def last(
+        self, category: Optional[str] = None, source: Optional[str] = None
+    ) -> Optional[TraceRecord]:
+        """The most recent record matching the criteria, if any."""
+        matches = self.filter(category=category, source=source)
+        return matches[-1] if matches else None

@@ -1,0 +1,57 @@
+"""The bridge switchlets.
+
+These are the loadable modules of Section 5.3 and 5.4 of the paper:
+
+* :mod:`~repro.switchlets.dumb_bridge` — the minimal "dumb" bridge
+  (a programmable buffered repeater),
+* :mod:`~repro.switchlets.learning_bridge` — adds self-learning,
+* :mod:`~repro.switchlets.spanning_tree` — the IEEE 802.1D spanning tree,
+* :mod:`~repro.switchlets.dec_spanning_tree` — the DEC-style ("old")
+  spanning tree used as the transition source,
+* :mod:`~repro.switchlets.control` — the protocol-transition control
+  switchlet of Section 5.4 / Table 1.
+
+Each module contains the protocol logic as ordinary, unit-testable Python
+classes that are written *dependency-light*: they use only safe builtins and
+the thinned environment modules handed to their constructors.  The
+:mod:`~repro.switchlets.packaging` module extracts their source with
+``inspect.getsource`` and wraps it into
+:class:`~repro.core.switchlet.SwitchletPackage` objects, which is how the
+same code is genuinely shipped to and dynamically loaded by an active node.
+"""
+
+from repro.switchlets.framefmt import FrameFmt
+from repro.switchlets.bpdu import ConfigBpdu, DecBpdu
+from repro.switchlets.dumb_bridge import DumbBridgeApp
+from repro.switchlets.learning_bridge import LearningBridgeApp, LearningTable
+from repro.switchlets.spanning_tree import SpanningTreeApp
+from repro.switchlets.dec_spanning_tree import DecSpanningTreeApp
+from repro.switchlets.control import ControlApp
+from repro.switchlets.packaging import (
+    build_package,
+    dumb_bridge_package,
+    learning_bridge_package,
+    spanning_tree_package,
+    dec_spanning_tree_package,
+    control_package,
+    standard_bridge_packages,
+)
+
+__all__ = [
+    "FrameFmt",
+    "ConfigBpdu",
+    "DecBpdu",
+    "DumbBridgeApp",
+    "LearningBridgeApp",
+    "LearningTable",
+    "SpanningTreeApp",
+    "DecSpanningTreeApp",
+    "ControlApp",
+    "build_package",
+    "dumb_bridge_package",
+    "learning_bridge_package",
+    "spanning_tree_package",
+    "dec_spanning_tree_package",
+    "control_package",
+    "standard_bridge_packages",
+]

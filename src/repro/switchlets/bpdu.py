@@ -1,0 +1,222 @@
+"""Bridge PDU wire formats.
+
+Two formats are defined, exactly as the paper's transition experiment needs
+(Section 5.4): the IEEE 802.1D configuration BPDU and a DEC-style BPDU that
+carries the same logical information in an *incompatible* format and is sent
+to a different multicast address.  ("We simply required an incompatible
+packet format so that we could make a transition.")
+
+Both classes are shipped inside the spanning-tree switchlets, so they use
+only safe builtins (``int.to_bytes`` rather than ``struct``).
+"""
+
+from __future__ import annotations
+
+
+class ConfigBpdu:
+    """An IEEE 802.1D configuration BPDU.
+
+    Times are stored in seconds (floats) and encoded in the standard 1/256 s
+    units.  The layout follows 802.1D-1993: protocol id (2), version (1),
+    type (1), flags (1), root id (8), root path cost (4), bridge id (8),
+    port id (2), message age (2), max age (2), hello time (2),
+    forward delay (2) — 35 bytes total.
+    """
+
+    PROTOCOL_ID = 0x0000
+    VERSION = 0x00
+    TYPE_CONFIG = 0x00
+    ENCODED_LENGTH = 35
+
+    def __init__(
+        self,
+        root_priority,
+        root_mac,
+        root_path_cost,
+        bridge_priority,
+        bridge_mac,
+        port_id,
+        message_age=0.0,
+        max_age=20.0,
+        hello_time=2.0,
+        forward_delay=15.0,
+        topology_change=False,
+    ):
+        self.root_priority = int(root_priority)
+        self.root_mac = bytes(root_mac)
+        self.root_path_cost = int(root_path_cost)
+        self.bridge_priority = int(bridge_priority)
+        self.bridge_mac = bytes(bridge_mac)
+        self.port_id = int(port_id)
+        self.message_age = float(message_age)
+        self.max_age = float(max_age)
+        self.hello_time = float(hello_time)
+        self.forward_delay = float(forward_delay)
+        self.topology_change = bool(topology_change)
+
+    # -- identifiers ---------------------------------------------------------
+
+    def root_id(self):
+        """The root identifier as a comparable (priority, mac) tuple."""
+        return (self.root_priority, self.root_mac)
+
+    def bridge_id(self):
+        """The transmitting bridge's identifier as a comparable tuple."""
+        return (self.bridge_priority, self.bridge_mac)
+
+    # -- encoding ------------------------------------------------------------
+
+    @staticmethod
+    def _encode_time(seconds):
+        value = int(round(float(seconds) * 256.0))
+        if value < 0:
+            value = 0
+        if value > 0xFFFF:
+            value = 0xFFFF
+        return value.to_bytes(2, "big")
+
+    @staticmethod
+    def _decode_time(data):
+        return int.from_bytes(bytes(data), "big") / 256.0
+
+    def encode(self):
+        """Serialize to the 35-byte 802.1D configuration BPDU."""
+        flags = 0x01 if self.topology_change else 0x00
+        parts = [
+            self.PROTOCOL_ID.to_bytes(2, "big"),
+            self.VERSION.to_bytes(1, "big"),
+            self.TYPE_CONFIG.to_bytes(1, "big"),
+            flags.to_bytes(1, "big"),
+            self.root_priority.to_bytes(2, "big"),
+            self.root_mac,
+            self.root_path_cost.to_bytes(4, "big"),
+            self.bridge_priority.to_bytes(2, "big"),
+            self.bridge_mac,
+            self.port_id.to_bytes(2, "big"),
+            self._encode_time(self.message_age),
+            self._encode_time(self.max_age),
+            self._encode_time(self.hello_time),
+            self._encode_time(self.forward_delay),
+        ]
+        return b"".join(parts)
+
+    @classmethod
+    def decode(cls, data):
+        """Parse a configuration BPDU; raises ``ValueError`` on malformed input."""
+        data = bytes(data)
+        if len(data) < cls.ENCODED_LENGTH:
+            raise ValueError("BPDU too short: %d bytes" % len(data))
+        protocol_id = int.from_bytes(data[0:2], "big")
+        version = data[2]
+        bpdu_type = data[3]
+        if protocol_id != cls.PROTOCOL_ID:
+            raise ValueError("not an 802.1D BPDU (protocol id %d)" % protocol_id)
+        if version != cls.VERSION or bpdu_type != cls.TYPE_CONFIG:
+            raise ValueError("unsupported BPDU version/type")
+        flags = data[4]
+        return cls(
+            root_priority=int.from_bytes(data[5:7], "big"),
+            root_mac=data[7:13],
+            root_path_cost=int.from_bytes(data[13:17], "big"),
+            bridge_priority=int.from_bytes(data[17:19], "big"),
+            bridge_mac=data[19:25],
+            port_id=int.from_bytes(data[25:27], "big"),
+            message_age=cls._decode_time(data[27:29]),
+            max_age=cls._decode_time(data[29:31]),
+            hello_time=cls._decode_time(data[31:33]),
+            forward_delay=cls._decode_time(data[33:35]),
+            topology_change=bool(flags & 0x01),
+        )
+
+
+class DecBpdu:
+    """A DEC-style spanning tree PDU.
+
+    Deliberately incompatible with :class:`ConfigBpdu`: a one-byte code
+    (0xE1), a one-byte version, little-endian-free but differently ordered
+    fields, MAC addresses *before* priorities, and times encoded in whole
+    seconds.  Carrying the same logical content with a different layout is
+    precisely what the paper did to create an old/new protocol pair.
+    """
+
+    CODE = 0xE1
+    VERSION = 0x01
+    ENCODED_LENGTH = 32
+
+    def __init__(
+        self,
+        root_priority,
+        root_mac,
+        root_path_cost,
+        bridge_priority,
+        bridge_mac,
+        port_id,
+        message_age=0.0,
+        max_age=20.0,
+        hello_time=2.0,
+        forward_delay=15.0,
+        topology_change=False,
+    ):
+        self.root_priority = int(root_priority)
+        self.root_mac = bytes(root_mac)
+        self.root_path_cost = int(root_path_cost)
+        self.bridge_priority = int(bridge_priority)
+        self.bridge_mac = bytes(bridge_mac)
+        self.port_id = int(port_id)
+        self.message_age = float(message_age)
+        self.max_age = float(max_age)
+        self.hello_time = float(hello_time)
+        self.forward_delay = float(forward_delay)
+        self.topology_change = bool(topology_change)
+
+    def root_id(self):
+        """The root identifier as a comparable (priority, mac) tuple."""
+        return (self.root_priority, self.root_mac)
+
+    def bridge_id(self):
+        """The transmitting bridge's identifier as a comparable tuple."""
+        return (self.bridge_priority, self.bridge_mac)
+
+    def encode(self):
+        """Serialize to the 32-byte DEC-style PDU."""
+        flags = 0x80 if self.topology_change else 0x00
+        parts = [
+            self.CODE.to_bytes(1, "big"),
+            self.VERSION.to_bytes(1, "big"),
+            flags.to_bytes(1, "big"),
+            self.root_mac,
+            self.root_priority.to_bytes(2, "big"),
+            self.bridge_mac,
+            self.bridge_priority.to_bytes(2, "big"),
+            self.root_path_cost.to_bytes(4, "big"),
+            self.port_id.to_bytes(1, "big"),
+            int(round(self.message_age)).to_bytes(1, "big"),
+            int(round(self.max_age)).to_bytes(1, "big"),
+            int(round(self.hello_time)).to_bytes(1, "big"),
+            int(round(self.forward_delay)).to_bytes(1, "big"),
+            b"\x00\x00\x00\x00",  # reserved padding
+        ]
+        return b"".join(parts)
+
+    @classmethod
+    def decode(cls, data):
+        """Parse a DEC-style PDU; raises ``ValueError`` on malformed input."""
+        data = bytes(data)
+        if len(data) < cls.ENCODED_LENGTH:
+            raise ValueError("DEC PDU too short: %d bytes" % len(data))
+        if data[0] != cls.CODE or data[1] != cls.VERSION:
+            raise ValueError("not a DEC spanning-tree PDU")
+        flags = data[2]
+        return cls(
+            root_mac=data[3:9],
+            root_priority=int.from_bytes(data[9:11], "big"),
+            bridge_mac=data[11:17],
+            bridge_priority=int.from_bytes(data[17:19], "big"),
+            root_path_cost=int.from_bytes(data[19:23], "big"),
+            port_id=data[23],
+            message_age=float(data[24]),
+            max_age=float(data[25]),
+            hello_time=float(data[26]),
+            forward_delay=float(data[27]),
+            topology_change=bool(flags & 0x80),
+        )

@@ -1,0 +1,63 @@
+"""The DEC-style "old protocol" spanning tree.
+
+Section 5.4: "In order to have a pair of protocols to transition between, we
+modified the spanning tree switchlet to send DEC spanning tree packets to the
+DEC management multicast address instead of 802.1D packets to the All Bridges
+multicast address.  This DEC-like protocol was used as the old protocol."
+
+:class:`DecSpanningTreeApp` is exactly that modification: it inherits the
+whole 802.1D algorithm from :class:`~repro.switchlets.spanning_tree.SpanningTreeApp`
+and overrides only the multicast address, the EtherType, and the PDU
+encode/decode hooks (using the incompatible :class:`~repro.switchlets.bpdu.DecBpdu`
+format).  As in the paper, no attempt is made to match DEC's real timer
+values — only the packet format is incompatible, which is all the transition
+experiment needs.
+"""
+
+from __future__ import annotations
+
+from repro.switchlets.bpdu import ConfigBpdu, DecBpdu
+from repro.switchlets.framefmt import FrameFmt
+from repro.switchlets.spanning_tree import SpanningTreeApp
+
+
+class DecSpanningTreeApp(SpanningTreeApp):
+    """The DEC-format spanning tree ("old protocol")."""
+
+    PROTOCOL_NAME = "dec"
+    REGISTRY_KEY = "stp.dec"
+    MULTICAST_ADDR = "09:00:2b:01:00:00"
+    ETHERTYPE = 0x8038
+
+    def _make_pdu(self, port_name):
+        port = self.ports[port_name]
+        return DecBpdu(
+            root_priority=self.root_priority,
+            root_mac=self.root_mac,
+            root_path_cost=self.root_path_cost,
+            bridge_priority=self.priority,
+            bridge_mac=self.bridge_mac,
+            port_id=port["port_id"],
+            message_age=0.0 if self.is_root() else 1.0,
+            max_age=self.max_age,
+            hello_time=self.hello_time,
+            forward_delay=self.forward_delay,
+        )
+
+    def _parse_pdu(self, payload):
+        return DecBpdu.decode(payload)
+
+
+#: Registration epilogue: the old protocol is loaded *and started* — it is
+#: the protocol the network is running before the transition (Table 1's
+#: initial "running" state).
+REGISTRATION_SOURCE = """
+_app = DecSpanningTreeApp(Unixnet, Func, Log, Safeunix, Safethread)
+Func.register("stp.dec", _app)
+_app.start(listen=True)
+"""
+
+#: The classes shipped inside the DEC spanning-tree switchlet.  The base
+#: class and both PDU formats ride along so the subclass links against the
+#: same definitions it was built with.
+PACKAGED_COMPONENTS = (FrameFmt, ConfigBpdu, DecBpdu, SpanningTreeApp, DecSpanningTreeApp)

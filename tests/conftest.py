@@ -1,0 +1,63 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.node import ActiveNode
+from repro.lan.topology import NetworkBuilder
+from repro.sim.engine import Simulator
+from repro.switchlets.packaging import (
+    dumb_bridge_package,
+    learning_bridge_package,
+    spanning_tree_package,
+)
+
+
+@pytest.fixture
+def sim():
+    """A fresh simulator."""
+    return Simulator(seed=42)
+
+
+@pytest.fixture
+def two_lan_bridge():
+    """A two-LAN topology with an unprogrammed active bridge and two hosts.
+
+    Returns a dict with the network, the bridge node, and both hosts.
+    """
+    builder = NetworkBuilder(seed=7)
+    builder.add_segment("lan1")
+    builder.add_segment("lan2")
+    host1 = builder.add_host("host1", "lan1")
+    host2 = builder.add_host("host2", "lan2")
+    builder.populate_static_arp()
+    network = builder.build()
+    bridge = ActiveNode(network.sim, "bridge")
+    bridge.add_interface("eth0", network.segment("lan1"))
+    bridge.add_interface("eth1", network.segment("lan2"))
+    builder.register_station("bridge", bridge)
+    return {
+        "network": network,
+        "sim": network.sim,
+        "bridge": bridge,
+        "host1": host1,
+        "host2": host2,
+    }
+
+
+def load_standard_bridge(bridge, include_spanning_tree=False):
+    """Load the dumb + learning (+ optionally spanning tree) switchlets."""
+    environment = bridge.environment.modules
+    bridge.load_switchlet(dumb_bridge_package(environment))
+    bridge.load_switchlet(learning_bridge_package(environment))
+    if include_spanning_tree:
+        bridge.load_switchlet(spanning_tree_package(environment, autostart=True))
+    return bridge
+
+
+@pytest.fixture
+def programmed_bridge(two_lan_bridge):
+    """The two-LAN topology with the dumb + learning switchlets loaded."""
+    load_standard_bridge(two_lan_bridge["bridge"], include_spanning_tree=False)
+    return two_lan_bridge

@@ -1,0 +1,223 @@
+"""Tests for the ARP and TFTP wire formats and endpoint state machines."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ethernet.mac import MacAddress
+from repro.exceptions import PacketError
+from repro.netstack.arp import ArpOperation, ArpPacket
+from repro.netstack.ip import IPv4Address
+from repro.netstack.tftp import (
+    BLOCK_SIZE,
+    TftpAck,
+    TftpClient,
+    TftpData,
+    TftpError,
+    TftpOpcode,
+    TftpServer,
+    TftpWriteRequest,
+    decode_tftp,
+)
+
+MAC_A = MacAddress.from_string("02:00:00:00:00:01")
+MAC_B = MacAddress.from_string("02:00:00:00:00:02")
+IP_A = IPv4Address.from_string("10.0.0.1")
+IP_B = IPv4Address.from_string("10.0.0.2")
+
+
+# ---------------------------------------------------------------------------
+# ARP
+# ---------------------------------------------------------------------------
+
+
+class TestArp:
+    def test_request_roundtrip(self):
+        request = ArpPacket.request(MAC_A, IP_A, IP_B)
+        decoded = ArpPacket.decode(request.encode())
+        assert decoded.operation == int(ArpOperation.REQUEST)
+        assert decoded.sender_mac == MAC_A
+        assert decoded.target_ip == IP_B
+
+    def test_reply_construction(self):
+        request = ArpPacket.request(MAC_A, IP_A, IP_B)
+        reply = request.make_reply(MAC_B)
+        assert reply.operation == int(ArpOperation.REPLY)
+        assert reply.sender_mac == MAC_B
+        assert reply.sender_ip == IP_B
+        assert reply.target_mac == MAC_A
+        assert reply.target_ip == IP_A
+
+    def test_reply_on_reply_rejected(self):
+        reply = ArpPacket.request(MAC_A, IP_A, IP_B).make_reply(MAC_B)
+        with pytest.raises(PacketError):
+            reply.make_reply(MAC_A)
+
+    def test_padding_tolerated(self):
+        encoded = ArpPacket.request(MAC_A, IP_A, IP_B).encode() + b"\x00" * 18
+        decoded = ArpPacket.decode(encoded)
+        assert decoded.sender_ip == IP_A
+
+    def test_short_packet_rejected(self):
+        with pytest.raises(PacketError):
+            ArpPacket.decode(b"\x00\x01\x08\x00")
+
+    def test_bad_hardware_type_rejected(self):
+        encoded = bytearray(ArpPacket.request(MAC_A, IP_A, IP_B).encode())
+        encoded[1] = 9
+        with pytest.raises(PacketError):
+            ArpPacket.decode(bytes(encoded))
+
+
+# ---------------------------------------------------------------------------
+# TFTP packet formats
+# ---------------------------------------------------------------------------
+
+
+class TestTftpPackets:
+    def test_wrq_roundtrip(self):
+        packet = decode_tftp(TftpWriteRequest("switchlet.bin").encode())
+        assert isinstance(packet, TftpWriteRequest)
+        assert packet.filename == "switchlet.bin"
+        assert packet.mode == "octet"
+
+    def test_data_roundtrip(self):
+        packet = decode_tftp(TftpData(3, b"abc").encode())
+        assert isinstance(packet, TftpData)
+        assert packet.block == 3
+        assert packet.data == b"abc"
+
+    def test_data_block_size_limit(self):
+        with pytest.raises(PacketError):
+            TftpData(1, b"x" * (BLOCK_SIZE + 1)).encode()
+
+    def test_ack_roundtrip(self):
+        packet = decode_tftp(TftpAck(9).encode())
+        assert isinstance(packet, TftpAck)
+        assert packet.block == 9
+
+    def test_error_roundtrip(self):
+        packet = decode_tftp(TftpError(4, "nope").encode())
+        assert isinstance(packet, TftpError)
+        assert packet.code == 4
+        assert packet.message == "nope"
+
+    def test_rrq_is_surfaced_as_error(self):
+        rrq = (
+            int(TftpOpcode.RRQ).to_bytes(2, "big") + b"file\x00octet\x00"
+        )
+        packet = decode_tftp(rrq)
+        assert isinstance(packet, TftpError)
+
+    def test_malformed_rejected(self):
+        with pytest.raises(PacketError):
+            decode_tftp(b"\x00")
+        with pytest.raises(PacketError):
+            decode_tftp(b"\x00\x09whatever")
+
+
+# ---------------------------------------------------------------------------
+# TFTP endpoints (in-memory transport)
+# ---------------------------------------------------------------------------
+
+
+class _Loopback:
+    """Directly connects a TftpClient and TftpServer for unit testing."""
+
+    def __init__(self, on_file):
+        self.server = TftpServer(send=self._to_client, on_file=on_file)
+        self.client_inbox = []
+
+    def _to_client(self, payload, remote):
+        self.client_inbox.append(payload)
+
+    def run_transfer(self, filename, data):
+        finished = []
+        client = TftpClient(
+            send=lambda payload, remote: self.server.handle_datagram(payload, remote),
+            filename=filename,
+            data=data,
+            remote=("server", 69),
+            on_complete=lambda ok: finished.append(ok),
+        )
+        client.start()
+        # Pump server responses back into the client until the exchange quiesces.
+        while self.client_inbox and not client.finished:
+            payload = self.client_inbox.pop(0)
+            client.handle_datagram(payload, ("server", 69))
+        return client, finished
+
+
+class TestTftpEndpoints:
+    @pytest.mark.parametrize(
+        "size", [0, 1, BLOCK_SIZE - 1, BLOCK_SIZE, BLOCK_SIZE + 1, 3 * BLOCK_SIZE, 2000]
+    )
+    def test_transfer_sizes(self, size):
+        received = {}
+        loop = _Loopback(on_file=lambda name, data: received.update({name: data}))
+        data = bytes((i * 7) & 0xFF for i in range(size))
+        client, finished = loop.run_transfer("module.bin", data)
+        assert finished == [True]
+        assert received == {"module.bin": data}
+        assert loop.server.transfers_completed == 1
+
+    def test_non_octet_mode_rejected(self):
+        rejected = []
+        server = TftpServer(send=lambda payload, remote: rejected.append(decode_tftp(payload)),
+                            on_file=lambda name, data: None)
+        server.handle_datagram(TftpWriteRequest("f", mode="netascii").encode(), ("x", 1))
+        assert isinstance(rejected[-1], TftpError)
+        assert server.requests_rejected == 1
+
+    def test_read_requests_rejected(self):
+        rejected = []
+        server = TftpServer(send=lambda payload, remote: rejected.append(decode_tftp(payload)),
+                            on_file=lambda name, data: None)
+        rrq = int(TftpOpcode.RRQ).to_bytes(2, "big") + b"file\x00octet\x00"
+        server.handle_datagram(rrq, ("x", 1))
+        assert isinstance(rejected[-1], TftpError)
+
+    def test_data_without_session_rejected(self):
+        responses = []
+        server = TftpServer(send=lambda payload, remote: responses.append(decode_tftp(payload)),
+                            on_file=lambda name, data: None)
+        server.handle_datagram(TftpData(1, b"abc").encode(), ("x", 1))
+        assert isinstance(responses[-1], TftpError)
+
+    def test_duplicate_data_blocks_ignored(self):
+        received = {}
+        acks = []
+        server = TftpServer(
+            send=lambda payload, remote: acks.append(decode_tftp(payload)),
+            on_file=lambda name, data: received.update({name: data}),
+        )
+        server.handle_datagram(TftpWriteRequest("f").encode(), ("x", 1))
+        server.handle_datagram(TftpData(1, b"A" * BLOCK_SIZE).encode(), ("x", 1))
+        # Retransmission of block 1 must not duplicate the data.
+        server.handle_datagram(TftpData(1, b"A" * BLOCK_SIZE).encode(), ("x", 1))
+        server.handle_datagram(TftpData(2, b"tail").encode(), ("x", 1))
+        assert received["f"] == b"A" * BLOCK_SIZE + b"tail"
+
+    def test_client_aborts_on_server_error(self):
+        finished = []
+        client = TftpClient(
+            send=lambda payload, remote: None,
+            filename="f",
+            data=b"abc",
+            remote=("server", 69),
+            on_complete=lambda ok: finished.append(ok),
+        )
+        client.start()
+        client.handle_datagram(TftpError(0, "denied").encode(), ("server", 69))
+        assert finished == [False]
+
+    @given(st.binary(max_size=4 * BLOCK_SIZE + 17))
+    @settings(max_examples=30, deadline=None)
+    def test_any_payload_transfers_intact(self, data):
+        received = {}
+        loop = _Loopback(on_file=lambda name, payload: received.update({name: payload}))
+        _, finished = loop.run_transfer("blob", data)
+        assert finished == [True]
+        assert received["blob"] == data

@@ -1,0 +1,163 @@
+"""Tests for the switchlet-side frame helpers and the two BPDU wire formats."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.switchlets.bpdu import ConfigBpdu, DecBpdu
+from repro.switchlets.framefmt import FrameFmt
+
+MAC_A = bytes.fromhex("020000000001")
+MAC_B = bytes.fromhex("020000000002")
+
+
+class TestFrameFmt:
+    def test_build_and_parse(self):
+        pkt = FrameFmt.build(MAC_B, MAC_A, 0x0800, b"payload")
+        assert FrameFmt.dst_bytes(pkt) == MAC_B
+        assert FrameFmt.src_bytes(pkt) == MAC_A
+        assert FrameFmt.ethertype(pkt) == 0x0800
+        assert FrameFmt.payload(pkt) == b"payload"
+
+    def test_mac_string_roundtrip(self):
+        text = FrameFmt.mac_to_str(MAC_A)
+        assert text == "02:00:00:00:00:01"
+        assert FrameFmt.str_to_mac(text) == MAC_A
+
+    def test_bad_mac_string(self):
+        with pytest.raises(ValueError):
+            FrameFmt.str_to_mac("02:00:00")
+
+    def test_group_bit(self):
+        assert FrameFmt.is_group(bytes.fromhex("0180c2000000"))
+        assert FrameFmt.is_group(bytes.fromhex("ffffffffffff"))
+        assert not FrameFmt.is_group(MAC_A)
+
+    def test_dst_src_strings(self):
+        pkt = FrameFmt.build(MAC_B, MAC_A, 0x0800, b"")
+        assert FrameFmt.dst_str(pkt) == "02:00:00:00:00:02"
+        assert FrameFmt.src_str(pkt) == "02:00:00:00:00:01"
+
+    @given(st.binary(min_size=6, max_size=6))
+    def test_mac_roundtrip_any(self, mac):
+        assert FrameFmt.str_to_mac(FrameFmt.mac_to_str(mac)) == mac
+
+
+def _config_bpdu(**overrides):
+    fields = dict(
+        root_priority=0x8000,
+        root_mac=MAC_A,
+        root_path_cost=19,
+        bridge_priority=0x8000,
+        bridge_mac=MAC_B,
+        port_id=2,
+        message_age=1.0,
+        max_age=20.0,
+        hello_time=2.0,
+        forward_delay=15.0,
+    )
+    fields.update(overrides)
+    return ConfigBpdu(**fields)
+
+
+class TestConfigBpdu:
+    def test_roundtrip(self):
+        bpdu = _config_bpdu()
+        decoded = ConfigBpdu.decode(bpdu.encode())
+        assert decoded.root_id() == bpdu.root_id()
+        assert decoded.bridge_id() == bpdu.bridge_id()
+        assert decoded.root_path_cost == 19
+        assert decoded.port_id == 2
+        assert decoded.max_age == pytest.approx(20.0)
+        assert decoded.forward_delay == pytest.approx(15.0)
+
+    def test_encoded_length(self):
+        assert len(_config_bpdu().encode()) == ConfigBpdu.ENCODED_LENGTH
+
+    def test_topology_change_flag(self):
+        decoded = ConfigBpdu.decode(_config_bpdu(topology_change=True).encode())
+        assert decoded.topology_change
+
+    def test_time_resolution(self):
+        decoded = ConfigBpdu.decode(_config_bpdu(message_age=1.25).encode())
+        assert decoded.message_age == pytest.approx(1.25)
+
+    def test_short_input_rejected(self):
+        with pytest.raises(ValueError):
+            ConfigBpdu.decode(b"\x00" * 10)
+
+    def test_wrong_protocol_rejected(self):
+        data = bytearray(_config_bpdu().encode())
+        data[0] = 0xEE
+        with pytest.raises(ValueError):
+            ConfigBpdu.decode(bytes(data))
+
+    def test_dec_pdu_is_not_a_valid_config_bpdu(self):
+        dec = DecBpdu(0x8000, MAC_A, 0, 0x8000, MAC_B, 1)
+        with pytest.raises(ValueError):
+            ConfigBpdu.decode(dec.encode())
+
+    @given(
+        st.integers(min_value=0, max_value=0xFFFF),
+        st.binary(min_size=6, max_size=6),
+        st.integers(min_value=0, max_value=0xFFFFFF),
+        st.integers(min_value=0, max_value=0xFFFF),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_any(self, priority, mac, cost, port_id):
+        bpdu = _config_bpdu(
+            root_priority=priority, root_mac=mac, root_path_cost=cost, port_id=port_id
+        )
+        decoded = ConfigBpdu.decode(bpdu.encode())
+        assert decoded.root_priority == priority
+        assert decoded.root_mac == mac
+        assert decoded.root_path_cost == cost
+        assert decoded.port_id == port_id
+
+
+class TestDecBpdu:
+    def test_roundtrip(self):
+        pdu = DecBpdu(0x8000, MAC_A, 38, 0x9000, MAC_B, 7, message_age=2.0)
+        decoded = DecBpdu.decode(pdu.encode())
+        assert decoded.root_id() == (0x8000, MAC_A)
+        assert decoded.bridge_id() == (0x9000, MAC_B)
+        assert decoded.root_path_cost == 38
+        assert decoded.port_id == 7
+
+    def test_encoded_length(self):
+        pdu = DecBpdu(0x8000, MAC_A, 0, 0x8000, MAC_B, 1)
+        assert len(pdu.encode()) == DecBpdu.ENCODED_LENGTH
+
+    def test_formats_are_incompatible(self):
+        config = ConfigBpdu(0x8000, MAC_A, 0, 0x8000, MAC_B, 1)
+        with pytest.raises(ValueError):
+            DecBpdu.decode(config.encode())
+
+    def test_topology_change_flag(self):
+        pdu = DecBpdu(0x8000, MAC_A, 0, 0x8000, MAC_B, 1, topology_change=True)
+        assert DecBpdu.decode(pdu.encode()).topology_change
+
+    def test_short_input_rejected(self):
+        with pytest.raises(ValueError):
+            DecBpdu.decode(b"\xe1\x01")
+
+    @given(
+        st.integers(min_value=0, max_value=0xFFFF),
+        st.binary(min_size=6, max_size=6),
+        st.integers(min_value=0, max_value=0xFFFF),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_any(self, priority, mac, cost):
+        pdu = DecBpdu(priority, mac, cost, 0x8000, MAC_B, 1)
+        decoded = DecBpdu.decode(pdu.encode())
+        assert decoded.root_priority == priority
+        assert decoded.root_mac == mac
+        assert decoded.root_path_cost == cost
+
+    def test_same_logical_content_different_bytes(self):
+        config = ConfigBpdu(0x8000, MAC_A, 19, 0x8000, MAC_B, 1)
+        dec = DecBpdu(0x8000, MAC_A, 19, 0x8000, MAC_B, 1)
+        assert config.root_id() == dec.root_id()
+        assert config.encode() != dec.encode()

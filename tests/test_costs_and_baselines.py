@@ -1,0 +1,208 @@
+"""Tests for the cost model, the CPU queue, and the baseline network elements."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.c_repeater import BufferedRepeater
+from repro.baselines.static_bridge import StaticLearningBridge
+from repro.costs.cpu import CpuQueue
+from repro.costs.model import CostModel
+from repro.lan.segment import Segment
+from repro.lan.topology import NetworkBuilder
+
+
+class TestCostModel:
+    def test_calibration_anchors(self):
+        model = CostModel()
+        # 0.47 ms inside the interpreter at 1024-byte frames (paper, 7.3).
+        assert model.switchlet_frame_cost(1024) == pytest.approx(0.47e-3, rel=0.05)
+        # ~1790 frames/second through the full bridge path at 1024 bytes.
+        assert 1600 < model.bridge_frame_rate_ceiling(1024) < 2000
+        # ~2100 frames/second interpreter-only ceiling.
+        assert 1900 < model.interpreter_frame_rate_ceiling(1024) < 2300
+
+    def test_bridge_cost_composition(self):
+        model = CostModel()
+        assert model.bridge_frame_cost(500) == pytest.approx(
+            2 * model.kernel_crossing_cost + model.switchlet_frame_cost(500)
+        )
+
+    def test_repeater_cheaper_than_bridge(self):
+        model = CostModel()
+        for size in (64, 512, 1500):
+            assert model.repeater_frame_cost_total(size) < model.bridge_frame_cost(size)
+
+    def test_native_code_ablation(self):
+        model = CostModel()
+        native = model.with_native_code(10.0)
+        assert native.interpreter_frame_cost == pytest.approx(model.interpreter_frame_cost / 10)
+        assert native.kernel_crossing_cost == model.kernel_crossing_cost
+
+    def test_user_level_networking_ablation(self):
+        model = CostModel()
+        unet = model.with_user_level_networking(0.9)
+        assert unet.kernel_crossing_cost == pytest.approx(model.kernel_crossing_cost * 0.1)
+
+    def test_gc_ablation_and_scaling(self):
+        model = CostModel().with_gc_pauses(0.5, 3e-3)
+        assert model.gc_pause_duration == 3e-3
+        scaled = CostModel().scaled(2.0)
+        assert scaled.interpreter_frame_cost == pytest.approx(2 * CostModel().interpreter_frame_cost)
+
+    def test_load_cost_positive(self):
+        assert CostModel().load_cost() > 0
+
+    @given(st.integers(min_value=0, max_value=9000))
+    @settings(max_examples=50, deadline=None)
+    def test_costs_monotonic_in_size(self, size):
+        model = CostModel()
+        assert model.bridge_frame_cost(size + 1) >= model.bridge_frame_cost(size)
+        assert model.host_frame_cost_total(size + 1) >= model.host_frame_cost_total(size)
+
+
+class TestCpuQueue:
+    def test_items_serialize(self, sim):
+        cpu = CpuQueue(sim, "cpu")
+        done = []
+        cpu.submit(1.0, lambda: done.append(sim.now))
+        cpu.submit(1.0, lambda: done.append(sim.now))
+        cpu.submit(0.5, lambda: done.append(sim.now))
+        sim.run()
+        assert done == [pytest.approx(1.0), pytest.approx(2.0), pytest.approx(2.5)]
+        assert cpu.items_processed == 3
+        assert cpu.busy_time == pytest.approx(2.5)
+
+    def test_fifo_order(self, sim):
+        cpu = CpuQueue(sim, "cpu")
+        order = []
+        for index in range(5):
+            cpu.submit(0.1, lambda i=index: order.append(i))
+        sim.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_stall_delays_service(self, sim):
+        cpu = CpuQueue(sim, "cpu")
+        done = []
+        cpu.stall(2.0)
+        cpu.submit(0.5, lambda: done.append(sim.now))
+        sim.run()
+        assert done == [pytest.approx(2.5)]
+
+    def test_negative_cost_clamped(self, sim):
+        cpu = CpuQueue(sim, "cpu")
+        done = []
+        cpu.submit(-5.0, lambda: done.append(sim.now))
+        sim.run()
+        assert done == [pytest.approx(0.0)]
+
+    def test_utilization(self, sim):
+        cpu = CpuQueue(sim, "cpu")
+        cpu.submit(1.0, lambda: None)
+        sim.run_until(4.0)
+        assert cpu.utilization() == pytest.approx(0.25)
+
+    def test_max_queue_depth(self, sim):
+        cpu = CpuQueue(sim, "cpu")
+        for _ in range(4):
+            cpu.submit(0.1, lambda: None)
+        assert cpu.max_queue_depth >= 3
+        sim.run()
+
+
+def _two_lan_pair(device_factory):
+    builder = NetworkBuilder(seed=17)
+    builder.add_segment("lan1")
+    builder.add_segment("lan2")
+    host1 = builder.add_host("h1", "lan1")
+    host2 = builder.add_host("h2", "lan2")
+    builder.populate_static_arp()
+    network = builder.build()
+    device = device_factory(network)
+    device.add_interface("eth0", network.segment("lan1"))
+    device.add_interface("eth1", network.segment("lan2"))
+    return network, device, host1, host2
+
+
+def _ping_works(network, host1, host2):
+    replies = []
+    host1.stack.add_icmp_handler(lambda m, s: replies.append(m.is_reply))
+    host1.ping(host2.ip, 3, 1, b"x" * 128)
+    network.sim.run_until(network.sim.now + 2.0)
+    return True in replies
+
+
+class TestBufferedRepeater:
+    def test_forwards_between_lans(self):
+        network, repeater, host1, host2 = _two_lan_pair(
+            lambda net: BufferedRepeater(net.sim, "rep")
+        )
+        assert _ping_works(network, host1, host2)
+        assert repeater.frames_repeated > 0
+        assert repeater.statistics()["frames_received"] > 0
+
+    def test_repeats_blindly_even_local_traffic(self):
+        network, repeater, host1, host2 = _two_lan_pair(
+            lambda net: BufferedRepeater(net.sim, "rep")
+        )
+        # Traffic addressed to a host on the same LAN is still copied across:
+        # the repeater has no learning.
+        from repro.ethernet.frame import EthernetFrame
+        from repro.ethernet.mac import MacAddress
+
+        frame = EthernetFrame(
+            destination=host1.mac,
+            source=MacAddress.locally_administered(500),
+            ethertype=0x88B6,
+            payload=b"local",
+        )
+        host1.send_raw_frame(frame)
+        network.sim.run_until(1.0)
+        assert repeater.frames_repeated >= 1
+
+    def test_duplicate_interface_rejected(self, sim):
+        repeater = BufferedRepeater(sim, "rep")
+        segment = Segment(sim, "lan")
+        repeater.add_interface("eth0", segment)
+        from repro.exceptions import TopologyError
+
+        with pytest.raises(TopologyError):
+            repeater.add_interface("eth0", segment)
+
+
+class TestStaticLearningBridge:
+    def test_forwards_and_learns(self):
+        network, bridge, host1, host2 = _two_lan_pair(
+            lambda net: StaticLearningBridge(net.sim, "lanbridge")
+        )
+        assert _ping_works(network, host1, host2)
+        learned = bridge.learned_ports()
+        assert str(host1.mac) in learned
+        assert str(host2.mac) in learned
+        assert bridge.statistics()["frames_forwarded"] + bridge.statistics()["frames_flooded"] > 0
+
+    def test_filters_local_traffic(self):
+        network, bridge, host1, host2 = _two_lan_pair(
+            lambda net: StaticLearningBridge(net.sim, "lanbridge")
+        )
+        assert _ping_works(network, host1, host2)
+        from repro.ethernet.frame import EthernetFrame
+        from repro.ethernet.mac import MacAddress
+
+        frame = EthernetFrame(
+            destination=host1.mac,
+            source=MacAddress.locally_administered(501),
+            ethertype=0x88B6,
+            payload=b"stays put",
+        )
+        host1.send_raw_frame(frame)
+        network.sim.run_until(network.sim.now + 1.0)
+        assert bridge.statistics()["frames_filtered"] >= 1
+
+    def test_is_much_faster_than_active_bridge(self):
+        model = CostModel()
+        assert StaticLearningBridge(NetworkBuilder(seed=1).sim, "x").frame_cost < (
+            model.bridge_frame_cost(1024) / 10
+        )

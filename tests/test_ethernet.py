@@ -1,0 +1,233 @@
+"""Tests for the Ethernet substrate (MAC addresses, CRC, frames)."""
+
+from __future__ import annotations
+
+import zlib
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ethernet.crc import crc32_ethernet, verify_crc32
+from repro.ethernet.ethertype import EtherType
+from repro.ethernet.frame import (
+    EthernetFrame,
+    HEADER_LENGTH,
+    FCS_LENGTH,
+    MIN_PAYLOAD,
+    MAX_PAYLOAD,
+)
+from repro.ethernet.mac import (
+    ALL_BRIDGES_MULTICAST,
+    BROADCAST,
+    DEC_MANAGEMENT_MULTICAST,
+    MacAddress,
+)
+from repro.exceptions import FrameError
+
+
+# ---------------------------------------------------------------------------
+# MAC addresses
+# ---------------------------------------------------------------------------
+
+
+class TestMacAddress:
+    def test_string_roundtrip(self):
+        mac = MacAddress.from_string("aa:bb:cc:dd:ee:ff")
+        assert str(mac) == "aa:bb:cc:dd:ee:ff"
+        assert MacAddress.from_string(str(mac)) == mac
+
+    def test_dash_separator_accepted(self):
+        assert MacAddress.from_string("aa-bb-cc-dd-ee-ff") == MacAddress.from_string(
+            "aa:bb:cc:dd:ee:ff"
+        )
+
+    def test_int_roundtrip(self):
+        mac = MacAddress.from_int(0x0000_0A0B_0C0D)
+        assert mac.to_int() == 0x0A0B0C0D
+        assert MacAddress.from_int(mac.to_int()) == mac
+
+    def test_invalid_length_rejected(self):
+        with pytest.raises(FrameError):
+            MacAddress(b"\x01\x02\x03")
+
+    def test_invalid_string_rejected(self):
+        with pytest.raises(FrameError):
+            MacAddress.from_string("not-a-mac")
+        with pytest.raises(FrameError):
+            MacAddress.from_string("zz:bb:cc:dd:ee:ff")
+
+    def test_broadcast_properties(self):
+        assert BROADCAST.is_broadcast
+        assert BROADCAST.is_multicast
+        assert not BROADCAST.is_unicast
+
+    def test_well_known_multicast_groups(self):
+        assert ALL_BRIDGES_MULTICAST.is_multicast
+        assert not ALL_BRIDGES_MULTICAST.is_broadcast
+        assert DEC_MANAGEMENT_MULTICAST.is_multicast
+        assert ALL_BRIDGES_MULTICAST != DEC_MANAGEMENT_MULTICAST
+
+    def test_locally_administered(self):
+        mac = MacAddress.locally_administered(42)
+        assert mac.is_locally_administered
+        assert mac.is_unicast
+        assert MacAddress.locally_administered(42) == mac
+        assert MacAddress.locally_administered(43) != mac
+
+    def test_locally_administered_range_check(self):
+        with pytest.raises(FrameError):
+            MacAddress.locally_administered(1 << 24)
+
+    def test_ordering_and_hashing(self):
+        low = MacAddress.from_string("00:00:00:00:00:01")
+        high = MacAddress.from_string("00:00:00:00:00:02")
+        assert low < high
+        assert len({low, high, MacAddress.from_string("00:00:00:00:00:01")}) == 2
+
+    @given(st.binary(min_size=6, max_size=6))
+    def test_octets_roundtrip(self, octets):
+        assert MacAddress(octets).octets == octets
+
+
+# ---------------------------------------------------------------------------
+# CRC-32
+# ---------------------------------------------------------------------------
+
+
+class TestCrc:
+    def test_matches_zlib(self):
+        data = b"active bridging"
+        assert crc32_ethernet(data) == zlib.crc32(data) & 0xFFFFFFFF
+
+    def test_verify(self):
+        data = b"hello world"
+        assert verify_crc32(data, crc32_ethernet(data))
+        assert not verify_crc32(data, crc32_ethernet(data) ^ 1)
+
+    def test_empty_input(self):
+        assert crc32_ethernet(b"") == zlib.crc32(b"") & 0xFFFFFFFF
+
+    @given(st.binary(max_size=2048))
+    @settings(max_examples=100, deadline=None)
+    def test_always_matches_zlib(self, data):
+        assert crc32_ethernet(data) == zlib.crc32(data) & 0xFFFFFFFF
+
+
+# ---------------------------------------------------------------------------
+# EtherType
+# ---------------------------------------------------------------------------
+
+
+class TestEtherType:
+    def test_describe_known(self):
+        assert EtherType.describe(0x0800) == "IPV4"
+
+    def test_describe_unknown(self):
+        assert EtherType.describe(0x1234) == "0x1234"
+
+    def test_values_are_distinct(self):
+        values = [int(member) for member in EtherType]
+        assert len(values) == len(set(values))
+
+
+# ---------------------------------------------------------------------------
+# Frames
+# ---------------------------------------------------------------------------
+
+
+def _make_frame(payload=b"hello", ethertype=EtherType.IPV4):
+    return EthernetFrame(
+        destination=MacAddress.from_string("02:00:00:00:00:02"),
+        source=MacAddress.from_string("02:00:00:00:00:01"),
+        ethertype=int(ethertype),
+        payload=payload,
+    )
+
+
+class TestEthernetFrame:
+    def test_encode_decode_roundtrip(self):
+        frame = _make_frame(b"payload bytes")
+        decoded = EthernetFrame.decode(frame.encode())
+        assert decoded.destination == frame.destination
+        assert decoded.source == frame.source
+        assert decoded.ethertype == frame.ethertype
+        # Short payloads come back padded; the prefix must match.
+        assert decoded.payload[: len(frame.payload)] == frame.payload
+
+    def test_padding_to_minimum(self):
+        frame = _make_frame(b"x")
+        assert len(frame.padded_payload) == MIN_PAYLOAD
+        assert frame.frame_length == HEADER_LENGTH + MIN_PAYLOAD + FCS_LENGTH
+
+    def test_long_payload_not_padded(self):
+        frame = _make_frame(b"a" * 1000)
+        assert len(frame.padded_payload) == 1000
+
+    def test_mtu_enforced(self):
+        with pytest.raises(FrameError):
+            _make_frame(b"a" * (MAX_PAYLOAD + 1))
+
+    def test_bad_fcs_rejected(self):
+        encoded = bytearray(_make_frame(b"corrupt me please").encode())
+        encoded[20] ^= 0xFF
+        with pytest.raises(FrameError):
+            EthernetFrame.decode(bytes(encoded))
+
+    def test_bad_fcs_ignored_when_not_verifying(self):
+        encoded = bytearray(_make_frame(b"corrupt me please").encode())
+        encoded[20] ^= 0xFF
+        frame = EthernetFrame.decode(bytes(encoded), verify_fcs=False)
+        assert frame.source == MacAddress.from_string("02:00:00:00:00:01")
+
+    def test_too_short_rejected(self):
+        with pytest.raises(FrameError):
+            EthernetFrame.decode(b"\x00" * 10)
+
+    def test_multicast_and_broadcast_flags(self):
+        unicast = _make_frame()
+        assert not unicast.is_multicast
+        broadcast = EthernetFrame(
+            destination=BROADCAST,
+            source=MacAddress.from_string("02:00:00:00:00:01"),
+            ethertype=int(EtherType.ARP),
+            payload=b"",
+        )
+        assert broadcast.is_broadcast
+        assert broadcast.is_multicast
+
+    def test_invalid_ethertype(self):
+        with pytest.raises(FrameError):
+            EthernetFrame(
+                destination=BROADCAST,
+                source=MacAddress.from_string("02:00:00:00:00:01"),
+                ethertype=0x1_0000,
+                payload=b"",
+            )
+
+    def test_wire_length_includes_overheads(self):
+        frame = _make_frame(b"a" * 100)
+        assert frame.wire_length > frame.frame_length
+
+    def test_with_payload(self):
+        frame = _make_frame(b"one")
+        other = frame.with_payload(b"two")
+        assert other.payload == b"two"
+        assert other.source == frame.source
+
+    def test_describe_mentions_type(self):
+        assert "IPV4" in _make_frame().describe()
+
+    @given(st.binary(min_size=MIN_PAYLOAD, max_size=MAX_PAYLOAD))
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_payload_exact_when_at_least_minimum(self, payload):
+        frame = _make_frame(payload)
+        decoded = EthernetFrame.decode(frame.encode())
+        assert decoded.payload == payload
+
+    @given(st.integers(min_value=0, max_value=MAX_PAYLOAD))
+    @settings(max_examples=50, deadline=None)
+    def test_frame_length_formula(self, size):
+        frame = _make_frame(b"z" * size)
+        expected_payload = max(size, MIN_PAYLOAD)
+        assert frame.frame_length == HEADER_LENGTH + expected_payload + FCS_LENGTH

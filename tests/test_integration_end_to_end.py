@@ -1,0 +1,104 @@
+"""End-to-end integration tests spanning the whole stack.
+
+These are the "shape" properties of the paper's evaluation, asserted at test
+scale: ordering of the three configurations, the value of learning, and the
+determinism of whole experiments.
+"""
+
+from __future__ import annotations
+
+from repro.measurement.ping import PingRunner
+from repro.measurement.setups import (
+    build_bridged_pair,
+    build_direct_pair,
+    build_repeater_pair,
+)
+from repro.measurement.ttcp import TtcpSession
+
+
+def _mean_rtt(setup, size=512, count=5):
+    runner = PingRunner(
+        setup.network.sim, setup.left, setup.right.ip, size, count=count, interval=0.05
+    )
+    return runner.run(start_time=setup.ready_time).mean_rtt_ms()
+
+
+class TestFigureShapes:
+    def test_latency_ordering_direct_repeater_bridge(self):
+        direct = _mean_rtt(build_direct_pair(seed=31))
+        repeater = _mean_rtt(build_repeater_pair(seed=31))
+        bridged = _mean_rtt(build_bridged_pair(seed=31, include_spanning_tree=False))
+        assert direct < repeater < bridged
+
+    def test_throughput_ordering_direct_repeater_bridge(self):
+        results = {}
+        for label, builder in (
+            ("direct", build_direct_pair),
+            ("repeater", build_repeater_pair),
+            ("bridge", lambda seed: build_bridged_pair(seed=seed, include_spanning_tree=False)),
+        ):
+            setup = builder(seed=32)
+            session = TtcpSession(
+                setup.network.sim, setup.left, setup.right, buffer_size=4096, total_bytes=120_000
+            )
+            results[label] = session.run(start_time=setup.ready_time).throughput_mbps
+        assert results["direct"] > results["repeater"] > results["bridge"]
+
+    def test_full_bridge_forwards_after_spanning_tree_warmup(self):
+        setup = build_bridged_pair(seed=33)
+        runner = PingRunner(
+            setup.network.sim, setup.left, setup.right.ip, 256, count=4, interval=0.1
+        )
+        result = runner.run(start_time=setup.ready_time)
+        assert result.received == result.sent
+
+
+class TestLearningValue:
+    def test_learning_reduces_cross_lan_traffic(self):
+        # With only the dumb bridge, local traffic on lan2 is copied onto
+        # lan1; with learning it is filtered once the bridge knows better.
+        flooded_counts = {}
+        for label, include_learning in (("dumb", False), ("learning", True)):
+            setup = build_bridged_pair(
+                seed=34, include_spanning_tree=False, include_learning=include_learning
+            )
+            sim = setup.network.sim
+            # Teach the bridge about both hosts (a ping exchange), then send
+            # lan2-local traffic and count what leaks onto lan1.
+            PingRunner(sim, setup.left, setup.right.ip, 64, count=2, interval=0.05).run(
+                start_time=setup.ready_time
+            )
+            lan1 = setup.network.segment("lan1")
+            carried_before = lan1.frames_carried
+            from repro.ethernet.frame import EthernetFrame
+            from repro.ethernet.mac import MacAddress
+
+            for sequence in range(5):
+                frame = EthernetFrame(
+                    destination=setup.right.mac,  # learned to be on lan2
+                    source=MacAddress.locally_administered(900 + sequence),
+                    ethertype=0x88B6,
+                    payload=b"local-only",
+                )
+                setup.right.send_raw_frame(frame)
+            sim.run_until(sim.now + 1.0)
+            flooded_counts[label] = lan1.frames_carried - carried_before
+        assert flooded_counts["learning"] < flooded_counts["dumb"]
+
+
+class TestDeterminism:
+    def test_identical_seeds_give_identical_experiments(self):
+        def run_once():
+            setup = build_bridged_pair(seed=35, include_spanning_tree=False)
+            session = TtcpSession(
+                setup.network.sim, setup.left, setup.right, buffer_size=2048, total_bytes=60_000
+            )
+            result = session.run(start_time=setup.ready_time)
+            return (
+                result.throughput_mbps,
+                result.segments_received,
+                setup.network.sim.events_dispatched,
+                len(setup.network.sim.trace),
+            )
+
+        assert run_once() == run_once()

@@ -1,0 +1,227 @@
+"""Tests for the measurement tools, the experiment setups, and the analysis helpers."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.figures import render_ascii_chart, render_series, series_from_results
+from repro.analysis.report import ExperimentReport
+from repro.analysis.tables import render_kv, render_table
+from repro.costs.model import CostModel
+from repro.measurement import stats
+from repro.measurement.framerate import FrameRateProbe, bridge_ceiling, interpreter_ceiling
+from repro.measurement.ping import PingRunner, ping_sweep
+from repro.measurement.setups import (
+    build_bridged_pair,
+    build_direct_pair,
+    build_repeater_pair,
+    build_ring,
+    build_static_bridge_pair,
+)
+from repro.measurement.ttcp import TtcpSession
+
+
+# ---------------------------------------------------------------------------
+# Statistics helpers
+# ---------------------------------------------------------------------------
+
+
+class TestStats:
+    def test_mean_median_stdev(self):
+        data = [1.0, 2.0, 3.0, 4.0]
+        assert stats.mean(data) == pytest.approx(2.5)
+        assert stats.median(data) == pytest.approx(2.5)
+        assert stats.median([1.0, 2.0, 9.0]) == pytest.approx(2.0)
+        assert stats.stdev([2.0, 2.0]) == 0.0
+
+    def test_empty_inputs(self):
+        assert stats.mean([]) == 0.0
+        assert stats.median([]) == 0.0
+        assert stats.percentile([], 0.5) == 0.0
+        assert stats.summarize([])["count"] == 0.0
+
+    def test_percentile_bounds(self):
+        data = [1.0, 2.0, 3.0, 4.0, 5.0]
+        assert stats.percentile(data, 0.0) == 1.0
+        assert stats.percentile(data, 1.0) == 5.0
+        assert stats.percentile(data, 0.5) == pytest.approx(3.0)
+
+    def test_megabits(self):
+        assert stats.megabits_per_second(1_000_000, 1.0) == pytest.approx(8.0)
+        assert stats.megabits_per_second(100, 0.0) == 0.0
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6, allow_nan=False), min_size=1, max_size=50))
+    @settings(max_examples=40, deadline=None)
+    def test_summary_invariants(self, data):
+        summary = stats.summarize(data)
+        assert summary["min"] <= summary["median"] <= summary["max"]
+        assert summary["min"] <= summary["mean"] <= summary["max"]
+
+
+# ---------------------------------------------------------------------------
+# Setups
+# ---------------------------------------------------------------------------
+
+
+class TestSetups:
+    def test_pair_setups_have_expected_components(self):
+        direct = build_direct_pair(seed=1)
+        assert direct.device is None
+        repeater = build_repeater_pair(seed=1)
+        assert repeater.device is not None
+        static = build_static_bridge_pair(seed=1)
+        assert static.label == "static-bridge"
+        bridged = build_bridged_pair(seed=1, include_spanning_tree=False)
+        assert bridged.device.loader.loaded_names() == ["dumb-bridge", "learning-bridge"]
+        assert bridged.ready_time < 1.0
+        full = build_bridged_pair(seed=1)
+        assert full.ready_time > 30.0
+        assert "spanning-tree-802.1d" in full.device.loader.loaded_names()
+
+    def test_ring_setup(self):
+        ring = build_ring(n_bridges=2, seed=1)
+        assert len(ring.bridges) == 2
+        assert ring.left_segment is not ring.right_segment
+        for bridge in ring.bridges:
+            names = bridge.loader.loaded_names()
+            assert "spanning-tree-dec" in names
+            assert "spanning-tree-802.1d" in names
+            assert "transition-control" in names
+
+    def test_ring_requires_at_least_one_bridge(self):
+        with pytest.raises(ValueError):
+            build_ring(n_bridges=0)
+
+
+# ---------------------------------------------------------------------------
+# Ping / ttcp tools
+# ---------------------------------------------------------------------------
+
+
+class TestPingTool:
+    def test_counts_and_rtts(self):
+        setup = build_direct_pair(seed=3)
+        runner = PingRunner(setup.network.sim, setup.left, setup.right.ip, 128, count=5,
+                            interval=0.05)
+        result = runner.run(start_time=0.1)
+        assert result.sent == 5
+        assert result.received == 5
+        assert result.loss_fraction == 0.0
+        assert len(result.rtts) == 5
+        assert result.mean_rtt_ms() > 0
+
+    def test_sweep_orders_by_size(self):
+        setup = build_direct_pair(seed=3)
+        results = ping_sweep(setup.network.sim, setup.left, setup.right.ip,
+                             [64, 1024], start_time=0.1, count=3, interval=0.05)
+        assert results[1024].summary()["mean"] > results[64].summary()["mean"]
+
+    def test_oversized_payload_clamped(self):
+        setup = build_direct_pair(seed=3)
+        runner = PingRunner(setup.network.sim, setup.left, setup.right.ip, 9000, count=1)
+        assert runner.payload_size <= 1472
+
+
+class TestTtcpTool:
+    def test_transfer_completes_and_reports(self):
+        setup = build_direct_pair(seed=4)
+        session = TtcpSession(setup.network.sim, setup.left, setup.right,
+                              buffer_size=1024, total_bytes=50_000)
+        result = session.run(start_time=0.1)
+        assert result.completed
+        assert result.bytes_received == 50_000
+        assert result.throughput_mbps > 0
+        assert result.segments_received == session.total_segments
+
+    def test_large_writes_split_into_segments(self):
+        setup = build_direct_pair(seed=4)
+        session = TtcpSession(setup.network.sim, setup.left, setup.right,
+                              buffer_size=8192, total_bytes=8192 * 3)
+        assert session.total_segments > 3 * 5
+        result = session.run(start_time=0.1)
+        assert result.completed
+
+    def test_bridged_slower_than_direct(self):
+        direct = build_direct_pair(seed=5)
+        direct_result = TtcpSession(direct.network.sim, direct.left, direct.right,
+                                    buffer_size=4096, total_bytes=100_000).run(0.1)
+        bridged = build_bridged_pair(seed=5, include_spanning_tree=False)
+        bridged_result = TtcpSession(bridged.network.sim, bridged.left, bridged.right,
+                                     buffer_size=4096, total_bytes=100_000).run(0.2)
+        assert direct_result.throughput_mbps > bridged_result.throughput_mbps
+
+    def test_invalid_parameters(self):
+        setup = build_direct_pair(seed=6)
+        with pytest.raises(ValueError):
+            TtcpSession(setup.network.sim, setup.left, setup.right, buffer_size=0, total_bytes=10)
+        with pytest.raises(ValueError):
+            TtcpSession(setup.network.sim, setup.left, setup.right, buffer_size=10, total_bytes=0)
+
+
+class TestFrameRateTool:
+    def test_probe_measures_forwarding(self):
+        setup = build_bridged_pair(seed=7, include_spanning_tree=False)
+        sim = setup.network.sim
+        session = TtcpSession(sim, setup.left, setup.right, buffer_size=1024, total_bytes=40_000)
+        probe = FrameRateProbe(sim, setup.device)
+        probe.start()
+        session.start(0.1)
+        while not session.result.completed and sim.now < 60.0:
+            sim.run_until(sim.now + 0.02)
+        sample = probe.stop()
+        assert sample.frames > 0
+        assert 0 < sample.frames_per_second < interpreter_ceiling(CostModel(), 64)
+
+    def test_probe_requires_start(self, sim):
+        probe = FrameRateProbe(sim, type("S", (), {"frames_transmitted": 0})())
+        with pytest.raises(RuntimeError):
+            probe.stop()
+
+    def test_ceilings_ordering(self):
+        model = CostModel()
+        assert bridge_ceiling(model, 1024) < interpreter_ceiling(model, 1024)
+
+
+# ---------------------------------------------------------------------------
+# Analysis helpers
+# ---------------------------------------------------------------------------
+
+
+class TestAnalysis:
+    def test_render_table_aligns_and_includes_cells(self):
+        text = render_table(["a", "column"], [[1, "x"], [22, "yy"]], title="T")
+        assert "T" in text
+        assert "| 22" in text
+        assert "column" in text
+
+    def test_render_kv(self):
+        text = render_kv({"alpha": 1, "beta": 2.5}, title="K")
+        assert "alpha" in text and "2.500" in text
+
+    def test_render_series_handles_missing_points(self):
+        text = render_series("x", [1, 2, 3], {"s": [1.0, 2.0]})
+        assert "-" in text
+
+    def test_render_ascii_chart(self):
+        text = render_ascii_chart({"s": [1.0, 2.0, 4.0]}, width=10, title="chart")
+        assert "chart" in text
+        assert "#" in text
+
+    def test_series_from_results(self):
+        class R:
+            def __init__(self, v):
+                self.value = v
+
+        results = {2: R(20), 1: R(10)}
+        assert series_from_results(results, "value") == [10, 20]
+
+    def test_experiment_report(self):
+        report = ExperimentReport("title")
+        report.add("Figure 10", "throughput", "16 Mb/s", "13.2 Mb/s", "simulated")
+        report.add("Figure 9", "latency", "x", "y")
+        assert len(report.find("Figure 10")) == 1
+        assert report.find("Figure 9", "latency")[0].measured_value == "y"
+        rendered = report.render()
+        assert "Figure 10" in rendered and "13.2 Mb/s" in rendered

@@ -1,0 +1,242 @@
+"""Tests for the minimal IP / UDP / ICMP wire formats and the Internet checksum."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ChecksumError, PacketError
+from repro.netstack.checksum import internet_checksum, verify_checksum
+from repro.netstack.icmp import IcmpMessage, IcmpType
+from repro.netstack.ip import IPv4Address, IPv4Packet, IpProtocol, IPV4_HEADER_LENGTH
+from repro.netstack.udp import UdpDatagram
+
+SRC = IPv4Address.from_string("10.0.0.1")
+DST = IPv4Address.from_string("10.0.0.2")
+
+
+# ---------------------------------------------------------------------------
+# Internet checksum
+# ---------------------------------------------------------------------------
+
+
+class TestChecksum:
+    def test_rfc1071_example(self):
+        # Classic example from RFC 1071 section 3.
+        data = bytes([0x00, 0x01, 0xF2, 0x03, 0xF4, 0xF5, 0xF6, 0xF7])
+        assert internet_checksum(data) == 0xFFFF - ((0x0001 + 0xF203 + 0xF4F5 + 0xF6F7) % 0xFFFF)
+
+    def test_odd_length_padded(self):
+        assert internet_checksum(b"\x01") == internet_checksum(b"\x01\x00")
+
+    def test_verify_on_packet_with_embedded_checksum(self):
+        data = bytearray(b"\x45\x00\x00\x14\x00\x00\x00\x00\x40\x11\x00\x00\x0a\x00\x00\x01\x0a\x00\x00\x02")
+        checksum = internet_checksum(bytes(data))
+        data[10:12] = checksum.to_bytes(2, "big")
+        assert verify_checksum(bytes(data))
+
+    @given(st.binary(max_size=256))
+    @settings(max_examples=100, deadline=None)
+    def test_data_plus_checksum_always_verifies(self, data):
+        checksum = internet_checksum(data)
+        assert verify_checksum(data + checksum.to_bytes(2, "big")) or len(data) % 2 == 1
+
+
+# ---------------------------------------------------------------------------
+# IPv4 addresses
+# ---------------------------------------------------------------------------
+
+
+class TestIPv4Address:
+    def test_string_roundtrip(self):
+        address = IPv4Address.from_string("192.168.1.17")
+        assert str(address) == "192.168.1.17"
+
+    def test_bytes_roundtrip(self):
+        address = IPv4Address.from_string("10.1.2.3")
+        assert IPv4Address.from_bytes(address.to_bytes()) == address
+
+    def test_bad_strings_rejected(self):
+        for text in ("10.0.0", "10.0.0.256", "a.b.c.d", ""):
+            with pytest.raises(PacketError):
+                IPv4Address.from_string(text)
+
+    def test_ordering_and_hashing(self):
+        low = IPv4Address.from_string("10.0.0.1")
+        high = IPv4Address.from_string("10.0.0.2")
+        assert low < high
+        assert len({low, high, IPv4Address.from_string("10.0.0.1")}) == 2
+
+    def test_out_of_range_value(self):
+        with pytest.raises(PacketError):
+            IPv4Address(1 << 32)
+
+
+# ---------------------------------------------------------------------------
+# IPv4 packets
+# ---------------------------------------------------------------------------
+
+
+class TestIPv4Packet:
+    def test_roundtrip(self):
+        packet = IPv4Packet(SRC, DST, int(IpProtocol.UDP), b"data bytes", ttl=33)
+        decoded = IPv4Packet.decode(packet.encode())
+        assert decoded.source == SRC
+        assert decoded.destination == DST
+        assert decoded.protocol == int(IpProtocol.UDP)
+        assert decoded.payload == b"data bytes"
+        assert decoded.ttl == 33
+
+    def test_total_length(self):
+        packet = IPv4Packet(SRC, DST, 17, b"12345")
+        assert packet.total_length == IPV4_HEADER_LENGTH + 5
+
+    def test_header_checksum_verified(self):
+        encoded = bytearray(IPv4Packet(SRC, DST, 17, b"x").encode())
+        encoded[8] ^= 0xFF  # corrupt the TTL without fixing the checksum
+        with pytest.raises(ChecksumError):
+            IPv4Packet.decode(bytes(encoded))
+
+    def test_trailing_padding_ignored_via_total_length(self):
+        packet = IPv4Packet(SRC, DST, 17, b"abc")
+        padded = packet.encode() + b"\x00" * 20  # Ethernet minimum-frame padding
+        decoded = IPv4Packet.decode(padded)
+        assert decoded.payload == b"abc"
+
+    def test_fragmented_packets_rejected(self):
+        encoded = bytearray(IPv4Packet(SRC, DST, 17, b"x").encode())
+        encoded[6] = 0x20  # set "more fragments"
+        # Fix up the checksum so the fragmentation check is what trips.
+        encoded[10:12] = b"\x00\x00"
+        from repro.netstack.checksum import internet_checksum as cks
+
+        encoded[10:12] = cks(bytes(encoded[:20])).to_bytes(2, "big")
+        with pytest.raises(PacketError):
+            IPv4Packet.decode(bytes(encoded))
+
+    def test_short_packet_rejected(self):
+        with pytest.raises(PacketError):
+            IPv4Packet.decode(b"\x45\x00\x00")
+
+    def test_wrong_version_rejected(self):
+        encoded = bytearray(IPv4Packet(SRC, DST, 17, b"x").encode())
+        encoded[0] = 0x65  # version 6
+        with pytest.raises(PacketError):
+            IPv4Packet.decode(bytes(encoded))
+
+    @given(st.binary(max_size=1400), st.integers(min_value=0, max_value=255))
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_any_payload(self, payload, protocol):
+        packet = IPv4Packet(SRC, DST, protocol, payload)
+        decoded = IPv4Packet.decode(packet.encode())
+        assert decoded.payload == payload
+        assert decoded.protocol == protocol
+
+
+# ---------------------------------------------------------------------------
+# UDP
+# ---------------------------------------------------------------------------
+
+
+class TestUdp:
+    def test_roundtrip(self):
+        datagram = UdpDatagram(1234, 69, b"tftp payload")
+        decoded = UdpDatagram.decode(datagram.encode(SRC, DST), SRC, DST)
+        assert decoded.source_port == 1234
+        assert decoded.destination_port == 69
+        assert decoded.payload == b"tftp payload"
+
+    def test_checksum_verified_with_pseudo_header(self):
+        datagram = UdpDatagram(1, 2, b"abc")
+        encoded = datagram.encode(SRC, DST)
+        # Decoding against different addresses must fail the checksum.
+        other = IPv4Address.from_string("10.9.9.9")
+        with pytest.raises(ChecksumError):
+            UdpDatagram.decode(encoded, SRC, other)
+
+    def test_corrupted_payload_rejected(self):
+        encoded = bytearray(UdpDatagram(1, 2, b"abcdef").encode(SRC, DST))
+        encoded[-1] ^= 0xFF
+        with pytest.raises(ChecksumError):
+            UdpDatagram.decode(bytes(encoded), SRC, DST)
+
+    def test_trailing_padding_ignored(self):
+        encoded = UdpDatagram(5, 6, b"xy").encode(SRC, DST) + b"\x00" * 30
+        decoded = UdpDatagram.decode(encoded, SRC, DST)
+        assert decoded.payload == b"xy"
+
+    def test_port_range_enforced(self):
+        with pytest.raises(PacketError):
+            UdpDatagram(-1, 2, b"")
+        with pytest.raises(PacketError):
+            UdpDatagram(1, 70000, b"")
+
+    def test_short_datagram_rejected(self):
+        with pytest.raises(PacketError):
+            UdpDatagram.decode(b"\x00\x01", SRC, DST)
+
+    @given(
+        st.integers(min_value=0, max_value=65535),
+        st.integers(min_value=0, max_value=65535),
+        st.binary(max_size=1024),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_any(self, sport, dport, payload):
+        datagram = UdpDatagram(sport, dport, payload)
+        decoded = UdpDatagram.decode(datagram.encode(SRC, DST), SRC, DST)
+        assert decoded.source_port == sport
+        assert decoded.destination_port == dport
+        assert decoded.payload == payload
+
+
+# ---------------------------------------------------------------------------
+# ICMP
+# ---------------------------------------------------------------------------
+
+
+class TestIcmp:
+    def test_roundtrip(self):
+        message = IcmpMessage(int(IcmpType.ECHO_REQUEST), 0x1234, 7, b"ping data")
+        decoded = IcmpMessage.decode(message.encode())
+        assert decoded.is_request
+        assert decoded.identifier == 0x1234
+        assert decoded.sequence == 7
+        assert decoded.payload == b"ping data"
+
+    def test_make_reply(self):
+        request = IcmpMessage(int(IcmpType.ECHO_REQUEST), 1, 2, b"abc")
+        reply = request.make_reply()
+        assert reply.is_reply
+        assert reply.identifier == 1
+        assert reply.sequence == 2
+        assert reply.payload == b"abc"
+
+    def test_make_reply_on_reply_rejected(self):
+        reply = IcmpMessage(int(IcmpType.ECHO_REPLY), 1, 2, b"")
+        with pytest.raises(PacketError):
+            reply.make_reply()
+
+    def test_checksum_verified(self):
+        encoded = bytearray(IcmpMessage(int(IcmpType.ECHO_REQUEST), 1, 2, b"abc").encode())
+        encoded[-1] ^= 0x01
+        with pytest.raises(ChecksumError):
+            IcmpMessage.decode(bytes(encoded))
+
+    def test_unknown_type_rejected(self):
+        message = bytearray(IcmpMessage(int(IcmpType.ECHO_REQUEST), 1, 2, b"").encode())
+        message[0] = 13  # timestamp request: unsupported
+        with pytest.raises(PacketError):
+            IcmpMessage.decode(bytes(message))
+
+    def test_identifier_range_checked(self):
+        with pytest.raises(PacketError):
+            IcmpMessage(int(IcmpType.ECHO_REQUEST), 1 << 16, 0, b"")
+
+    @given(st.binary(max_size=1400), st.integers(min_value=0, max_value=65535))
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_any(self, payload, sequence):
+        message = IcmpMessage(int(IcmpType.ECHO_REQUEST), 99, sequence, payload)
+        decoded = IcmpMessage.decode(message.encode())
+        assert decoded.payload == payload
+        assert decoded.sequence == sequence

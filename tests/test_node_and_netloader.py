@@ -1,0 +1,261 @@
+"""Tests for the active node, the network loading path, and in-band capsules."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.capsule import CapsuleReceiver, decode_capsule, encode_capsule
+from repro.core.netloader import NetworkLoader
+from repro.core.node import ActiveNode
+from repro.core.switchlet import SwitchletPackage
+from repro.costs.model import CostModel
+from repro.ethernet.frame import EthernetFrame
+from repro.exceptions import PacketError, TopologyError
+from repro.lan.segment import Segment
+from repro.lan.topology import NetworkBuilder
+from repro.netstack.ip import IPv4Address
+from repro.netstack.tftp import BLOCK_SIZE, TFTP_PORT, TftpClient
+from tests.conftest import load_standard_bridge
+
+
+# ---------------------------------------------------------------------------
+# ActiveNode basics
+# ---------------------------------------------------------------------------
+
+
+class TestActiveNode:
+    def test_interfaces_registered_with_unixnet(self, sim):
+        node = ActiveNode(sim, "n")
+        node.add_interface("eth0", Segment(sim, "a"))
+        node.add_interface("eth1", Segment(sim, "b"))
+        assert node.unixnet.interface_names() == ["eth0", "eth1"]
+        assert node.interface("eth0").mac == node.unixnet.interface_mac("eth0")
+
+    def test_duplicate_interface_rejected(self, sim):
+        node = ActiveNode(sim, "n")
+        segment = Segment(sim, "a")
+        node.add_interface("eth0", segment)
+        with pytest.raises(TopologyError):
+            node.add_interface("eth0", segment)
+        with pytest.raises(TopologyError):
+            node.interface("eth7")
+
+    def test_unprogrammed_node_drops_frames(self, two_lan_bridge):
+        env = two_lan_bridge
+        # A broadcast frame reaches the (non-promiscuous) unprogrammed node,
+        # but with no switchlet loaded nothing claims or forwards it.
+        from repro.ethernet.frame import EthernetFrame
+        from repro.ethernet.mac import BROADCAST
+
+        frame = EthernetFrame(
+            destination=BROADCAST,
+            source=env["host1"].mac,
+            ethertype=0x88B6,
+            payload=b"x" * 64,
+        )
+        env["host1"].send_raw_frame(frame)
+        env["sim"].run_until(1.0)
+        bridge = env["bridge"]
+        assert bridge.frames_received > 0
+        assert bridge.frames_unclaimed > 0
+        assert bridge.frames_claimed == 0
+        assert bridge.frames_transmitted == 0
+
+    def test_programmed_node_forwards(self, programmed_bridge):
+        env = programmed_bridge
+        replies = []
+        env["host1"].stack.add_icmp_handler(lambda m, s: replies.append(m.is_reply))
+        env["host1"].ping(env["host2"].ip, 1, 1, b"x" * 64)
+        env["sim"].run_until(1.0)
+        assert True in replies
+        assert env["bridge"].frames_transmitted > 0
+
+    def test_forwarding_latency_reflects_cost_model(self):
+        results = {}
+        for label, model in (
+            ("cheap", CostModel(interpreter_frame_cost=1e-6, interpreter_byte_cost=0.0,
+                                kernel_crossing_cost=1e-6)),
+            ("expensive", CostModel(interpreter_frame_cost=5e-3, interpreter_byte_cost=0.0,
+                                    kernel_crossing_cost=1e-3)),
+        ):
+            builder = NetworkBuilder(seed=3, cost_model=model)
+            builder.add_segment("lan1")
+            builder.add_segment("lan2")
+            host1 = builder.add_host("h1", "lan1")
+            host2 = builder.add_host("h2", "lan2")
+            builder.populate_static_arp()
+            network = builder.build()
+            bridge = ActiveNode(network.sim, "bridge", cost_model=model)
+            bridge.add_interface("eth0", network.segment("lan1"))
+            bridge.add_interface("eth1", network.segment("lan2"))
+            load_standard_bridge(bridge)
+            rtts = []
+            host1.stack.add_icmp_handler(lambda m, s, sim=network.sim: rtts.append(sim.now))
+            host1.ping(host2.ip, 1, 1, b"x" * 64)
+            network.sim.run_until(2.0)
+            results[label] = rtts[0]
+        assert results["expensive"] > results["cheap"]
+
+    def test_statistics_structure(self, programmed_bridge):
+        stats = programmed_bridge["bridge"].statistics()
+        assert stats["switchlets_loaded"] == 2
+        assert "eth0" in stats["interfaces"]
+
+    def test_gc_pauses_traced_when_enabled(self, sim):
+        model = CostModel().with_gc_pauses(interval=0.5, duration=1e-3)
+        node = ActiveNode(sim, "gc-node", cost_model=model)
+        node.add_interface("eth0", Segment(sim, "a"))
+        sim.run_until(2.0)
+        assert sim.trace.count(category="node.gc_pause", source="gc-node") >= 3
+
+    def test_load_charges_cpu_time(self, sim):
+        node = ActiveNode(sim, "n")
+        node.add_interface("eth0", Segment(sim, "a"))
+        package = SwitchletPackage.build("p", "x = 1", node.environment.modules)
+        node.load_switchlet(package)
+        sim.run()
+        assert node.cpu.busy_time >= node.costs.load_cost() * 0.99
+
+
+# ---------------------------------------------------------------------------
+# Network loading path (Section 5.2)
+# ---------------------------------------------------------------------------
+
+
+def _loader_setup():
+    """A host and an unprogrammed node on one LAN, with a NetworkLoader installed."""
+    builder = NetworkBuilder(seed=11)
+    builder.add_segment("lan1")
+    host = builder.add_host("admin", "lan1")
+    network = builder.build()
+    node = ActiveNode(network.sim, "target")
+    node.add_interface("eth0", network.segment("lan1"))
+    node_ip = IPv4Address.from_string("10.0.0.200")
+    loader = NetworkLoader(node, node_ip, interface="eth0")
+    host.stack.add_static_arp(node_ip, node.interface("eth0").mac)
+    return network, host, node, loader, node_ip
+
+
+class TestNetworkLoader:
+    def test_switchlet_loaded_over_tftp(self):
+        network, host, node, loader, node_ip = _loader_setup()
+        package = SwitchletPackage.build(
+            "remote-switchlet",
+            "Func.register('remotely-installed', lambda: 'it works')",
+            node.environment.modules,
+        )
+        payload = package.to_bytes()
+        assert len(payload) > BLOCK_SIZE  # exercises multi-block transfers
+
+        outcome = []
+        client = TftpClient(
+            send=lambda data, remote: host.send_udp(node_ip, TFTP_PORT, 4000, data),
+            filename="remote-switchlet.bin",
+            data=payload,
+            remote=(node_ip, TFTP_PORT),
+            on_complete=outcome.append,
+        )
+        host.bind_udp(4000, lambda data, remote: client.handle_datagram(data, remote))
+        network.sim.schedule(0.1, client.start)
+        network.sim.run_until(5.0)
+
+        assert outcome == [True]
+        assert loader.switchlets_loaded == 1
+        assert node.loader.is_loaded("remote-switchlet")
+        assert node.func.call("remotely-installed") == "it works"
+
+    def test_malformed_file_rejected_without_crashing(self):
+        network, host, node, loader, node_ip = _loader_setup()
+        outcome = []
+        client = TftpClient(
+            send=lambda data, remote: host.send_udp(node_ip, TFTP_PORT, 4001, data),
+            filename="garbage.bin",
+            data=b"this is not a switchlet package",
+            remote=(node_ip, TFTP_PORT),
+            on_complete=outcome.append,
+        )
+        host.bind_udp(4001, lambda data, remote: client.handle_datagram(data, remote))
+        network.sim.schedule(0.1, client.start)
+        network.sim.run_until(5.0)
+        assert outcome == [True]  # the transfer succeeds ...
+        assert loader.switchlets_loaded == 0  # ... but nothing is loaded
+        assert loader.load_failures == 1
+        assert loader.last_error is not None
+
+    def test_loader_answers_ping(self):
+        network, host, node, loader, node_ip = _loader_setup()
+        replies = []
+        host.stack.add_icmp_handler(lambda m, s: replies.append((m.is_reply, str(s))))
+        host.ping(node_ip, 5, 1, b"are you there?")
+        network.sim.run_until(1.0)
+        assert (True, str(node_ip)) in replies
+
+
+# ---------------------------------------------------------------------------
+# In-band capsules
+# ---------------------------------------------------------------------------
+
+
+class TestCapsules:
+    def test_encode_decode_roundtrip(self, sim):
+        node = ActiveNode(sim, "n")
+        node.add_interface("eth0", Segment(sim, "a"))
+        package = SwitchletPackage.build("capsule-me", "x = 1", node.environment.modules)
+        frame = encode_capsule(package, node.interface("eth0").mac)
+        assert decode_capsule(frame) == package
+
+    def test_decode_rejects_non_capsule(self, sim):
+        node = ActiveNode(sim, "n")
+        node.add_interface("eth0", Segment(sim, "a"))
+        package = SwitchletPackage.build("c", "x = 1", node.environment.modules)
+        frame = encode_capsule(package, node.interface("eth0").mac)
+        not_a_capsule = EthernetFrame(
+            destination=frame.destination,
+            source=frame.source,
+            ethertype=0x0800,
+            payload=frame.payload,
+        )
+        with pytest.raises(PacketError):
+            decode_capsule(not_a_capsule)
+
+    def test_oversized_capsule_rejected(self, sim):
+        node = ActiveNode(sim, "n")
+        node.add_interface("eth0", Segment(sim, "a"))
+        package = SwitchletPackage.build("big", "x = 1\n" * 2000, node.environment.modules)
+        with pytest.raises(PacketError):
+            encode_capsule(package, node.interface("eth0").mac)
+
+    def test_capsule_loads_on_every_listening_node(self):
+        builder = NetworkBuilder(seed=13)
+        builder.add_segment("lan1")
+        admin = builder.add_host("admin", "lan1")
+        network = builder.build()
+        nodes = []
+        receivers = []
+        for index in range(2):
+            node = ActiveNode(network.sim, f"node{index}")
+            node.add_interface("eth0", network.segment("lan1"))
+            receivers.append(CapsuleReceiver(node))
+            nodes.append(node)
+        package = SwitchletPackage.build(
+            "flooded", "Func.register('flooded', True)", nodes[0].environment.modules
+        )
+        frame = encode_capsule(package, admin.mac)
+        network.sim.schedule(0.1, lambda: admin.send_raw_frame(frame))
+        network.sim.run_until(1.0)
+        for node, receiver in zip(nodes, receivers):
+            assert receiver.capsules_loaded == 1
+            assert node.func.registered("flooded")
+
+    def test_bad_capsule_counted_rejected(self, sim):
+        node = ActiveNode(sim, "n")
+        segment = Segment(sim, "a")
+        node.add_interface("eth0", segment)
+        receiver = CapsuleReceiver(node)
+        package = SwitchletPackage.build("tampered", "x = 1", node.environment.modules)
+        tampered = package.with_tampered_source("Func.register('evil', True)")
+        frame = encode_capsule(tampered, node.interface("eth0").mac)
+        # Deliver directly through unixnet (no second station on the segment).
+        node.unixnet.deliver_frame("eth0", frame)
+        assert receiver.capsules_rejected == 1
+        assert not node.func.registered("evil")

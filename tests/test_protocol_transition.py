@@ -1,0 +1,259 @@
+"""Tests for the automatic protocol transition (Section 5.4, Table 1).
+
+These tests drive the control switchlet through its three outcomes: a
+successful transition, a fallback caused by a faulty new protocol, and a
+fallback caused by old-protocol packets appearing after the transition
+window.  Shorter suppression/validation timers are used so the tests run in
+seconds of simulated time; the benchmark uses the paper's 30 s / 60 s.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ethernet.ethertype import EtherType
+from repro.ethernet.frame import EthernetFrame
+from repro.ethernet.mac import ALL_BRIDGES_MULTICAST, DEC_MANAGEMENT_MULTICAST, MacAddress
+from repro.lan.nic import NetworkInterface
+from repro.measurement.setups import build_ring
+from repro.switchlets.bpdu import ConfigBpdu, DecBpdu
+
+TRIGGER_MAC = MacAddress.from_string("02:aa:aa:aa:aa:aa")
+
+
+def _trigger_frame():
+    """An (inferior) IEEE BPDU that starts the transition, as the probe sends."""
+    bpdu = ConfigBpdu(0xFFFF, TRIGGER_MAC.octets, 0, 0xFFFF, TRIGGER_MAC.octets, 1)
+    return EthernetFrame(
+        destination=ALL_BRIDGES_MULTICAST,
+        source=TRIGGER_MAC,
+        ethertype=int(EtherType.STP_8021D),
+        payload=bpdu.encode(),
+    )
+
+
+def _dec_frame():
+    """A stray DEC PDU, as a not-yet-transitioned bridge would emit."""
+    pdu = DecBpdu(0xFFFF, TRIGGER_MAC.octets, 0, 0xFFFF, TRIGGER_MAC.octets, 1)
+    return EthernetFrame(
+        destination=DEC_MANAGEMENT_MULTICAST,
+        source=TRIGGER_MAC,
+        ethertype=int(EtherType.STP_DEC),
+        payload=pdu.encode(),
+    )
+
+
+def _ring(n_bridges=2, buggy=False, suppression=3.0, validation=6.0):
+    ring = build_ring(
+        n_bridges=n_bridges,
+        seed=9,
+        with_control=True,
+        suppression_period=suppression,
+        validation_delay=validation,
+        buggy_new_protocol=buggy,
+    )
+    injector = NetworkInterface(ring.network.sim, "injector", TRIGGER_MAC)
+    injector.attach(ring.left_segment)
+    return ring, injector
+
+
+def _controls(ring):
+    return [bridge.func.lookup("switchlet.control") for bridge in ring.bridges]
+
+
+class TestSuccessfulTransition:
+    def test_table1_state_sequence(self):
+        ring, injector = _ring(n_bridges=2)
+        sim = ring.network.sim
+        sim.run_until(35.0)  # let the old protocol converge
+        sim.schedule(0.1, lambda: injector.send(_trigger_frame()))
+        sim.run_until(sim.now + 20.0)
+        for control in _controls(ring):
+            assert control.state == control.STATE_TERMINATED
+            assert control.validation_result[0] is True
+            actions = [entry["action"] for entry in control.transition_log]
+            assert actions == [
+                "load/start control",
+                "recv IEEE packet",
+                "start IEEE",
+                "30 seconds",
+                "60 seconds",
+                "pass tests",
+            ]
+
+    def test_old_protocol_suspended_new_running(self):
+        ring, injector = _ring(n_bridges=2)
+        sim = ring.network.sim
+        sim.run_until(35.0)
+        sim.schedule(0.1, lambda: injector.send(_trigger_frame()))
+        sim.run_until(sim.now + 20.0)
+        for bridge in ring.bridges:
+            assert not bridge.func.lookup("stp.dec").running
+            assert bridge.func.lookup("stp.ieee").running
+
+    def test_new_protocol_tree_matches_old(self):
+        ring, injector = _ring(n_bridges=3)
+        sim = ring.network.sim
+        sim.run_until(35.0)
+        old_snapshots = {
+            bridge.name: bridge.func.lookup("stp.dec").snapshot() for bridge in ring.bridges
+        }
+        sim.schedule(0.1, lambda: injector.send(_trigger_frame()))
+        sim.run_until(sim.now + 20.0)
+        for bridge in ring.bridges:
+            new_snapshot = bridge.func.lookup("stp.ieee").snapshot()
+            old_snapshot = old_snapshots[bridge.name]
+            assert new_snapshot["root_mac"] == old_snapshot["root_mac"]
+            assert new_snapshot["port_roles"] == old_snapshot["port_roles"]
+
+    def test_transition_propagates_across_all_bridges(self):
+        ring, injector = _ring(n_bridges=3)
+        sim = ring.network.sim
+        sim.run_until(35.0)
+        sim.schedule(0.1, lambda: injector.send(_trigger_frame()))
+        sim.run_until(sim.now + 2.0)
+        # Well before the validation window every bridge has switched.
+        for bridge in ring.bridges:
+            assert bridge.func.lookup("stp.ieee").running
+
+    def test_control_requires_correct_preconditions(self, two_lan_bridge):
+        from repro.exceptions import LoadError
+        from repro.switchlets.packaging import (
+            control_package,
+            dumb_bridge_package,
+            learning_bridge_package,
+        )
+
+        bridge = two_lan_bridge["bridge"]
+        environment = bridge.environment.modules
+        bridge.load_switchlet(dumb_bridge_package(environment))
+        bridge.load_switchlet(learning_bridge_package(environment))
+        # Neither protocol is loaded: the control switchlet must refuse.
+        with pytest.raises(LoadError):
+            bridge.load_switchlet(control_package(environment))
+
+
+class TestFallback:
+    def test_buggy_new_protocol_triggers_fallback(self):
+        ring, injector = _ring(n_bridges=3, buggy=True)
+        sim = ring.network.sim
+        sim.run_until(35.0)
+        sim.schedule(0.1, lambda: injector.send(_trigger_frame()))
+        sim.run_until(sim.now + 20.0)
+        # The faulty protocol elects the wrong root, so every bridge whose old
+        # root differed from itself detects the mismatch and falls back.
+        states = [control.state for control in _controls(ring)]
+        assert states.count("fallen-back") >= 2
+        # The fallen-back bridges restart the old protocol; once its hellos
+        # reappear, the remaining bridge detects old-protocol traffic after
+        # the transition window and falls back too ("a failure has occurred
+        # elsewhere in the network").
+        sim.run_until(sim.now + 80.0)
+        for control in _controls(ring):
+            assert control.state == "fallen-back"
+        for bridge in ring.bridges:
+            assert bridge.func.lookup("stp.dec").running
+            assert not bridge.func.lookup("stp.ieee").running
+
+    def test_fallback_restores_forwarding(self):
+        ring, injector = _ring(n_bridges=2, buggy=True)
+        sim = ring.network.sim
+        sim.run_until(35.0)
+        sim.schedule(0.1, lambda: injector.send(_trigger_frame()))
+        sim.run_until(sim.now + 60.0)
+        # After fallback and the old protocol's forward delay, data flows
+        # again: verify via the learning bridge's filter (DEC forwarding).
+        for bridge in ring.bridges:
+            dec = bridge.func.lookup("stp.dec")
+            assert set(dec.snapshot()["port_states"].values()) <= {"forwarding"}
+
+    def test_late_old_protocol_packet_triggers_fallback(self):
+        ring, injector = _ring(n_bridges=1, suppression=2.0, validation=4.0)
+        sim = ring.network.sim
+        sim.run_until(35.0)
+        sim.schedule(0.1, lambda: injector.send(_trigger_frame()))
+        # Inject a stray DEC PDU after the suppression window but before the
+        # tests complete -- "a failure has occurred elsewhere in the network".
+        sim.schedule(3.0, lambda: injector.send(_dec_frame()))
+        sim.run_until(sim.now + 20.0)
+        control = _controls(ring)[0]
+        assert control.state == control.STATE_FALLEN_BACK
+        assert ring.bridges[0].func.lookup("stp.dec").running
+
+    def test_old_packet_during_suppression_window_is_suppressed(self):
+        ring, injector = _ring(n_bridges=1, suppression=5.0, validation=8.0)
+        sim = ring.network.sim
+        sim.run_until(35.0)
+        sim.schedule(0.1, lambda: injector.send(_trigger_frame()))
+        sim.schedule(2.0, lambda: injector.send(_dec_frame()))  # inside the window
+        sim.run_until(sim.now + 20.0)
+        control = _controls(ring)[0]
+        assert control.old_packets_suppressed >= 1
+        assert control.state == control.STATE_TERMINATED
+
+    def test_fallback_is_stable_against_further_ieee_packets(self):
+        ring, injector = _ring(n_bridges=1, suppression=2.0, validation=4.0)
+        sim = ring.network.sim
+        sim.run_until(35.0)
+        sim.schedule(0.1, lambda: injector.send(_trigger_frame()))
+        # A stray old-protocol packet after the suppression window forces the
+        # fallback whose stability we want to check.
+        sim.schedule(3.0, lambda: injector.send(_dec_frame()))
+        sim.run_until(sim.now + 10.0)
+        control = _controls(ring)[0]
+        assert control.state == control.STATE_FALLEN_BACK
+        suppressed_before = control.new_packets_suppressed
+        sim.schedule(0.1, lambda: injector.send(_trigger_frame()))
+        sim.run_until(sim.now + 5.0)
+        # No new transition: the network is stable until human intervention.
+        assert control.state == control.STATE_FALLEN_BACK
+        assert control.new_packets_suppressed > suppressed_before
+        assert not ring.bridges[0].func.lookup("stp.ieee").running
+
+
+class TestValidationFunction:
+    def _snapshot(self, **overrides):
+        snapshot = {
+            "root_mac": "02:00:00:00:00:01",
+            "root_port": "eth0",
+            "port_roles": {"eth0": "root", "eth1": "designated"},
+        }
+        snapshot.update(overrides)
+        return snapshot
+
+    def test_identical_snapshots_pass(self):
+        from repro.switchlets.control import ControlApp
+
+        passed, reason = ControlApp.validate(self._snapshot(), self._snapshot())
+        assert passed
+        assert "match" in reason
+
+    def test_root_mismatch_fails(self):
+        from repro.switchlets.control import ControlApp
+
+        passed, reason = ControlApp.validate(
+            self._snapshot(), self._snapshot(root_mac="02:00:00:00:00:99")
+        )
+        assert not passed
+        assert "root bridge" in reason
+
+    def test_root_port_mismatch_fails(self):
+        from repro.switchlets.control import ControlApp
+
+        passed, _ = ControlApp.validate(self._snapshot(), self._snapshot(root_port="eth1"))
+        assert not passed
+
+    def test_role_mismatch_fails(self):
+        from repro.switchlets.control import ControlApp
+
+        passed, _ = ControlApp.validate(
+            self._snapshot(),
+            self._snapshot(port_roles={"eth0": "root", "eth1": "blocked"}),
+        )
+        assert not passed
+
+    def test_missing_state_fails(self):
+        from repro.switchlets.control import ControlApp
+
+        passed, _ = ControlApp.validate(None, self._snapshot())
+        assert not passed

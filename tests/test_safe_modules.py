@@ -1,0 +1,298 @@
+"""Tests for the environment modules: Func, Safestd, Safeunix, Log, Safethread."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.log import LogImplementation
+from repro.core.registry import FuncRegistry
+from repro.core.safestd import Hashtbl, SafestdImplementation
+from repro.core.safethread import Condition, Mutex, SafethreadImplementation
+from repro.core.safeunix import SafeunixImplementation, SockAddr
+from repro.exceptions import RegistrationError
+
+
+# ---------------------------------------------------------------------------
+# Func registry
+# ---------------------------------------------------------------------------
+
+
+class TestFuncRegistry:
+    def test_register_and_call(self):
+        registry = FuncRegistry()
+        registry.register("add", lambda a, b: a + b)
+        assert registry.call("add", 2, 3) == 5
+
+    def test_replacement_semantics(self):
+        registry = FuncRegistry()
+        registry.register("switch", lambda: "dumb")
+        registry.register("switch", lambda: "learning")
+        assert registry.call("switch") == "learning"
+        assert registry.registration_history == [("switch", False), ("switch", True)]
+
+    def test_lookup_missing_raises(self):
+        registry = FuncRegistry()
+        with pytest.raises(RegistrationError):
+            registry.lookup("missing")
+        assert registry.lookup_opt("missing") is None
+
+    def test_call_non_callable_raises(self):
+        registry = FuncRegistry()
+        registry.register("data", {"a": 1})
+        with pytest.raises(RegistrationError):
+            registry.call("data")
+
+    def test_register_data_structures(self):
+        registry = FuncRegistry()
+        table = {"host": "port"}
+        registry.register("table", table)
+        assert registry.lookup("table") is table
+
+    def test_invalid_keys_rejected(self):
+        registry = FuncRegistry()
+        with pytest.raises(RegistrationError):
+            registry.register("", lambda: None)
+        with pytest.raises(RegistrationError):
+            registry.register(None, lambda: None)
+
+    def test_unregister_and_keys(self):
+        registry = FuncRegistry()
+        registry.register("a", 1)
+        registry.register("b", 2)
+        registry.unregister("a")
+        registry.unregister("never-existed")
+        assert registry.keys() == ["b"]
+        assert not registry.registered("a")
+
+    def test_clear(self):
+        registry = FuncRegistry()
+        registry.register("a", 1)
+        registry.clear()
+        assert registry.keys() == []
+
+
+# ---------------------------------------------------------------------------
+# Safestd / Hashtbl
+# ---------------------------------------------------------------------------
+
+
+class TestHashtbl:
+    def test_add_shadows_and_remove_reexposes(self):
+        table = Hashtbl.create()
+        table.add("k", 1)
+        table.add("k", 2)
+        assert table.find("k") == 2
+        table.remove("k")
+        assert table.find("k") == 1
+        table.remove("k")
+        assert table.find_opt("k") is None
+
+    def test_replace(self):
+        table = Hashtbl.create()
+        table.replace("k", 1)
+        table.replace("k", 2)
+        assert table.find("k") == 2
+        assert table.length() == 1
+
+    def test_find_missing_raises_keyerror(self):
+        table = Hashtbl.create()
+        with pytest.raises(KeyError):
+            table.find("missing")
+
+    def test_mem_and_keys_and_items(self):
+        table = Hashtbl.create()
+        table.replace("a", 1)
+        table.replace("b", 2)
+        assert table.mem("a")
+        assert not table.mem("z")
+        assert sorted(table.keys()) == ["a", "b"]
+        assert dict(table.items()) == {"a": 1, "b": 2}
+
+    def test_iter_and_clear(self):
+        table = Hashtbl.create()
+        table.replace("a", 1)
+        seen = {}
+        table.iter(lambda key, value: seen.update({key: value}))
+        assert seen == {"a": 1}
+        table.clear()
+        assert table.length() == 0
+
+    def test_remove_missing_is_noop(self):
+        table = Hashtbl.create()
+        table.remove("nothing")
+        assert table.length() == 0
+
+    @given(st.lists(st.tuples(st.integers(min_value=0, max_value=20), st.integers()), max_size=100))
+    @settings(max_examples=50, deadline=None)
+    def test_replace_matches_dict_semantics(self, operations):
+        table = Hashtbl.create()
+        reference = {}
+        for key, value in operations:
+            table.replace(key, value)
+            reference[key] = value
+        assert dict(table.items()) == reference
+
+
+class TestSafestdHelpers:
+    def test_pack_unpack_roundtrip(self):
+        impl = SafestdImplementation()
+        data = impl.pack_be(0xABCD, 4)
+        assert data == b"\x00\x00\xab\xcd"
+        assert impl.unpack_be(data, 0, 4) == 0xABCD
+        assert impl.unpack_be(data, 2, 2) == 0xABCD
+
+    def test_bytes_helpers(self):
+        impl = SafestdImplementation()
+        assert impl.bytes_concat([b"ab", b"cd"]) == b"abcd"
+        assert impl.bytes_slice(b"abcdef", 2, 3) == b"cde"
+
+    def test_min_max_and_string_conversions(self):
+        impl = SafestdImplementation()
+        assert impl.minimum(3, 5) == 3
+        assert impl.maximum(3, 5) == 5
+        assert impl.string_of_int(42) == "42"
+        assert impl.int_of_string("17") == 17
+
+    def test_exports_exist(self):
+        impl = SafestdImplementation()
+        for name in SafestdImplementation.THINNED_EXPORTS:
+            assert hasattr(impl, name)
+
+
+# ---------------------------------------------------------------------------
+# Safeunix
+# ---------------------------------------------------------------------------
+
+
+class TestSafeunix:
+    def test_gettimeofday_tracks_simulated_time(self, sim):
+        impl = SafeunixImplementation(sim)
+        assert impl.gettimeofday() == 0.0
+        sim.run_until(4.5)
+        assert impl.gettimeofday() == pytest.approx(4.5)
+
+    def test_sockaddr(self):
+        addr = SockAddr(interface="eth0", mac="aa:bb:cc:dd:ee:ff")
+        assert addr.describe() == "eth0/aa:bb:cc:dd:ee:ff"
+
+
+# ---------------------------------------------------------------------------
+# Log
+# ---------------------------------------------------------------------------
+
+
+class TestLog:
+    def test_messages_recorded_and_traced(self, sim):
+        log = LogImplementation(sim, "node1")
+        log.log("hello")
+        assert log.messages()[0][1] == "hello"
+        assert sim.trace.count(category="switchlet.log", source="node1") == 1
+
+    def test_off_method_discards(self, sim):
+        log = LogImplementation(sim, "node1")
+        log.set_method("off")
+        log.log("ignored")
+        assert log.messages() == []
+
+    def test_invalid_method_rejected(self, sim):
+        log = LogImplementation(sim, "node1")
+        with pytest.raises(ValueError):
+            log.set_method("paper-tape")
+
+    def test_capacity_bound(self, sim):
+        log = LogImplementation(sim, "node1", capacity=5)
+        for index in range(10):
+            log.log(str(index))
+        messages = [text for _, text in log.messages()]
+        assert messages == ["5", "6", "7", "8", "9"]
+
+    def test_clear(self, sim):
+        log = LogImplementation(sim, "node1")
+        log.log("x")
+        log.clear()
+        assert log.messages() == []
+
+
+# ---------------------------------------------------------------------------
+# Safethread / Mutex / Condition
+# ---------------------------------------------------------------------------
+
+
+class TestSafethread:
+    def test_create_runs_soon(self, sim):
+        threads = SafethreadImplementation(sim, "node1")
+        fired = []
+        threads.create(lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [pytest.approx(0.0)]
+
+    def test_delay(self, sim):
+        threads = SafethreadImplementation(sim, "node1")
+        fired = []
+        threads.delay(3.0, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [pytest.approx(3.0)]
+
+    def test_every_until_cancel(self, sim):
+        threads = SafethreadImplementation(sim, "node1")
+        fired = []
+        handle = threads.every(1.0, lambda: fired.append(sim.now))
+        sim.run_until(3.5)
+        handle.cancel()
+        sim.run_until(10.0)
+        assert len(fired) == 3
+
+    def test_cancel_delay(self, sim):
+        threads = SafethreadImplementation(sim, "node1")
+        fired = []
+        handle = threads.delay(1.0, lambda: fired.append(True))
+        handle.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_cancel_all(self, sim):
+        threads = SafethreadImplementation(sim, "node1")
+        fired = []
+        threads.delay(1.0, lambda: fired.append(1))
+        threads.every(1.0, lambda: fired.append(2))
+        threads.cancel_all()
+        sim.run_until(5.0)
+        assert fired == []
+
+    def test_self_id_monotonic(self, sim):
+        threads = SafethreadImplementation(sim, "node1")
+        first = threads.self_id()
+        threads.create(lambda: None)
+        assert threads.self_id() > first
+
+
+class TestMutexCondition:
+    def test_mutex_lock_unlock(self):
+        mutex = Mutex.create()
+        mutex.lock()
+        assert mutex.locked
+        mutex.unlock()
+        assert not mutex.locked
+
+    def test_mutex_unlock_unlocked_raises(self):
+        mutex = Mutex.create()
+        with pytest.raises(RuntimeError):
+            mutex.unlock()
+
+    def test_mutex_try_lock(self):
+        mutex = Mutex.create()
+        assert mutex.try_lock()
+        assert not mutex.try_lock()
+
+    def test_condition_signal_fifo(self):
+        condition = Condition.create()
+        order = []
+        condition.wait_callback(lambda: order.append(1))
+        condition.wait_callback(lambda: order.append(2))
+        condition.signal()
+        assert order == [1]
+        condition.broadcast()
+        assert order == [1, 2]
+        assert condition.waiting == 0

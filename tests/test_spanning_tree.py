@@ -1,0 +1,218 @@
+"""Tests for the 802.1D and DEC spanning-tree switchlets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.node import ActiveNode
+from repro.lan.topology import NetworkBuilder
+from repro.switchlets.packaging import (
+    dec_spanning_tree_package,
+    dumb_bridge_package,
+    learning_bridge_package,
+    spanning_tree_package,
+)
+
+
+def _build_bridged_topology(n_bridges, loop=False, seed=5, protocol="ieee"):
+    """A chain (or ring) of bridges, each running dumb+learning+spanning tree.
+
+    Returns (network, bridges, hosts) where hosts sit on the two end segments.
+    """
+    builder = NetworkBuilder(seed=seed)
+    n_segments = n_bridges if loop else n_bridges + 1
+    for index in range(n_segments):
+        builder.add_segment(f"seg{index}")
+    host_a = builder.add_host("hostA", "seg0")
+    host_b = builder.add_host("hostB", f"seg{n_segments - 1}" if not loop else "seg0")
+    builder.populate_static_arp()
+    network = builder.build()
+    bridges = []
+    for index in range(n_bridges):
+        bridge = ActiveNode(network.sim, f"bridge{index + 1}")
+        bridge.add_interface("eth0", network.segment(f"seg{index}"))
+        bridge.add_interface("eth1", network.segment(f"seg{(index + 1) % n_segments}"))
+        environment = bridge.environment.modules
+        bridge.load_switchlet(dumb_bridge_package(environment))
+        bridge.load_switchlet(learning_bridge_package(environment))
+        if protocol == "ieee":
+            bridge.load_switchlet(spanning_tree_package(environment, autostart=True))
+        else:
+            bridge.load_switchlet(dec_spanning_tree_package(environment))
+        bridges.append(bridge)
+    return network, bridges, (host_a, host_b)
+
+
+def _stp(bridge, key="stp.ieee"):
+    return bridge.func.lookup(key)
+
+
+class TestSpanningTreeConvergence:
+    def test_single_bridge_becomes_root_and_forwards(self):
+        network, bridges, _ = _build_bridged_topology(1)
+        network.sim.run_until(31.0)
+        app = _stp(bridges[0])
+        assert app.is_root()
+        assert set(app.snapshot()["port_states"].values()) == {"forwarding"}
+
+    def test_chain_elects_single_root(self):
+        network, bridges, _ = _build_bridged_topology(3)
+        network.sim.run_until(35.0)
+        roots = {_stp(bridge).snapshot()["root_mac"] for bridge in bridges}
+        assert len(roots) == 1
+        expected_root = min(str(_stp(b).snapshot()["bridge_mac"]) for b in bridges)
+        assert roots == {expected_root}
+        # Exactly one bridge believes it is the root.
+        assert sum(1 for bridge in bridges if _stp(bridge).is_root()) == 1
+
+    def test_chain_has_no_blocked_ports(self):
+        network, bridges, _ = _build_bridged_topology(3)
+        network.sim.run_until(35.0)
+        for bridge in bridges:
+            roles = _stp(bridge).snapshot()["port_roles"].values()
+            assert "blocked" not in roles
+
+    def test_ring_blocks_exactly_one_port(self):
+        network, bridges, _ = _build_bridged_topology(3, loop=True)
+        network.sim.run_until(40.0)
+        blocked = []
+        for bridge in bridges:
+            for port, role in _stp(bridge).snapshot()["port_roles"].items():
+                if role == "blocked":
+                    blocked.append((bridge.name, port))
+        assert len(blocked) == 1
+
+    def test_ring_broadcast_does_not_loop(self):
+        network, bridges, (host_a, _) = _build_bridged_topology(3, loop=True)
+        network.sim.run_until(40.0)
+        from repro.ethernet.frame import EthernetFrame
+        from repro.ethernet.mac import BROADCAST
+
+        sent_before = sum(bridge.frames_transmitted for bridge in bridges)
+        frame = EthernetFrame(
+            destination=BROADCAST,
+            source=host_a.mac,
+            ethertype=0x88B6,
+            payload=b"broadcast storm test",
+        )
+        host_a.send_raw_frame(frame)
+        network.sim.run_until(network.sim.now + 5.0)
+        forwarded = sum(bridge.frames_transmitted for bridge in bridges) - sent_before
+        # The counter also includes the bridges' own periodic BPDUs, so allow
+        # for those -- but a broadcast storm would generate thousands of
+        # forwards in five seconds, which is what this guards against.
+        assert forwarded < 60
+
+    def test_forward_delay_gates_data_forwarding(self):
+        network, bridges, (host_a, host_b) = _build_bridged_topology(1)
+        replies = []
+        host_a.stack.add_icmp_handler(lambda m, s: replies.append(network.sim.now))
+        # Ping before the forward-delay window has elapsed: blocked.
+        network.sim.run_until(5.0)
+        host_a.ping(host_b.ip, 1, 1, b"early")
+        network.sim.run_until(10.0)
+        assert replies == []
+        # After 2 x forward_delay the ports are forwarding.
+        network.sim.run_until(31.0)
+        host_a.ping(host_b.ip, 1, 2, b"late")
+        network.sim.run_until(network.sim.now + 2.0)
+        assert len(replies) == 1
+
+    def test_bpdus_are_not_flooded_to_hosts(self):
+        network, bridges, (host_a, _) = _build_bridged_topology(1)
+        seen = []
+        host_a.add_raw_listener(
+            lambda frame: seen.append(int(frame.ethertype)) if int(frame.ethertype) == 0x8181 else None
+        )
+        network.sim.run_until(10.0)
+        # The bridge's own hellos appear on the host's segment (that is how
+        # 802.1D works), but BPDUs arriving on one bridge port must not be
+        # *forwarded* out the other; with a single bridge and one neighbour
+        # segment we simply check the bridge consumed everything it received.
+        app = _stp(bridges[0])
+        assert app.bpdus_received == 0  # nothing else is speaking 802.1D
+        assert bridges[0].frames_unclaimed == 0
+
+    def test_stats_and_port_state_accessors(self):
+        network, bridges, _ = _build_bridged_topology(2)
+        network.sim.run_until(35.0)
+        app = _stp(bridges[0])
+        stats = app.stats()
+        assert stats["bpdus_sent"] > 0
+        assert app.port_state("eth0") in ("forwarding", "blocking", "listening", "learning")
+
+
+class TestDecSpanningTree:
+    def test_dec_chain_converges_like_ieee(self):
+        network, bridges, _ = _build_bridged_topology(3, protocol="dec")
+        network.sim.run_until(35.0)
+        roots = {bridge.func.lookup("stp.dec").snapshot()["root_mac"] for bridge in bridges}
+        assert len(roots) == 1
+
+    def test_dec_and_ieee_compute_identical_trees(self):
+        ieee_net, ieee_bridges, _ = _build_bridged_topology(3, seed=5, protocol="ieee")
+        dec_net, dec_bridges, _ = _build_bridged_topology(3, seed=5, protocol="dec")
+        ieee_net.sim.run_until(35.0)
+        dec_net.sim.run_until(35.0)
+        for ieee_bridge, dec_bridge in zip(ieee_bridges, dec_bridges):
+            ieee_snapshot = ieee_bridge.func.lookup("stp.ieee").snapshot()
+            dec_snapshot = dec_bridge.func.lookup("stp.dec").snapshot()
+            assert ieee_snapshot["root_port"] == dec_snapshot["root_port"]
+            assert ieee_snapshot["port_roles"] == dec_snapshot["port_roles"]
+
+    def test_protocols_ignore_each_others_pdus(self, two_lan_bridge):
+        bridge = two_lan_bridge["bridge"]
+        environment = bridge.environment.modules
+        bridge.load_switchlet(dumb_bridge_package(environment))
+        bridge.load_switchlet(learning_bridge_package(environment))
+        bridge.load_switchlet(dec_spanning_tree_package(environment))
+        dec_app = bridge.func.lookup("stp.dec")
+        # Hand the DEC protocol an IEEE-format PDU: it must not parse.
+        from repro.switchlets.bpdu import ConfigBpdu
+        from repro.switchlets.framefmt import FrameFmt
+        from repro.core.safeunix import SockAddr
+        from repro.core.unixnet import Packet
+
+        bogus = FrameFmt.build(
+            FrameFmt.str_to_mac(dec_app.MULTICAST_ADDR),
+            b"\x02\x00\x00\x00\x00\x63",
+            dec_app.ETHERTYPE,
+            ConfigBpdu(0, b"\x00" * 6, 0, 0, b"\x00" * 6, 1).encode(),
+        )
+        packet = Packet(len=len(bogus), addr=SockAddr("eth0", "02:00:00:00:00:63"),
+                        pkt=bogus, iport="eth0")
+        before = dec_app.bpdus_ignored
+        dec_app.deliver_packet(packet)
+        assert dec_app.bpdus_ignored == before + 1
+
+
+class TestSuspendResume:
+    def test_suspend_stops_hellos_resume_restarts(self, two_lan_bridge):
+        bridge = two_lan_bridge["bridge"]
+        environment = bridge.environment.modules
+        bridge.load_switchlet(dumb_bridge_package(environment))
+        bridge.load_switchlet(learning_bridge_package(environment))
+        bridge.load_switchlet(spanning_tree_package(environment, autostart=True))
+        sim = two_lan_bridge["sim"]
+        app = bridge.func.lookup("stp.ieee")
+        sim.run_until(10.0)
+        sent_at_suspend = app.bpdus_sent
+        app.suspend()
+        sim.run_until(20.0)
+        assert app.bpdus_sent == sent_at_suspend
+        app.resume()
+        sim.run_until(30.0)
+        assert app.bpdus_sent > sent_at_suspend
+
+    def test_suspended_protocol_frees_its_address(self, two_lan_bridge):
+        bridge = two_lan_bridge["bridge"]
+        environment = bridge.environment.modules
+        bridge.load_switchlet(dumb_bridge_package(environment))
+        bridge.load_switchlet(learning_bridge_package(environment))
+        bridge.load_switchlet(spanning_tree_package(environment, autostart=True))
+        app = bridge.func.lookup("stp.ieee")
+        app.suspend()
+        # After suspension the All-Bridges address can be claimed by another
+        # party (the control switchlet does exactly this).
+        iport = bridge.unixnet.bind_addr(app.MULTICAST_ADDR)
+        assert iport is not None

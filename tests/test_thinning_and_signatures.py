@@ -1,0 +1,157 @@
+"""Tests for module thinning, safe builtins, and interface signatures."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.signature import (
+    digest_interface,
+    digest_module,
+    digest_source,
+    environment_digests,
+    interface_of,
+)
+from repro.core.thinning import (
+    FORBIDDEN_BUILTIN_NAMES,
+    SAFE_BUILTINS,
+    ThinnedModule,
+    safe_builtins,
+    thin,
+)
+from repro.exceptions import ThinningViolation
+
+
+class _Implementation:
+    """A toy implementation with public, private and dangerous members."""
+
+    def pub_func(self):
+        return "public"
+
+    def another_pub(self, x):
+        return x + 5
+
+    def _private_helper(self):
+        return "secret"
+
+    def dangerous(self):
+        return "should never be reachable"
+
+
+# ---------------------------------------------------------------------------
+# Thinning
+# ---------------------------------------------------------------------------
+
+
+class TestThinning:
+    def test_allowed_names_are_reachable(self):
+        module = thin("Example", _Implementation(), ["pub_func", "another_pub"])
+        assert module.pub_func() == "public"
+        assert module.another_pub(1) == 6
+
+    def test_excluded_names_are_unreachable(self):
+        module = thin("Example", _Implementation(), ["pub_func"])
+        with pytest.raises(ThinningViolation):
+            module.dangerous
+        with pytest.raises(ThinningViolation):
+            module._private_helper
+
+    def test_thinned_module_is_immutable(self):
+        module = thin("Example", _Implementation(), ["pub_func"])
+        with pytest.raises(ThinningViolation):
+            module.pub_func = lambda: "hijacked"
+        with pytest.raises(ThinningViolation):
+            module.new_attr = 1
+
+    def test_unknown_allowed_name_is_an_error(self):
+        with pytest.raises(ThinningViolation):
+            thin("Example", _Implementation(), ["does_not_exist"])
+
+    def test_exports_listing(self):
+        module = thin("Example", _Implementation(), ["pub_func", "another_pub"])
+        assert module.__exports__ == ("another_pub", "pub_func")
+        assert sorted(dir(module)) == ["another_pub", "pub_func"]
+
+    def test_module_name(self):
+        module = thin("Example", _Implementation(), ["pub_func"])
+        assert module.__module_name__ == "Example"
+        assert "Example" in repr(module)
+
+    def test_direct_construction(self):
+        module = ThinnedModule("M", {"f": lambda: 3})
+        assert module.f() == 3
+
+
+# ---------------------------------------------------------------------------
+# Safe builtins
+# ---------------------------------------------------------------------------
+
+
+class TestSafeBuiltins:
+    def test_forbidden_names_absent(self):
+        table = safe_builtins()
+        for name in FORBIDDEN_BUILTIN_NAMES:
+            assert name not in table, f"{name} must not be available to switchlets"
+
+    def test_essential_names_present(self):
+        table = safe_builtins()
+        for name in ("len", "range", "isinstance", "dict", "bytes", "ValueError",
+                     "staticmethod", "classmethod", "property", "sorted", "min", "max"):
+            assert name in table
+
+    def test_class_definition_possible(self):
+        namespace = {"__builtins__": safe_builtins()}
+        exec("class Thing:\n    def value(self):\n        return 7\nresult = Thing().value()", namespace)
+        assert namespace["result"] == 7
+
+    def test_module_constant_is_consistent(self):
+        assert set(SAFE_BUILTINS) == set(safe_builtins())
+
+    def test_fresh_copies_are_independent(self):
+        first = safe_builtins()
+        second = safe_builtins()
+        first["len"] = None
+        assert second["len"] is len
+
+
+# ---------------------------------------------------------------------------
+# Signatures
+# ---------------------------------------------------------------------------
+
+
+class TestSignatures:
+    def test_interface_of_thinned_module(self):
+        module = thin("Example", _Implementation(), ["pub_func", "another_pub"])
+        assert interface_of(module) == ("another_pub", "pub_func")
+
+    def test_digest_is_order_insensitive(self):
+        assert digest_interface(["a", "b", "c"]) == digest_interface(["c", "b", "a"])
+
+    def test_digest_changes_with_interface(self):
+        assert digest_interface(["a", "b"]) != digest_interface(["a", "b", "c"])
+
+    def test_digest_module_matches_interface_digest(self):
+        module = thin("Example", _Implementation(), ["pub_func"])
+        assert digest_module(module) == digest_interface(["pub_func"])
+
+    def test_thinned_and_unthinned_differ(self):
+        wide = thin("Example", _Implementation(), ["pub_func", "dangerous"])
+        narrow = thin("Example", _Implementation(), ["pub_func"])
+        assert digest_module(wide) != digest_module(narrow)
+
+    def test_source_digest_changes_with_source(self):
+        assert digest_source("x = 1") != digest_source("x = 2")
+
+    def test_environment_digests_keys(self):
+        env = {
+            "A": thin("A", _Implementation(), ["pub_func"]),
+            "B": thin("B", _Implementation(), ["another_pub"]),
+        }
+        digests = environment_digests(env)
+        assert set(digests) == {"A", "B"}
+        assert digests["A"] != digests["B"]
+
+    @given(st.lists(st.text(alphabet="abcdefgh", min_size=1, max_size=8), max_size=10))
+    def test_digest_deterministic(self, names):
+        assert digest_interface(names) == digest_interface(list(names))

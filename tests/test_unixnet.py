@@ -1,0 +1,226 @@
+"""Tests for the ``Unixnet`` port API (Figure 4 of the paper)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.unixnet import (
+    Packet,
+    Unixnet,
+    frame_to_packet_bytes,
+    packet_bytes_to_frame,
+)
+from repro.ethernet.ethertype import EtherType
+from repro.ethernet.frame import EthernetFrame
+from repro.ethernet.mac import MacAddress
+from repro.exceptions import AlreadyBound, FrameError, NoInterface
+
+MAC0 = MacAddress.locally_administered(100)
+MAC1 = MacAddress.locally_administered(101)
+HOST_MAC = MacAddress.locally_administered(200)
+MULTICAST = "01:80:c2:00:00:00"
+
+
+def _make_unixnet():
+    sent = []
+    promiscuous = {"eth0": False, "eth1": False}
+    unixnet = Unixnet("node", transmit=lambda name, frame: sent.append((name, frame)))
+    unixnet.add_interface("eth0", MAC0, lambda value: promiscuous.__setitem__("eth0", value))
+    unixnet.add_interface("eth1", MAC1, lambda value: promiscuous.__setitem__("eth1", value))
+    return unixnet, sent, promiscuous
+
+
+def _frame(dst, payload=b"payload", ethertype=EtherType.MEASUREMENT):
+    return EthernetFrame(
+        destination=dst if isinstance(dst, MacAddress) else MacAddress.from_string(dst),
+        source=HOST_MAC,
+        ethertype=int(ethertype),
+        payload=payload,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Packet byte conversion
+# ---------------------------------------------------------------------------
+
+
+class TestPacketBytes:
+    def test_roundtrip(self):
+        frame = _frame(MAC0, payload=b"abcdef")
+        rebuilt = packet_bytes_to_frame(frame_to_packet_bytes(frame))
+        assert rebuilt.destination == frame.destination
+        assert rebuilt.source == frame.source
+        assert rebuilt.ethertype == frame.ethertype
+        assert rebuilt.payload == frame.payload
+
+    def test_too_short_rejected(self):
+        with pytest.raises(FrameError):
+            packet_bytes_to_frame(b"\x00" * 10)
+
+
+# ---------------------------------------------------------------------------
+# Input ports
+# ---------------------------------------------------------------------------
+
+
+class TestInputPorts:
+    def test_bind_in_puts_interface_into_promiscuous_mode(self):
+        unixnet, _, promiscuous = _make_unixnet()
+        unixnet.bind_in("eth0")
+        assert promiscuous["eth0"] is True
+        assert promiscuous["eth1"] is False
+
+    def test_first_bind_wins(self):
+        unixnet, _, _ = _make_unixnet()
+        unixnet.bind_in("eth0")
+        with pytest.raises(AlreadyBound):
+            unixnet.bind_in("eth0")
+
+    def test_unknown_interface(self):
+        unixnet, _, _ = _make_unixnet()
+        with pytest.raises(NoInterface):
+            unixnet.bind_in("eth9")
+
+    def test_get_iport_iterates_unbound(self):
+        unixnet, _, _ = _make_unixnet()
+        first = unixnet.get_iport()
+        second = unixnet.get_iport()
+        assert {first.name, second.name} == {"eth0", "eth1"}
+        with pytest.raises(NoInterface):
+            unixnet.get_iport()
+
+    def test_unbind_allows_rebinding_and_clears_promiscuous(self):
+        unixnet, _, promiscuous = _make_unixnet()
+        iport = unixnet.bind_in("eth0")
+        unixnet.unbind_in(iport)
+        assert promiscuous["eth0"] is False
+        unixnet.bind_in("eth0")  # must not raise
+
+    def test_pull_mode_queueing(self):
+        unixnet, _, _ = _make_unixnet()
+        iport = unixnet.bind_in("eth0")
+        assert not unixnet.pkts_waiting_p_in(iport)
+        unixnet.deliver_frame("eth0", _frame(MAC0))
+        assert unixnet.pkts_waiting_p_in(iport)
+        packet = unixnet.get_next_pkt_in(iport)
+        assert isinstance(packet, Packet)
+        assert packet.iport == "eth0"
+        assert packet.len == len(packet.pkt)
+        with pytest.raises(NoInterface):
+            unixnet.get_next_pkt_in(iport)
+
+    def test_push_handler(self):
+        unixnet, _, _ = _make_unixnet()
+        iport = unixnet.bind_in("eth0")
+        got = []
+        unixnet.set_handler_in(iport, got.append)
+        unixnet.deliver_frame("eth0", _frame(MAC0, payload=b"pushed"))
+        assert len(got) == 1
+        assert got[0].addr.interface == "eth0"
+        assert got[0].addr.mac == str(HOST_MAC)
+
+    def test_unclaimed_frames_counted(self):
+        unixnet, _, _ = _make_unixnet()
+        assert unixnet.deliver_frame("eth0", _frame(MAC0)) is None
+        assert unixnet.packets_unclaimed == 1
+
+
+class TestAddressBindings:
+    def test_address_binding_takes_precedence(self):
+        unixnet, _, _ = _make_unixnet()
+        iport = unixnet.bind_in("eth0")
+        interface_packets = []
+        unixnet.set_handler_in(iport, interface_packets.append)
+        addr_port = unixnet.bind_addr(MULTICAST)
+        addr_packets = []
+        unixnet.set_handler_in(addr_port, addr_packets.append)
+        unixnet.deliver_frame("eth0", _frame(MULTICAST))
+        unixnet.deliver_frame("eth0", _frame(MAC0))
+        assert len(addr_packets) == 1
+        assert len(interface_packets) == 1
+
+    def test_address_binding_receives_from_any_interface(self):
+        unixnet, _, _ = _make_unixnet()
+        addr_port = unixnet.bind_addr(MULTICAST)
+        got = []
+        unixnet.set_handler_in(addr_port, got.append)
+        unixnet.deliver_frame("eth0", _frame(MULTICAST))
+        unixnet.deliver_frame("eth1", _frame(MULTICAST))
+        assert [packet.iport for packet in got] == ["eth0", "eth1"]
+
+    def test_address_first_bind_wins_and_rebind_after_unbind(self):
+        unixnet, _, _ = _make_unixnet()
+        addr_port = unixnet.bind_addr(MULTICAST)
+        with pytest.raises(AlreadyBound):
+            unixnet.bind_addr(MULTICAST)
+        unixnet.unbind_addr(addr_port)
+        unixnet.bind_addr(MULTICAST)  # must not raise
+
+
+# ---------------------------------------------------------------------------
+# Output ports
+# ---------------------------------------------------------------------------
+
+
+class TestOutputPorts:
+    def test_bind_out_and_send(self):
+        unixnet, sent, _ = _make_unixnet()
+        oport = unixnet.bind_out("eth1")
+        frame = _frame(MAC0, payload=b"forward me")
+        data = frame_to_packet_bytes(frame)
+        written = unixnet.send_pkt_out(oport, data, 0, len(data), None)
+        assert written == len(data)
+        assert sent[0][0] == "eth1"
+        assert sent[0][1].payload == b"forward me"
+
+    def test_send_respects_offset_and_length(self):
+        unixnet, sent, _ = _make_unixnet()
+        oport = unixnet.bind_out("eth0")
+        frame = _frame(MAC0, payload=b"0123456789")
+        data = b"JUNK" + frame_to_packet_bytes(frame)
+        unixnet.send_pkt_out(oport, data, 4, len(data) - 4, None)
+        assert sent[0][1].payload == b"0123456789"
+
+    def test_first_bind_wins_for_output(self):
+        unixnet, _, _ = _make_unixnet()
+        unixnet.bind_out("eth0")
+        with pytest.raises(AlreadyBound):
+            unixnet.bind_out("eth0")
+
+    def test_get_oport_and_exhaustion(self):
+        unixnet, _, _ = _make_unixnet()
+        unixnet.get_oport()
+        unixnet.get_oport()
+        with pytest.raises(NoInterface):
+            unixnet.get_oport()
+
+    def test_send_on_unbound_port_rejected(self):
+        unixnet, _, _ = _make_unixnet()
+        oport = unixnet.bind_out("eth0")
+        unixnet.unbind_out(oport)
+        data = frame_to_packet_bytes(_frame(MAC0))
+        with pytest.raises(NoInterface):
+            unixnet.send_pkt_out(oport, data, 0, len(data), None)
+
+    def test_iport_to_oport_reuses_existing_binding(self):
+        unixnet, _, _ = _make_unixnet()
+        iport = unixnet.bind_in("eth0")
+        first = unixnet.iport_to_oport(iport)
+        second = unixnet.iport_to_oport(iport)
+        assert first is second
+        assert unixnet.ready_to_send_p_out(first)
+
+    def test_debug_helpers(self):
+        unixnet, _, _ = _make_unixnet()
+        iport = unixnet.bind_in("eth0")
+        oport = unixnet.bind_out("eth1")
+        assert "eth0" in unixnet.debug_iport_to_string(iport)
+        assert "eth1" in unixnet.debug_oport_to_string(oport)
+        assert unixnet.debug_demux_num_devs() == 2
+
+    def test_interface_metadata(self):
+        unixnet, _, _ = _make_unixnet()
+        assert unixnet.interface_names() == ["eth0", "eth1"]
+        assert unixnet.interface_mac("eth0") == MAC0
+        with pytest.raises(NoInterface):
+            unixnet.interface_mac("eth7")
