@@ -6,15 +6,17 @@ output of ``pytest benchmarks/ --benchmark-only`` reads like the paper's
 Tables and Figures.
 """
 
-from repro.analysis.tables import render_table, render_kv
+from repro.analysis.tables import render_counters, render_kv, render_table
 from repro.analysis.figures import render_series, render_ascii_chart
-from repro.analysis.report import ExperimentRecord, ExperimentReport
+from repro.analysis.report import ExperimentRecord, ExperimentReport, trace_summary
 
 __all__ = [
     "render_table",
     "render_kv",
+    "render_counters",
     "render_series",
     "render_ascii_chart",
     "ExperimentRecord",
     "ExperimentReport",
+    "trace_summary",
 ]

@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional
 
-from repro.analysis.tables import render_table
+from repro.analysis.tables import render_counters, render_table
 
 
 @dataclass(frozen=True)
@@ -74,3 +74,18 @@ class ExperimentReport:
         if quantity is not None:
             matches = [record for record in matches if record.quantity == quantity]
         return matches
+
+
+def trace_summary(trace, title: str = "Trace activity") -> str:
+    """Render an experiment's trace activity from the hub's live counters.
+
+    Args:
+        trace: a :class:`~repro.sim.trace.TraceRecorder`.
+        title: table title.
+
+    The summary costs O(categories), not O(records): it reads the hub's
+    always-on :class:`~repro.sim.trace.CountingSink`, so it works unchanged
+    with a bounded :class:`~repro.sim.trace.RingBufferSink` or even a
+    :class:`~repro.sim.trace.NullSink` installed.
+    """
+    return render_counters(trace.counters.snapshot(), title=title)

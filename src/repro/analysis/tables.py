@@ -45,6 +45,17 @@ def render_table(headers: Sequence[str], rows: Iterable[Sequence[object]], title
     return "\n".join(lines)
 
 
+def render_counters(counts: Mapping[str, int], title: str = "") -> str:
+    """Render live trace counters as a two-column table, largest first.
+
+    Takes any mapping of label to count — typically
+    :meth:`repro.sim.trace.CountingSink.snapshot` — so trace summaries come
+    from O(1) counters rather than a scan over the record list.
+    """
+    ordered = sorted(counts.items(), key=lambda item: (-item[1], item[0]))
+    return render_table(["category", "records"], ordered, title=title)
+
+
 def render_kv(pairs: Mapping[str, object], title: str = "") -> str:
     """Render a mapping as an aligned key/value listing."""
     if not pairs:

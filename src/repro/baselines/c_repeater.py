@@ -71,11 +71,16 @@ class BufferedRepeater:
         cost = self.costs.repeater_frame_cost_total(frame.frame_length)
 
         def repeat() -> None:
+            trace = self.sim.trace
+            forward_wanted = trace.wants("repeater.forward")
             for name, nic in self.interfaces.items():
                 if name == in_port:
                     continue
                 self.frames_repeated += 1
-                self.sim.trace.record(self.name, "repeater.forward", interface=name)
+                if forward_wanted:
+                    trace.emit(
+                        self.name, "repeater.forward", lambda name=name: {"interface": name}
+                    )
                 nic.send(frame)
 
         self.cpu.submit(cost, repeat)

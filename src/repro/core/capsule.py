@@ -87,9 +87,9 @@ class CapsuleReceiver:
             self.node.load_switchlet_bytes(package.to_bytes())
         except SwitchletError:
             self.capsules_rejected += 1
-            self.node.sim.trace.record(
-                self.node.name, "capsule.load_failed", name=package.name
+            self.node.sim.trace.emit(
+                self.node.name, "capsule.load_failed", {"name": package.name}
             )
             return
         self.capsules_loaded += 1
-        self.node.sim.trace.record(self.node.name, "capsule.load_ok", name=package.name)
+        self.node.sim.trace.emit(self.node.name, "capsule.load_ok", {"name": package.name})

@@ -26,11 +26,24 @@ from __future__ import annotations
 
 from typing import Dict, List, Mapping, Optional
 
+from functools import lru_cache
+
 from repro.core.signature import digest_module, digest_source
 from repro.core.switchlet import SwitchletPackage
 from repro.core.thinning import safe_builtins
 from repro.exceptions import LoadError, SignatureMismatch
 from repro.sim.trace import TraceRecorder
+
+
+@lru_cache(maxsize=256)
+def _compile_switchlet(source: str, name: str):
+    """Compile switchlet source to a code object (cached).
+
+    Code objects are immutable and executed against a fresh namespace on
+    every load, so nodes loading the same package (every bridge in a ring
+    loads the same five switchlets) can share the compilation.
+    """
+    return compile(source, filename=f"<switchlet {name}>", mode="exec")
 
 
 class LoadedSwitchlet:
@@ -112,7 +125,7 @@ class SwitchletLoader:
         self._check_interfaces(package)
         namespace = self._build_namespace()
         try:
-            code = compile(package.source, filename=f"<switchlet {package.name}>", mode="exec")
+            code = _compile_switchlet(package.source, package.name)
         except SyntaxError as exc:
             self.loads_rejected += 1
             raise LoadError(f"switchlet {package.name!r} failed to compile: {exc}") from exc
@@ -128,11 +141,10 @@ class SwitchletLoader:
         self._loaded.append(record)
         self.loads_succeeded += 1
         if self._trace is not None:
-            self._trace.record(
+            self._trace.emit(
                 self._source_name,
                 "switchlet.load",
-                name=package.name,
-                source_bytes=len(package.source),
+                {"name": package.name, "source_bytes": len(package.source)},
             )
         return record
 

@@ -42,7 +42,7 @@ class LogImplementation:
         if self._method == "off":
             return
         self._messages.append((self._sim.now, text))
-        self._sim.trace.record(self._source, "switchlet.log", message=text)
+        self._sim.trace.emit(self._source, "switchlet.log", {"message": text})
         if self._method == "stdout":  # pragma: no cover - interactive aid
             print(f"[{self._sim.now:.6f}] {self._source}: {text}")
 

@@ -139,11 +139,10 @@ class NetworkLoader:
         )
 
     def _file_received(self, filename: str, data: bytes) -> None:
-        self.node.sim.trace.record(
+        self.node.sim.trace.emit(
             self.node.name,
             "netloader.file",
-            filename=filename,
-            bytes=len(data),
+            {"filename": filename, "bytes": len(data)},
         )
         try:
             self.node.load_switchlet_bytes(data)
@@ -152,13 +151,15 @@ class NetworkLoader:
             # likewise survives a failed Dynlink.load.
             self.load_failures += 1
             self.last_error = str(exc)
-            self.node.sim.trace.record(
-                self.node.name, "netloader.load_failed", filename=filename, error=str(exc)
+            self.node.sim.trace.emit(
+                self.node.name,
+                "netloader.load_failed",
+                {"filename": filename, "error": str(exc)},
             )
             return
         self.switchlets_loaded += 1
-        self.node.sim.trace.record(
-            self.node.name, "netloader.load_ok", filename=filename
+        self.node.sim.trace.emit(
+            self.node.name, "netloader.load_ok", {"filename": filename}
         )
 
     # ------------------------------------------------------------------

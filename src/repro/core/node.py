@@ -64,7 +64,7 @@ class ActiveNode:
         self.costs = cost_model if cost_model is not None else CostModel()
         self.cpu = CpuQueue(sim, f"{name}.cpu")
         self.interfaces: Dict[str, NetworkInterface] = {}
-        self.unixnet = Unixnet(name, self._transmit)
+        self.unixnet = Unixnet(name, self._transmit, trace=sim.trace)
         self.environment: NodeEnvironment = build_environment(sim, name, self.unixnet)
         self.loader = SwitchletLoader(trace=sim.trace, source_name=name)
         self.loader.add_available_units(self.environment.modules)
@@ -141,14 +141,22 @@ class ActiveNode:
 
         def send() -> None:
             self.frames_transmitted += 1
-            self.sim.trace.record(self.name, "node.forward", interface=interface, bytes=frame.frame_length)
+            trace = self.sim.trace
+            if trace.wants("node.forward"):
+                trace.emit(
+                    self.name,
+                    "node.forward",
+                    lambda: {"interface": interface, "bytes": frame.frame_length},
+                )
             nic.send(frame)
 
         self.cpu.submit(self.costs.kernel_crossing_cost, send)
 
     def _gc_pause(self) -> None:
         self.cpu.stall(self.costs.gc_pause_duration)
-        self.sim.trace.record(self.name, "node.gc_pause", duration=self.costs.gc_pause_duration)
+        self.sim.trace.emit(
+            self.name, "node.gc_pause", {"duration": self.costs.gc_pause_duration}
+        )
 
     # ------------------------------------------------------------------
     # Programming the node

@@ -140,9 +140,14 @@ class Unixnet:
     kernel-crossing cost).
     """
 
-    def __init__(self, node_name: str, transmit: TransmitCallback) -> None:
+    def __init__(
+        self, node_name: str, transmit: TransmitCallback, trace=None
+    ) -> None:
         self._node_name = node_name
         self._transmit = transmit
+        #: Optional :class:`~repro.sim.trace.TraceRecorder`; the owning node
+        #: passes its simulator's hub so demux misses show up in timelines.
+        self._trace = trace
         self._interface_order: List[str] = []
         self._promiscuous_hook: Dict[str, Callable[[bool], None]] = {}
         self._interface_macs: Dict[str, MacAddress] = {}
@@ -189,10 +194,11 @@ class Unixnet:
         the demultiplexer behaviour the spanning-tree switchlet relies on.
         Returns the packet if some binding claimed it, else ``None``.
         """
+        pkt = frame_to_packet_bytes(frame)
         packet = Packet(
-            len=len(frame_to_packet_bytes(frame)),
+            len=len(pkt),
             addr=SockAddr(interface=interface, mac=str(frame.source)),
-            pkt=frame_to_packet_bytes(frame),
+            pkt=pkt,
             iport=interface,
         )
         addr_binding = self._addr_bindings.get(str(frame.destination))
@@ -206,6 +212,13 @@ class Unixnet:
             in_binding.deliver(packet)
             return packet
         self.packets_unclaimed += 1
+        trace = self._trace
+        if trace is not None and trace.wants("unixnet.unclaimed"):
+            trace.emit(
+                self._node_name,
+                "unixnet.unclaimed",
+                lambda: {"interface": interface, "destination": str(frame.destination)},
+            )
         return None
 
     def reset(self) -> None:

@@ -30,9 +30,14 @@ class CpuQueue:
     def __init__(self, sim: Simulator, name: str) -> None:
         self.sim = sim
         self.name = name
+        self._service_label = f"{name}:service"
         self._pending: Deque[Tuple[float, Callable[[], None]]] = deque()
         self._busy = False
         self._stall_until = 0.0
+        # The single server has at most one item in service; holding its
+        # callback here lets service completion reuse one bound method
+        # instead of allocating a closure per item.
+        self._in_service_callback: Optional[Callable[[], None]] = None
         # Statistics
         self.items_processed = 0
         self.busy_time = 0.0
@@ -70,6 +75,15 @@ class CpuQueue:
             return
         release = self.sim.now + duration_seconds
         self._stall_until = max(self._stall_until, release)
+        trace = self.sim.trace
+        if trace.wants("cpu.stall"):
+            # Eager detail: the queue depth must be captured at stall time,
+            # and stalls are rare (GC cadence), so laziness buys nothing.
+            trace.emit(
+                self.name,
+                "cpu.stall",
+                {"duration": duration_seconds, "queued": len(self._pending)},
+            )
 
     def _serve_next(self) -> None:
         if not self._pending:
@@ -77,16 +91,18 @@ class CpuQueue:
             return
         self._busy = True
         cost, callback = self._pending.popleft()
-        start_delay = max(0.0, self._stall_until - self.sim.now)
-        total = start_delay + cost
+        stall = self._stall_until
+        total = cost if stall <= 0.0 else cost + max(0.0, stall - self.sim.now)
         self.busy_time += cost
         self.items_processed += 1
+        self._in_service_callback = callback
+        self.sim.schedule(total, self._finish, label=self._service_label)
 
-        def finish() -> None:
-            callback()
-            self._serve_next()
-
-        self.sim.schedule(total, finish, label=f"{self.name}:service")
+    def _finish(self) -> None:
+        callback = self._in_service_callback
+        self._in_service_callback = None
+        callback()
+        self._serve_next()
 
     def utilization(self, elapsed: Optional[float] = None) -> float:
         """Fraction of elapsed simulated time the server spent in service."""

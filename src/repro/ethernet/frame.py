@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import struct
 from dataclasses import dataclass, field, replace
+from functools import cached_property
 
 from repro.ethernet.crc import crc32_ethernet
 from repro.ethernet.ethertype import EtherType
@@ -43,6 +44,10 @@ class EthernetFrame:
         source: source MAC address.
         ethertype: 16-bit protocol identifier (see :class:`EtherType`).
         payload: the payload bytes (not yet padded to the 46-byte minimum).
+        frame_length: length on the wire excluding preamble/IFG
+            (header + padded payload + FCS); precomputed in ``__post_init__``.
+        wire_length: total wire occupancy including preamble, SFD and
+            inter-frame gap; precomputed in ``__post_init__``.
     """
 
     destination: MacAddress
@@ -51,32 +56,37 @@ class EthernetFrame:
     payload: bytes = field(default=b"")
 
     def __post_init__(self) -> None:
-        if len(self.payload) > MAX_PAYLOAD:
+        payload_length = len(self.payload)
+        if payload_length > MAX_PAYLOAD:
             raise FrameError(
-                f"payload of {len(self.payload)} bytes exceeds the "
+                f"payload of {payload_length} bytes exceeds the "
                 f"{MAX_PAYLOAD}-byte Ethernet MTU"
             )
         if not 0 <= int(self.ethertype) <= 0xFFFF:
             raise FrameError(f"ethertype out of range: {self.ethertype}")
+        # The size accounting is read several times per hop (NIC counters,
+        # serialization delay, cost model); precompute it once.  Plain
+        # attributes, not fields: they never enter __eq__/__repr__.
+        padded = payload_length if payload_length >= MIN_PAYLOAD else MIN_PAYLOAD
+        object.__setattr__(
+            self, "frame_length", HEADER_LENGTH + padded + FCS_LENGTH
+        )
+        object.__setattr__(
+            self, "wire_length", HEADER_LENGTH + padded + FCS_LENGTH + WIRE_OVERHEAD
+        )
 
     # -- size accounting -----------------------------------------------------
 
-    @property
+    @cached_property
     def padded_payload(self) -> bytes:
-        """The payload padded with zero bytes up to the 46-byte minimum."""
+        """The payload padded with zero bytes up to the 46-byte minimum.
+
+        Cached: the frame is immutable and the LAN substrate reads the size
+        properties several times per hop.
+        """
         if len(self.payload) >= MIN_PAYLOAD:
             return self.payload
         return self.payload + b"\x00" * (MIN_PAYLOAD - len(self.payload))
-
-    @property
-    def frame_length(self) -> int:
-        """Length of the frame on the wire excluding preamble/IFG (header+payload+FCS)."""
-        return HEADER_LENGTH + len(self.padded_payload) + FCS_LENGTH
-
-    @property
-    def wire_length(self) -> int:
-        """Total wire occupancy including preamble, SFD and inter-frame gap."""
-        return self.frame_length + WIRE_OVERHEAD
 
     @property
     def is_multicast(self) -> bool:

@@ -24,7 +24,7 @@ class MacAddress:
     (802.1D breaks bridge-priority ties by comparing bridge MAC addresses).
     """
 
-    __slots__ = ("_octets",)
+    __slots__ = ("_octets", "_text")
 
     def __init__(self, octets: bytes) -> None:
         if len(octets) != MAC_LENGTH:
@@ -32,6 +32,7 @@ class MacAddress:
                 f"MAC address must be {MAC_LENGTH} octets, got {len(octets)}"
             )
         self._octets = bytes(octets)
+        self._text: str = ""
 
     # -- constructors --------------------------------------------------------
 
@@ -101,7 +102,12 @@ class MacAddress:
     # -- dunder --------------------------------------------------------------
 
     def __str__(self) -> str:
-        return ":".join(f"{octet:02x}" for octet in self._octets)
+        # Rendered once per address: the text form is read on every packet
+        # record and in every describe() string.
+        text = self._text
+        if not text:
+            text = self._text = self._octets.hex(":")
+        return text
 
     def __repr__(self) -> str:
         return f"MacAddress('{self}')"

@@ -96,7 +96,9 @@ class NetworkInterface:
             return
         self.frames_sent += 1
         self.bytes_sent += frame.frame_length
-        self.sim.trace.record(self.name, "nic.tx", frame=frame.describe())
+        trace = self.sim.trace
+        if trace.wants("nic.tx"):
+            trace.emit(self.name, "nic.tx", lambda: {"frame": frame.describe()})
         self.segment.transmit(self, frame)
 
     def deliver(self, frame: EthernetFrame) -> None:
@@ -112,7 +114,9 @@ class NetworkInterface:
             return
         self.frames_received += 1
         self.bytes_received += frame.frame_length
-        self.sim.trace.record(self.name, "nic.rx", frame=frame.describe())
+        trace = self.sim.trace
+        if trace.wants("nic.rx"):
+            trace.emit(self.name, "nic.rx", lambda: {"frame": frame.describe()})
         if self._handler is not None:
             self._handler(self, frame)
 

@@ -56,6 +56,10 @@ class Segment:
         self._busy_until = 0.0
         self._pending: Deque[Tuple["NetworkInterface", EthernetFrame]] = deque()
         self._in_service = False
+        # Event labels are fixed per segment; building them per frame shows
+        # up on the hot path.
+        self._deliver_label = f"{name}:deliver"
+        self._next_label = f"{name}:next"
         # Statistics
         self.frames_carried = 0
         self.bytes_carried = 0
@@ -105,12 +109,13 @@ class Segment:
                 "without being attached"
             )
         self._pending.append((sender, frame))
-        self.sim.trace.record(
-            self.name,
-            "segment.enqueue",
-            sender=sender.name,
-            frame=frame.describe(),
-        )
+        trace = self.sim.trace
+        if trace.wants("segment.enqueue"):
+            trace.emit(
+                self.name,
+                "segment.enqueue",
+                lambda: {"sender": sender.name, "frame": frame.describe()},
+            )
         if not self._in_service:
             self._service_next()
 
@@ -127,24 +132,24 @@ class Segment:
         self._busy_until = finish
         deliver_at = finish + self.propagation_delay
         self.frames_carried += 1
-        self.bytes_carried += frame.frame_length
+        # Wire occupancy, consistent with serialization_delay(): the frame
+        # plus preamble/SFD/inter-frame gap, not just header+payload+FCS.
+        self.bytes_carried += frame.wire_length
 
         def deliver() -> None:
             self._deliver(sender, frame)
 
-        def next_transmission() -> None:
-            self._service_next()
-
-        self.sim.schedule_at(deliver_at, deliver, label=f"{self.name}:deliver")
-        self.sim.schedule_at(finish, next_transmission, label=f"{self.name}:next")
+        self.sim.schedule_at(deliver_at, deliver, label=self._deliver_label)
+        self.sim.schedule_at(finish, self._service_next, label=self._next_label)
 
     def _deliver(self, sender: "NetworkInterface", frame: EthernetFrame) -> None:
-        self.sim.trace.record(
-            self.name,
-            "segment.deliver",
-            sender=sender.name,
-            frame=frame.describe(),
-        )
+        trace = self.sim.trace
+        if trace.wants("segment.deliver"):
+            trace.emit(
+                self.name,
+                "segment.deliver",
+                lambda: {"sender": sender.name, "frame": frame.describe()},
+            )
         # Snapshot the list: receivers may attach/detach during delivery.
         for interface in list(self._interfaces):
             if interface is sender:

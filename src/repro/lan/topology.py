@@ -78,6 +78,9 @@ class NetworkBuilder:
             through this builder; ``None`` selects the calibrated defaults.
         subnet_prefix: first three octets of the IPv4 addresses handed to
             hosts (the fourth octet is allocated sequentially from 1).
+        trace_sinks: optional trace sinks for the simulator (e.g. a bounded
+            :class:`~repro.sim.trace.RingBufferSink` for very long runs);
+            ``None`` keeps the default :class:`~repro.sim.trace.ListSink`.
     """
 
     def __init__(
@@ -85,8 +88,9 @@ class NetworkBuilder:
         seed: int = 0,
         cost_model: Optional[CostModel] = None,
         subnet_prefix: str = "10.0.0",
+        trace_sinks=None,
     ) -> None:
-        self.sim = Simulator(seed=seed)
+        self.sim = Simulator(seed=seed, trace_sinks=trace_sinks)
         self.cost_model = cost_model if cost_model is not None else CostModel()
         self.subnet_prefix = subnet_prefix
         self._network = Network(sim=self.sim, cost_model=self.cost_model)

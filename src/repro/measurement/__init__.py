@@ -16,7 +16,7 @@ This package contains the workloads and probes the paper's evaluation uses:
 
 from repro.measurement.ping import PingRunner, PingResult, ping_sweep
 from repro.measurement.ttcp import TtcpSession, TtcpResult, ttcp_sweep
-from repro.measurement.framerate import FrameRateProbe, FrameRateSample
+from repro.measurement.framerate import CounterRateProbe, FrameRateProbe, FrameRateSample
 from repro.measurement.agility import AgilityProbe, AgilityResult
 from repro.measurement.setups import (
     PairSetup,
@@ -38,6 +38,7 @@ __all__ = [
     "TtcpResult",
     "ttcp_sweep",
     "FrameRateProbe",
+    "CounterRateProbe",
     "FrameRateSample",
     "AgilityProbe",
     "AgilityResult",

@@ -135,6 +135,7 @@ class AgilityProbe:
 
     def _inject(self) -> None:
         self.result = AgilityResult(start_time=self.sim.now)
+        self.sim.trace.emit("probe", "agility.inject", None)
         self.eth0.send(self._build_trigger_bpdu())
         self._pinging = True
         self._send_ping()
@@ -200,10 +201,16 @@ class AgilityProbe:
             and frame.destination == ALL_BRIDGES_MULTICAST
         ):
             self.result.ieee_seen_at = self.sim.now
+            self.sim.trace.emit(
+                "probe", "agility.ieee_seen", {"latency": self.result.start_to_ieee}
+            )
             return
         if self.result.ping_seen_at is None and int(frame.ethertype) == int(EtherType.IPV4):
             if self._is_probe_ping(frame):
                 self.result.ping_seen_at = self.sim.now
+                self.sim.trace.emit(
+                    "probe", "agility.ping_seen", {"latency": self.result.start_to_ping}
+                )
                 self._pinging = False
 
     @staticmethod

@@ -15,6 +15,7 @@ from typing import Optional
 
 from repro.costs.model import CostModel
 from repro.sim.engine import Simulator
+from repro.sim.trace import CounterWindow
 
 
 def _transmitted_count(station: object) -> int:
@@ -66,6 +67,44 @@ class FrameRateProbe:
         if self._start_count is None or self._start_time is None:
             raise RuntimeError("FrameRateProbe.stop() called before start()")
         frames = _transmitted_count(self.station) - self._start_count
+        elapsed = self.sim.now - self._start_time
+        return FrameRateSample(frames=frames, elapsed=elapsed)
+
+
+class CounterRateProbe:
+    """Measure an event rate from the trace hub's live counters.
+
+    Where :class:`FrameRateProbe` needs direct access to the station object,
+    this probe only needs the station's trace *source name* (or none, to
+    measure a whole-network category rate) — measurement stays external to
+    the component, exactly as the paper instruments its bridge, but with O(1)
+    counter reads instead of post-hoc trace scans.
+
+    Args:
+        sim: the simulator.
+        category: the trace category to rate (e.g. ``"node.forward"``).
+        source: optional source filter (e.g. ``"bridge1"``).
+    """
+
+    def __init__(
+        self, sim: Simulator, category: str = "node.forward", source: Optional[str] = None
+    ) -> None:
+        self.sim = sim
+        self.category = category
+        self.source = source
+        self._window: Optional[CounterWindow] = None
+        self._start_time: Optional[float] = None
+
+    def start(self) -> None:
+        """Open the counter window at the start of the interval."""
+        self._window = CounterWindow(self.sim.trace)
+        self._start_time = self.sim.now
+
+    def stop(self) -> FrameRateSample:
+        """Read the counter delta and return the interval's sample."""
+        if self._window is None or self._start_time is None:
+            raise RuntimeError("CounterRateProbe.stop() called before start()")
+        frames = self._window.count(category=self.category, source=self.source)
         elapsed = self.sim.now - self._start_time
         return FrameRateSample(frames=frames, elapsed=elapsed)
 

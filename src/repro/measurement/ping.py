@@ -19,6 +19,7 @@ from repro.netstack.icmp import IcmpMessage
 from repro.netstack.ip import IPv4Address
 from repro.netstack.stack import MAX_ICMP_PAYLOAD
 from repro.sim.engine import Simulator
+from repro.sim.trace import CounterWindow
 
 
 @dataclass
@@ -30,12 +31,17 @@ class PingResult:
         sent: number of requests sent.
         received: number of replies received.
         rtts: round-trip times, in seconds, in arrival order.
+        bridge_forwards: frames forwarded by active nodes during the trial,
+            read from the trace hub's live counters (0 on unbridged paths,
+            and also 0 if tracing is disabled or the ``node.forward``
+            category is gated off — the counters only see captured records).
     """
 
     payload_size: int
     sent: int = 0
     received: int = 0
     rtts: List[float] = field(default_factory=list)
+    bridge_forwards: int = 0
 
     @property
     def loss_fraction(self) -> float:
@@ -107,8 +113,12 @@ class PingRunner:
     def run(self, start_time: float, settle_time: float = 2.0) -> PingResult:
         """Start at ``start_time``, run the simulator until the train completes."""
         self.start(start_time)
+        # Live-counter window: O(1) reads at the end of the trial instead of
+        # a post-hoc scan over the whole trace.
+        window = CounterWindow(self.sim.trace)
         end_time = start_time + self.count * self.interval + settle_time
         self.sim.run_until(end_time)
+        self.result.bridge_forwards = window.count(category="node.forward")
         return self.result
 
     # ------------------------------------------------------------------

@@ -86,9 +86,13 @@ class RingSetup:
 # ---------------------------------------------------------------------------
 
 
-def build_direct_pair(seed: int = 0, cost_model: Optional[CostModel] = None) -> PairSetup:
+def build_direct_pair(
+    seed: int = 0,
+    cost_model: Optional[CostModel] = None,
+    trace_sinks=None,
+) -> PairSetup:
     """Two hosts on a single LAN (Figure 8's baseline setup)."""
-    builder = NetworkBuilder(seed=seed, cost_model=cost_model)
+    builder = NetworkBuilder(seed=seed, cost_model=cost_model, trace_sinks=trace_sinks)
     builder.add_segment("lan1")
     left = builder.add_host("host1", "lan1")
     right = builder.add_host("host2", "lan1")
@@ -104,9 +108,13 @@ def build_direct_pair(seed: int = 0, cost_model: Optional[CostModel] = None) -> 
     )
 
 
-def build_repeater_pair(seed: int = 0, cost_model: Optional[CostModel] = None) -> PairSetup:
+def build_repeater_pair(
+    seed: int = 0,
+    cost_model: Optional[CostModel] = None,
+    trace_sinks=None,
+) -> PairSetup:
     """Two LANs joined by the C buffered repeater."""
-    builder = NetworkBuilder(seed=seed, cost_model=cost_model)
+    builder = NetworkBuilder(seed=seed, cost_model=cost_model, trace_sinks=trace_sinks)
     builder.add_segment("lan1")
     builder.add_segment("lan2")
     left = builder.add_host("host1", "lan1")
@@ -132,6 +140,7 @@ def build_bridged_pair(
     cost_model: Optional[CostModel] = None,
     include_spanning_tree: bool = True,
     include_learning: bool = True,
+    trace_sinks=None,
 ) -> PairSetup:
     """Two LANs joined by the active bridge (Figure 7's bridging setup).
 
@@ -139,7 +148,7 @@ def build_bridged_pair(
     switchlet, then (optionally) the learning switchlet, then (optionally)
     the 802.1D spanning-tree switchlet.
     """
-    builder = NetworkBuilder(seed=seed, cost_model=cost_model)
+    builder = NetworkBuilder(seed=seed, cost_model=cost_model, trace_sinks=trace_sinks)
     builder.add_segment("lan1")
     builder.add_segment("lan2")
     left = builder.add_host("host1", "lan1")
@@ -168,10 +177,12 @@ def build_bridged_pair(
 
 
 def build_static_bridge_pair(
-    seed: int = 0, cost_model: Optional[CostModel] = None
+    seed: int = 0,
+    cost_model: Optional[CostModel] = None,
+    trace_sinks=None,
 ) -> PairSetup:
     """Two LANs joined by a fixed-function learning bridge (ablation baseline)."""
-    builder = NetworkBuilder(seed=seed, cost_model=cost_model)
+    builder = NetworkBuilder(seed=seed, cost_model=cost_model, trace_sinks=trace_sinks)
     builder.add_segment("lan1")
     builder.add_segment("lan2")
     left = builder.add_host("host1", "lan1")
@@ -213,6 +224,7 @@ def build_ring(
     suppression_period: float = 30.0,
     validation_delay: float = 60.0,
     buggy_new_protocol: bool = False,
+    trace_sinks=None,
 ) -> RingSetup:
     """A chain of active bridges between two end segments.
 
@@ -229,7 +241,7 @@ def build_ring(
     """
     if n_bridges < 1:
         raise ValueError("a ring needs at least one bridge")
-    builder = NetworkBuilder(seed=seed, cost_model=cost_model)
+    builder = NetworkBuilder(seed=seed, cost_model=cost_model, trace_sinks=trace_sinks)
     segments = []
     for index in range(n_bridges + 1):
         segments.append(builder.add_segment(f"seg{index}"))

@@ -7,11 +7,17 @@ from typing import Dict, Iterable, List, Sequence
 
 
 def mean(values: Sequence[float]) -> float:
-    """Arithmetic mean (0.0 for an empty sequence)."""
+    """Arithmetic mean (0.0 for an empty sequence).
+
+    Uses a compensated sum and clamps into ``[min, max]`` so the mean of a
+    constant sample is that constant even when division rounds by one ulp —
+    the summary invariant ``min <= mean <= max`` must hold exactly.
+    """
     data = list(values)
     if not data:
         return 0.0
-    return sum(data) / len(data)
+    result = math.fsum(data) / len(data)
+    return min(max(result, min(data)), max(data))
 
 
 def median(values: Sequence[float]) -> float:

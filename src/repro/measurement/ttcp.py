@@ -21,6 +21,7 @@ from repro.measurement.stats import megabits_per_second
 from repro.netstack.ip import IPv4Address
 from repro.netstack.stack import MAX_UDP_PAYLOAD
 from repro.sim.engine import Simulator
+from repro.sim.trace import CounterWindow
 
 #: UDP port the receiver listens on (ttcp's traditional port).
 RECEIVER_PORT = 5001
@@ -46,6 +47,12 @@ class TtcpResult:
         segments_sent / segments_received: data segment counts.
         elapsed: seconds from the first send to the last delivery.
         completed: whether every byte arrived before the deadline.
+        bridge_forwards: frames forwarded by active nodes during the trial,
+            read from the trace hub's live counters (0 on unbridged paths,
+            and also 0 if tracing is disabled or the ``node.forward``
+            category is gated off — the counters only see captured records).
+        gc_pauses: garbage-collection pauses taken by active nodes during
+            the trial (also from the live counters, same caveat).
     """
 
     buffer_size: int
@@ -54,6 +61,8 @@ class TtcpResult:
     segments_received: int = 0
     elapsed: float = 0.0
     completed: bool = False
+    bridge_forwards: int = 0
+    gc_pauses: int = 0
 
     @property
     def throughput_mbps(self) -> float:
@@ -152,7 +161,12 @@ class TtcpSession:
     def run(self, start_time: float, deadline: float = 120.0) -> TtcpResult:
         """Start at ``start_time`` and run until completion or ``deadline`` seconds pass."""
         self.start(start_time)
+        # Live-counter window: O(1) reads at the end of the trial instead of
+        # a post-hoc scan over the whole trace.
+        window = CounterWindow(self.sim.trace)
         self.sim.run_until(start_time + deadline)
+        self.result.bridge_forwards = window.count(category="node.forward")
+        self.result.gc_pauses = window.count(category="node.gc_pause")
         if not self.result.completed and self._start_time is not None:
             # Report partial progress with the elapsed time observed so far.
             last = self._end_time if self._end_time is not None else self.sim.now

@@ -37,12 +37,15 @@ class IpProtocol(IntEnum):
 class IPv4Address:
     """A 32-bit IPv4 address."""
 
-    __slots__ = ("_value",)
+    __slots__ = ("_value", "_bytes")
 
     def __init__(self, value: int) -> None:
         if not 0 <= value < (1 << 32):
             raise PacketError(f"IPv4 address out of range: {value}")
         self._value = value
+        # The 4-byte form is read on every header encode and checksum
+        # pseudo-header; render it once.
+        self._bytes = value.to_bytes(4, "big")
 
     @classmethod
     def from_string(cls, text: str) -> "IPv4Address":
@@ -75,7 +78,7 @@ class IPv4Address:
 
     def to_bytes(self) -> bytes:
         """The 4-byte network representation."""
-        return self._value.to_bytes(4, "big")
+        return self._bytes
 
     def __str__(self) -> str:
         octets = self.to_bytes()

@@ -16,7 +16,15 @@ from repro.sim.engine import Simulator
 from repro.sim.timers import Timer, PeriodicTimer
 from repro.sim.process import Process
 from repro.sim.random_source import RandomSource
-from repro.sim.trace import TraceRecorder, TraceRecord
+from repro.sim.trace import (
+    CountingSink,
+    ListSink,
+    NullSink,
+    RingBufferSink,
+    TraceRecord,
+    TraceRecorder,
+    TraceSink,
+)
 
 __all__ = [
     "Clock",
@@ -29,4 +37,9 @@ __all__ = [
     "RandomSource",
     "TraceRecorder",
     "TraceRecord",
+    "TraceSink",
+    "ListSink",
+    "RingBufferSink",
+    "CountingSink",
+    "NullSink",
 ]

@@ -13,7 +13,8 @@ NANOSECONDS_PER_SECOND = 1_000_000_000
 
 def seconds_to_ns(seconds: float) -> int:
     """Convert a float second count to integer nanoseconds (round-to-nearest)."""
-    return int(round(seconds * NANOSECONDS_PER_SECOND))
+    # round() already returns an int for a single float argument.
+    return round(seconds * NANOSECONDS_PER_SECOND)
 
 
 def ns_to_seconds(nanoseconds: int) -> float:
@@ -31,11 +32,14 @@ class Clock:
 
     def __init__(self) -> None:
         self._now_ns = 0
+        # The float-second form is read several times per dispatched event
+        # (traces, CPU queues, measurement); convert once per advance.
+        self._now_s = 0.0
 
     @property
     def now(self) -> float:
         """Current simulated time in seconds."""
-        return ns_to_seconds(self._now_ns)
+        return self._now_s
 
     @property
     def now_ns(self) -> int:
@@ -54,10 +58,12 @@ class Clock:
                 f"requested={when_ns}ns"
             )
         self._now_ns = when_ns
+        self._now_s = when_ns / NANOSECONDS_PER_SECOND
 
     def reset(self) -> None:
         """Reset the clock to time zero (used when a simulator is reset)."""
         self._now_ns = 0
+        self._now_s = 0.0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Clock(now={self.now:.9f}s)"

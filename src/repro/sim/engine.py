@@ -17,13 +17,13 @@ that up.
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Callable, Iterable, Optional
 
 from repro.exceptions import SimulationError
-from repro.sim.clock import Clock, seconds_to_ns
+from repro.sim.clock import Clock, NANOSECONDS_PER_SECOND, seconds_to_ns
 from repro.sim.events import Event, EventQueue
 from repro.sim.random_source import RandomSource
-from repro.sim.trace import TraceRecorder
+from repro.sim.trace import TraceRecorder, TraceSink
 
 
 class Simulator:
@@ -33,12 +33,17 @@ class Simulator:
         seed: seed for the simulator-owned :class:`RandomSource`.  Two
             simulators constructed with the same seed and driven by the same
             code produce identical event sequences and traces.
+        trace_sinks: optional trace sinks to install instead of the default
+            :class:`~repro.sim.trace.ListSink` (e.g. a bounded
+            :class:`~repro.sim.trace.RingBufferSink` for very long runs).
     """
 
-    def __init__(self, seed: int = 0) -> None:
+    def __init__(
+        self, seed: int = 0, trace_sinks: Optional[Iterable[TraceSink]] = None
+    ) -> None:
         self.clock = Clock()
         self.random = RandomSource(seed)
-        self.trace = TraceRecorder(self.clock)
+        self.trace = TraceRecorder(self.clock, sinks=trace_sinks)
         self._queue = EventQueue()
         self._running = False
         self._dispatched = 0
@@ -64,8 +69,13 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        """Number of events still waiting to fire."""
+        """Number of events still waiting to fire (O(1))."""
         return len(self._queue)
+
+    @property
+    def cancelled_events_discarded(self) -> int:
+        """Cancelled events the queue has physically dropped so far."""
+        return self._queue.cancelled_discarded
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -100,7 +110,9 @@ class Simulator:
         self, when_ns: int, callback: Callable[[], None], label: str = ""
     ) -> Event:
         """Schedule ``callback`` at absolute time ``when_ns`` (nanoseconds)."""
-        self._queue.validate_schedule_time(self.clock.now_ns, when_ns)
+        if when_ns < self.clock._now_ns:
+            # Delegate to the queue for the canonical error message.
+            self._queue.validate_schedule_time(self.clock.now_ns, when_ns)
         return self._queue.push(when_ns, callback, label)
 
     def call_soon(self, callback: Callable[[], None], label: str = "") -> Event:
@@ -121,7 +133,13 @@ class Simulator:
         event = self._queue.pop()
         if event is None:
             return False
-        self.clock.advance_to_ns(event.time_ns)
+        # Inlined clock advance: schedule-time validation guarantees event
+        # times are never behind the clock, and the heap pops in time order.
+        clock = self.clock
+        time_ns = event.time_ns
+        if time_ns > clock._now_ns:
+            clock._now_ns = time_ns
+            clock._now_s = time_ns / NANOSECONDS_PER_SECOND
         self._dispatched += 1
         event.callback()
         return True

@@ -5,19 +5,34 @@ The :class:`EventQueue` orders events by ``(time, sequence number)`` so that
 two events scheduled for the same instant fire in the order they were
 scheduled — this makes the whole simulation deterministic, which the paper's
 reproducible measurements depend on.
+
+Two hot-path properties the simulator run loop relies on:
+
+* the heap stores ``(time_ns, sequence, event)`` tuples, so heap sifting
+  compares machine integers instead of calling Python comparison methods;
+* a live-event counter makes :meth:`EventQueue.__len__` and
+  :meth:`EventQueue.__bool__` O(1) — the run loop consults them once per
+  dispatched event, so they must not scan the heap.
+
+Cancelled events stay in the heap (keeping :meth:`Event.cancel` O(1)) and
+are discarded either at the top by :meth:`EventQueue._compact_top` or, when
+they come to dominate the heap, by a lazy full compaction; both are counted
+in :attr:`EventQueue.cancelled_discarded`.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
-from typing import Any, Callable, Optional
+from typing import Callable, Optional
 
 from repro.exceptions import SchedulingError
 
+#: Heaps smaller than this are never fully compacted — the O(n) rebuild only
+#: pays off once scanning/popping dead entries costs more than it does.
+_COMPACT_MIN_HEAP = 64
 
-@dataclass(order=True)
+
 class Event:
     """A single scheduled event.
 
@@ -29,65 +44,138 @@ class Event:
         cancelled: set by :meth:`cancel`; cancelled events are skipped.
     """
 
-    time_ns: int
-    sequence: int
-    callback: Callable[[], None] = field(compare=False)
-    label: str = field(compare=False, default="")
-    cancelled: bool = field(compare=False, default=False)
+    __slots__ = ("time_ns", "sequence", "callback", "label", "cancelled", "_queue")
+
+    def __init__(
+        self,
+        time_ns: int,
+        sequence: int,
+        callback: Callable[[], None],
+        label: str = "",
+        cancelled: bool = False,
+        _queue: Optional["EventQueue"] = None,
+    ) -> None:
+        self.time_ns = time_ns
+        self.sequence = sequence
+        self.callback = callback
+        self.label = label
+        self.cancelled = cancelled
+        self._queue = _queue
 
     def cancel(self) -> None:
-        """Mark the event as cancelled; it will be skipped when popped."""
+        """Mark the event as cancelled; it will be skipped when popped.
+
+        Cancelling is O(1): the event stays in its queue's heap but the
+        queue's live counter is decremented immediately.
+        """
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self._queue is not None:
+            self._queue._note_cancelled()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return (
+            f"Event(time_ns={self.time_ns}, sequence={self.sequence}, "
+            f"label={self.label!r}, {state})"
+        )
 
 
 class EventQueue:
     """A priority queue of :class:`Event` objects keyed by time.
 
-    The queue never removes cancelled events eagerly; they are discarded when
-    popped.  This keeps :meth:`cancel` O(1), which matters because the
-    802.1D switchlet cancels and re-arms many timers.
+    Cancelled events are not removed eagerly — :meth:`Event.cancel` stays
+    O(1), which matters because the 802.1D switchlet cancels and re-arms many
+    timers.  They are discarded when they reach the top of the heap, or in
+    one lazy compaction pass when dead entries outnumber live ones.
+
+    Attributes:
+        cancelled_discarded: total cancelled events physically dropped from
+            the heap so far (top-skips plus compactions).
     """
 
     def __init__(self) -> None:
-        self._heap: list[Event] = []
+        # Entries are (time_ns, sequence, event): heap sifting compares the
+        # two integers at C speed and never reaches the event object, since
+        # sequence numbers are unique.
+        self._heap: list = []
         self._counter = itertools.count()
+        self._live = 0
+        self._dead_in_heap = 0
+        self.cancelled_discarded = 0
 
     def __len__(self) -> int:
-        return sum(1 for event in self._heap if not event.cancelled)
+        return self._live
 
     def __bool__(self) -> bool:
-        return any(not event.cancelled for event in self._heap)
+        return self._live > 0
 
     def push(self, time_ns: int, callback: Callable[[], None], label: str = "") -> Event:
         """Schedule ``callback`` at absolute time ``time_ns`` and return the event."""
-        event = Event(
-            time_ns=time_ns,
-            sequence=next(self._counter),
-            callback=callback,
-            label=label,
-        )
-        heapq.heappush(self._heap, event)
+        sequence = next(self._counter)
+        event = Event(time_ns, sequence, callback, label, False, self)
+        heapq.heappush(self._heap, (time_ns, sequence, event))
+        self._live += 1
         return event
+
+    def _note_cancelled(self) -> None:
+        """Called by :meth:`Event.cancel` while the event is still in the heap."""
+        self._live -= 1
+        self._dead_in_heap += 1
+        # Lazy compaction: once cancelled entries outnumber live ones on a
+        # non-trivial heap, one O(n) rebuild keeps later pushes and pops from
+        # wading through the corpses.
+        if len(self._heap) >= _COMPACT_MIN_HEAP and self._dead_in_heap > self._live:
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild the heap from live events only (deterministic: entries are
+        totally ordered by (time, sequence), so heapify reproduces the same
+        pop sequence)."""
+        survivors = [entry for entry in self._heap if not entry[2].cancelled]
+        self.cancelled_discarded += len(self._heap) - len(survivors)
+        heapq.heapify(survivors)
+        self._heap = survivors
+        self._dead_in_heap = 0
+
+    def _compact_top(self) -> None:
+        """Discard cancelled events sitting at the top of the heap."""
+        heap = self._heap
+        while heap and heap[0][2].cancelled:
+            heapq.heappop(heap)
+            self.cancelled_discarded += 1
+            self._dead_in_heap -= 1
 
     def pop(self) -> Optional[Event]:
         """Pop the earliest non-cancelled event, or ``None`` if the queue is empty."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
-            if not event.cancelled:
-                return event
-        return None
+        heap = self._heap
+        if heap and heap[0][2].cancelled:
+            self._compact_top()
+        if not heap:
+            return None
+        event = heapq.heappop(heap)[2]
+        self._live -= 1
+        # A later cancel() on an already-fired event must not touch the queue.
+        event._queue = None
+        return event
 
     def peek_time_ns(self) -> Optional[int]:
         """Return the firing time of the earliest pending event, if any."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        if not self._heap:
+        heap = self._heap
+        if heap and heap[0][2].cancelled:
+            self._compact_top()
+        if not heap:
             return None
-        return self._heap[0].time_ns
+        return heap[0][0]
 
     def clear(self) -> None:
         """Drop every pending event."""
+        for entry in self._heap:
+            entry[2]._queue = None
         self._heap.clear()
+        self._live = 0
+        self._dead_in_heap = 0
 
     def validate_schedule_time(self, now_ns: int, when_ns: int) -> None:
         """Raise :class:`SchedulingError` if ``when_ns`` lies in the past."""
@@ -98,7 +186,7 @@ class EventQueue:
             )
 
 
-def describe_event(event: Event) -> dict[str, Any]:
+def describe_event(event: Event) -> dict:
     """Return a JSON-friendly description of an event (for traces and tests)."""
     return {
         "time_ns": event.time_ns,

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import inspect
 import textwrap
+from functools import lru_cache
 from typing import Iterable, Mapping, Optional, Sequence
 
 from repro.core.switchlet import SwitchletPackage
@@ -30,6 +31,14 @@ from repro.switchlets import spanning_tree as stp_module
 DEFAULT_REQUIRED_MODULES = ("Safestd", "Safeunix", "Log", "Safethread", "Func", "Unixnet")
 
 
+@lru_cache(maxsize=None)
+def _class_source(component: type) -> str:
+    """The dedented source of one class (cached: extraction tokenizes the
+    whole defining module, and every node build re-packages the same
+    module-level classes)."""
+    return textwrap.dedent(inspect.getsource(component))
+
+
 def component_source(components: Iterable[type]) -> str:
     """Concatenate the (deduplicated) source of the given classes."""
     seen = set()
@@ -38,8 +47,7 @@ def component_source(components: Iterable[type]) -> str:
         if component in seen:
             continue
         seen.add(component)
-        source = textwrap.dedent(inspect.getsource(component))
-        pieces.append(source)
+        pieces.append(_class_source(component))
     return "\n\n".join(pieces)
 
 

@@ -1,0 +1,404 @@
+"""Tests for the pluggable trace-sink architecture and the O(1) event queue.
+
+Covers the refactored instrumentation hot path: per-category gating, lazy
+detail rendering, the sink implementations (list / ring buffer / counting /
+null), live-counter windows, the event queue's live counter and lazy
+compaction, and the determinism guarantee (same seed, same trace) with sinks
+swapped.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ethernet.ethertype import EtherType
+from repro.ethernet.frame import EthernetFrame
+from repro.ethernet.mac import MacAddress
+from repro.lan.nic import NetworkInterface
+from repro.lan.segment import Segment
+from repro.measurement.ping import PingRunner
+from repro.measurement.setups import build_bridged_pair
+from repro.sim.engine import Simulator
+from repro.sim.events import EventQueue
+from repro.sim.trace import (
+    CounterWindow,
+    CountingSink,
+    ListSink,
+    NullSink,
+    RingBufferSink,
+    TraceRecorder,
+)
+
+
+def run_short_ping(trace_sinks=None, seed=11):
+    """A short end-to-end ping through the active bridge (no spanning tree)."""
+    setup = build_bridged_pair(
+        seed=seed, include_spanning_tree=False, trace_sinks=trace_sinks
+    )
+    runner = PingRunner(
+        setup.network.sim,
+        setup.left,
+        setup.right.ip,
+        payload_size=64,
+        count=4,
+        interval=0.05,
+    )
+    result = runner.run(start_time=setup.ready_time)
+    return setup, result
+
+
+# ---------------------------------------------------------------------------
+# Gating
+# ---------------------------------------------------------------------------
+
+
+class TestCategoryGating:
+    def test_disabled_category_suppresses_sinks_and_listeners(self, sim):
+        seen = []
+        sim.trace.add_listener(lambda record: seen.append(record.category))
+        sim.trace.disable_category("noise")
+        sim.trace.record("a", "noise")
+        sim.trace.record("a", "signal")
+        assert seen == ["signal"]
+        assert sim.trace.count(category="noise") == 0
+        assert sim.trace.count(category="signal") == 1
+        assert len(sim.trace.filter(category="noise")) == 0
+
+    def test_reenable_category(self, sim):
+        sim.trace.disable_category("x")
+        sim.trace.record("a", "x")
+        sim.trace.enable_category("x")
+        sim.trace.record("a", "x")
+        assert sim.trace.count(category="x") == 1
+
+    def test_wants_reflects_gating(self, sim):
+        assert sim.trace.wants("anything")
+        sim.trace.disable_category("gated")
+        assert not sim.trace.wants("gated")
+        assert sim.trace.wants("other")
+        sim.trace.disable()
+        assert not sim.trace.wants("other")
+        sim.trace.enable()
+        assert sim.trace.wants("other")
+        assert "gated" in sim.trace.disabled_categories
+
+    def test_disabled_category_suppresses_producers(self, sim):
+        segment = Segment(sim, "lan")
+        a = NetworkInterface(sim, "a", MacAddress.locally_administered(1))
+        b = NetworkInterface(sim, "b", MacAddress.locally_administered(2))
+        a.attach(segment)
+        b.attach(segment)
+        sim.trace.disable_category("nic.tx")
+        frame = EthernetFrame(
+            destination=b.mac, source=a.mac, ethertype=int(EtherType.IPV4), payload=b"hi"
+        )
+        a.send(frame)
+        sim.run()
+        assert sim.trace.count(category="nic.tx") == 0
+        assert sim.trace.count(category="nic.rx") == 1
+
+
+# ---------------------------------------------------------------------------
+# Lazy detail
+# ---------------------------------------------------------------------------
+
+
+class TestLazyDetail:
+    def test_callable_detail_renders_on_first_access_only(self, sim):
+        calls = []
+
+        def render():
+            calls.append(1)
+            return {"value": 7}
+
+        record = sim.trace.emit("a", "lazy", render)
+        assert not record.detail_is_rendered
+        assert calls == []
+        assert record.detail == {"value": 7}
+        assert record.detail == {"value": 7}
+        assert calls == [1]  # cached after first render
+        assert record.detail_is_rendered
+
+    def test_none_and_dict_details(self, sim):
+        empty = sim.trace.emit("a", "bare")
+        assert empty.detail == {}
+        eager = sim.trace.emit("a", "eager", {"k": 1})
+        assert eager.detail == {"k": 1}
+
+    def test_hot_path_frames_are_not_rendered(self, sim):
+        segment = Segment(sim, "lan")
+        a = NetworkInterface(sim, "a", MacAddress.locally_administered(1))
+        b = NetworkInterface(sim, "b", MacAddress.locally_administered(2))
+        a.attach(segment)
+        b.attach(segment)
+        frame = EthernetFrame(
+            destination=b.mac, source=a.mac, ethertype=int(EtherType.IPV4), payload=b"x"
+        )
+        a.send(frame)
+        sim.run()
+        tx = sim.trace.last(category="nic.tx")
+        assert not tx.detail_is_rendered
+        assert "->" in tx.detail["frame"]  # renders on demand
+        assert tx.detail_is_rendered
+
+
+# ---------------------------------------------------------------------------
+# Sinks
+# ---------------------------------------------------------------------------
+
+
+class TestListSink:
+    def test_indexed_queries_match_brute_force(self, sim):
+        for index in range(30):
+            sim.trace.record(f"src{index % 3}", f"cat{index % 4}", value=index)
+        records = list(sim.trace)
+        for category in (None, "cat0", "cat3", "missing"):
+            for source in (None, "src0", "src2", "missing"):
+                expected = [
+                    r
+                    for r in records
+                    if (category is None or r.category == category)
+                    and (source is None or r.source == source)
+                ]
+                assert sim.trace.filter(category=category, source=source) == expected
+                assert sim.trace.count(category=category, source=source) == len(expected)
+                last = sim.trace.last(category=category, source=source)
+                assert last == (expected[-1] if expected else None)
+
+    def test_time_window_filter_uses_index(self, sim):
+        recorder = sim.trace
+        sim.schedule(1.0, lambda: recorder.record("a", "x"))
+        sim.schedule(2.0, lambda: recorder.record("b", "x"))
+        sim.schedule(3.0, lambda: recorder.record("a", "x"))
+        sim.run()
+        assert len(recorder.filter(category="x", since=1.5, until=2.5)) == 1
+        assert len(recorder.filter(category="x", source="a", since=1.5)) == 1
+
+
+class TestRingBufferSink:
+    def test_evicts_oldest(self):
+        sim = Simulator(trace_sinks=[RingBufferSink(capacity=3)])
+        for index in range(10):
+            sim.trace.record("a", "tick", value=index)
+        retained = [record.detail["value"] for record in sim.trace]
+        assert retained == [7, 8, 9]
+        (sink,) = sim.trace.sinks
+        assert sink.evicted == 7
+        assert len(sink) == 3
+        # Live counters still see everything ever recorded.
+        assert sim.trace.count(category="tick") == 10
+        assert len(sim.trace) == 10
+
+    def test_queries_cover_the_retained_window(self):
+        sim = Simulator(trace_sinks=[RingBufferSink(capacity=4)])
+        for index in range(8):
+            sim.trace.record("a", "even" if index % 2 == 0 else "odd", value=index)
+        assert [r.detail["value"] for r in sim.trace.filter(category="even")] == [4, 6]
+        assert sim.trace.last(category="odd").detail["value"] == 7
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            RingBufferSink(capacity=0)
+
+
+class TestNullSink:
+    def test_discards_records_but_counters_stay_live(self):
+        sim = Simulator(trace_sinks=[NullSink()])
+        sim.trace.record("a", "x")
+        sim.trace.record("a", "y")
+        assert list(sim.trace) == []
+        assert sim.trace.filter(category="x") == []
+        assert sim.trace.last(category="x") is None
+        assert sim.trace.count(category="x") == 1
+        assert len(sim.trace) == 2
+
+
+class TestSinkManagement:
+    def test_add_remove_and_replace(self, sim):
+        counting = CountingSink()
+        sim.trace.add_sink(counting)
+        sim.trace.record("a", "x")
+        assert counting.count(category="x") == 1
+        sim.trace.remove_sink(counting)
+        sim.trace.record("a", "x")
+        assert counting.count(category="x") == 1
+        assert sim.trace.count(category="x") == 2
+        sim.trace.set_sinks([NullSink()])
+        sim.trace.record("a", "x")
+        assert list(sim.trace) == []
+
+    def test_clear_resets_sinks_and_counters(self, sim):
+        sim.trace.record("a", "x")
+        sim.trace.clear()
+        assert len(sim.trace) == 0
+        assert sim.trace.count(category="x") == 0
+        assert list(sim.trace) == []
+
+
+# ---------------------------------------------------------------------------
+# Live counters end to end
+# ---------------------------------------------------------------------------
+
+
+class TestLiveCounters:
+    def test_counting_sink_matches_list_sink_on_ping_run(self):
+        counting = CountingSink()
+        list_sink = ListSink()
+        setup, result = run_short_ping(trace_sinks=[list_sink, counting])
+        assert result.received == result.sent > 0
+        assert counting.total == len(list_sink) > 0
+        for category in ("nic.tx", "nic.rx", "segment.deliver", "node.forward"):
+            assert counting.count(category=category) == list_sink.count(category=category)
+        trace = setup.network.sim.trace
+        assert trace.count(category="node.forward") == counting.count(
+            category="node.forward"
+        )
+
+    def test_ping_result_reads_bridge_forwards_from_live_counters(self):
+        _setup, result = run_short_ping()
+        # Echo request and reply both cross the bridge: two forwards per ping.
+        assert result.bridge_forwards == 2 * result.received
+
+    def test_counter_window_isolates_an_interval(self, sim):
+        sim.trace.record("a", "x")
+        window = CounterWindow(sim.trace)
+        assert window.count(category="x") == 0
+        sim.trace.record("a", "x")
+        sim.trace.record("b", "y")
+        assert window.count(category="x") == 1
+        assert window.count(source="b") == 1
+        assert window.count(category="x", source="a") == 1
+        assert window.count() == 2
+
+
+# ---------------------------------------------------------------------------
+# Determinism with sinks swapped
+# ---------------------------------------------------------------------------
+
+
+class TestDeterminismAcrossSinks:
+    def test_same_seed_same_trace_regardless_of_sinks(self):
+        outcomes = []
+        for sinks in (None, [RingBufferSink(capacity=50)], [NullSink()]):
+            setup, result = run_short_ping(trace_sinks=sinks, seed=23)
+            sim = setup.network.sim
+            outcomes.append(
+                (
+                    tuple(result.rtts),
+                    result.bridge_forwards,
+                    sim.events_dispatched,
+                    len(sim.trace),
+                    sim.trace.count(category="nic.tx"),
+                )
+            )
+        assert outcomes[0] == outcomes[1] == outcomes[2]
+
+
+# ---------------------------------------------------------------------------
+# Event queue: O(1) accounting, compaction, cancelled_discarded
+# ---------------------------------------------------------------------------
+
+
+class TestEventQueueAccounting:
+    def test_len_tracks_cancellations_live(self):
+        queue = EventQueue()
+        events = [queue.push(10 * index, lambda: None) for index in range(10)]
+        assert len(queue) == 10
+        for event in events[:4]:
+            event.cancel()
+        assert len(queue) == 6
+        assert bool(queue)
+        # Double-cancel must not double-count.
+        events[0].cancel()
+        assert len(queue) == 6
+
+    def test_cancel_after_pop_is_harmless(self):
+        queue = EventQueue()
+        event = queue.push(1, lambda: None)
+        queue.push(2, lambda: None)
+        popped = queue.pop()
+        assert popped is event
+        event.cancel()
+        assert len(queue) == 1
+        assert queue.pop().time_ns == 2
+
+    def test_cancelled_discarded_counts_top_skips(self):
+        queue = EventQueue()
+        first = queue.push(1, lambda: None)
+        second = queue.push(2, lambda: None)
+        queue.push(3, lambda: None)
+        first.cancel()
+        second.cancel()
+        assert queue.peek_time_ns() == 3
+        assert queue.cancelled_discarded == 2
+        assert queue.pop().time_ns == 3
+        assert queue.pop() is None
+
+    def test_lazy_compaction_when_cancellations_dominate(self):
+        queue = EventQueue()
+        doomed = [queue.push(1000 + index, lambda: None) for index in range(100)]
+        survivors = [queue.push(10_000 + index, lambda: None) for index in range(5)]
+        for event in doomed:
+            event.cancel()
+        assert len(queue) == 5
+        # Compaction kicked in: the heap physically dropped most corpses
+        # without waiting for them to surface at the top.
+        assert queue.cancelled_discarded > 0
+        assert len(queue._heap) < len(doomed) + len(survivors)
+        popped = []
+        while queue:
+            popped.append(queue.pop().time_ns)
+        assert popped == sorted(event.time_ns for event in survivors)
+        # Draining accounts for every cancelled event exactly once.
+        assert queue.cancelled_discarded == len(doomed)
+        assert queue.pop() is None
+
+    def test_simulator_exposes_discard_stat(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        event.cancel()
+        assert sim.pending_events == 0
+        sim.run()
+        assert sim.cancelled_events_discarded >= 0
+
+
+# ---------------------------------------------------------------------------
+# Segment byte accounting (regression)
+# ---------------------------------------------------------------------------
+
+
+class TestSegmentByteAccounting:
+    def test_bytes_carried_uses_wire_length(self, sim):
+        segment = Segment(sim, "lan", bandwidth_bps=100_000_000)
+        a = NetworkInterface(sim, "a", MacAddress.locally_administered(1))
+        b = NetworkInterface(sim, "b", MacAddress.locally_administered(2))
+        a.attach(segment)
+        b.attach(segment)
+        frame = EthernetFrame(
+            destination=b.mac,
+            source=a.mac,
+            ethertype=int(EtherType.IPV4),
+            payload=b"z" * 100,
+        )
+        a.send(frame)
+        sim.run()
+        assert segment.frames_carried == 1
+        assert segment.bytes_carried == frame.wire_length
+
+    def test_utilization_matches_serialization_delay(self, sim):
+        segment = Segment(sim, "lan", bandwidth_bps=100_000_000)
+        a = NetworkInterface(sim, "a", MacAddress.locally_administered(1))
+        b = NetworkInterface(sim, "b", MacAddress.locally_administered(2))
+        a.attach(segment)
+        b.attach(segment)
+        frame = EthernetFrame(
+            destination=b.mac,
+            source=a.mac,
+            ethertype=int(EtherType.IPV4),
+            payload=b"z" * 500,
+        )
+        a.send(frame)
+        sim.run()
+        # Over exactly the serialization time, the wire was 100% occupied.
+        busy = segment.serialization_delay(frame)
+        assert segment.utilization(elapsed_seconds=busy) == pytest.approx(1.0)
