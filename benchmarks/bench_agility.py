@@ -15,12 +15,12 @@ from _harness import emit, run_once
 
 from repro.analysis.report import ExperimentReport
 from repro.measurement.agility import AgilityProbe
-from repro.measurement.setups import build_ring
+from repro.scenario import run_scenario
 from repro.switchlets.spanning_tree import SpanningTreeApp
 
 
 def measure():
-    ring = build_ring(n_bridges=3, seed=6)
+    ring = run_scenario("ring", seed=6, params={"n_bridges": 3}).as_ring()
     probe = AgilityProbe.for_ring(ring, ping_interval=1.0)
     result = probe.run(start_time=40.0, deadline=90.0)
     controls = [bridge.func.lookup("switchlet.control") for bridge in ring.bridges]

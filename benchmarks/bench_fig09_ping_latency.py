@@ -16,11 +16,7 @@ from _harness import emit, run_once
 from repro.analysis.figures import render_series
 from repro.costs.model import CostModel
 from repro.measurement.ping import ping_sweep
-from repro.measurement.setups import (
-    build_bridged_pair,
-    build_direct_pair,
-    build_repeater_pair,
-)
+from repro.scenario import run_scenario
 
 #: The packet sizes on the paper's x-axis (Figure 9).
 PACKET_SIZES = [32, 512, 1024, 2048, 4096]
@@ -40,12 +36,12 @@ def _clamp(size: int) -> int:
 def measure_all():
     """Run the three-configuration ping sweep; returns {label: {size: mean ms}}."""
     results = {}
-    for label, builder in (
-        ("direct connection", build_direct_pair),
-        ("C buffered repeater", build_repeater_pair),
-        ("active bridge", build_bridged_pair),
+    for label, scenario in (
+        ("direct connection", "pair/direct"),
+        ("C buffered repeater", "pair/repeater"),
+        ("active bridge", "pair/active-bridge"),
     ):
-        setup = builder(seed=1)
+        setup = run_scenario(scenario, seed=1).as_pair()
         sweep = ping_sweep(
             setup.network.sim,
             setup.left,

@@ -14,12 +14,8 @@ from _harness import emit, run_once
 
 from repro.analysis.figures import render_series
 from repro.analysis.report import ExperimentReport
-from repro.measurement.setups import (
-    build_bridged_pair,
-    build_direct_pair,
-    build_repeater_pair,
-)
 from repro.measurement.ttcp import TtcpSession
+from repro.scenario import run_scenario
 
 #: The write sizes on the paper's x-axis (Figure 10).
 BUFFER_SIZES = [32, 512, 1024, 2048, 4096, 8192]
@@ -32,12 +28,12 @@ TOTAL_BYTES = {32: 40_000, 512: 200_000, 1024: 300_000, 2048: 400_000, 4096: 400
 def measure_all():
     """Run the three-configuration ttcp sweep; returns {label: {size: result}}."""
     results = {}
-    for label, builder in (
-        ("direct connection", build_direct_pair),
-        ("C buffered repeater", build_repeater_pair),
-        ("active bridge", build_bridged_pair),
+    for label, scenario in (
+        ("direct connection", "pair/direct"),
+        ("C buffered repeater", "pair/repeater"),
+        ("active bridge", "pair/active-bridge"),
     ):
-        setup = builder(seed=2)
+        setup = run_scenario(scenario, seed=2).as_pair()
         per_size = {}
         start = setup.ready_time
         for index, size in enumerate(BUFFER_SIZES):

@@ -15,8 +15,8 @@ from _harness import emit, run_once
 from repro.analysis.tables import render_table
 from repro.costs.model import CostModel
 from repro.measurement.framerate import FrameRateProbe, bridge_ceiling, interpreter_ceiling
-from repro.measurement.setups import build_bridged_pair
 from repro.measurement.ttcp import TtcpSession
+from repro.scenario import run_scenario
 
 #: Application write sizes whose single-segment frames approximate the
 #: paper's "frame size" axis.
@@ -25,7 +25,7 @@ WRITE_SIZES = [64, 512, 1024, 1400]
 
 def measure():
     """Frame rate through the active bridge per write size."""
-    setup = build_bridged_pair(seed=3)
+    setup = run_scenario("pair/active-bridge", seed=3).as_pair()
     sim = setup.network.sim
     bridge = setup.device
     start = setup.ready_time

@@ -15,7 +15,7 @@ from repro.ethernet.ethertype import EtherType
 from repro.ethernet.frame import EthernetFrame
 from repro.ethernet.mac import ALL_BRIDGES_MULTICAST, MacAddress
 from repro.lan.nic import NetworkInterface
-from repro.measurement.setups import build_ring
+from repro.scenario import run_scenario
 from repro.switchlets.bpdu import ConfigBpdu
 
 TRIGGER_MAC = MacAddress.from_string("02:aa:aa:aa:aa:aa")
@@ -33,7 +33,9 @@ def _trigger_frame():
 
 def _run_transition(buggy: bool):
     """Run one transition on a 3-bridge chain; returns the bridges' controls."""
-    ring = build_ring(n_bridges=3, seed=4, buggy_new_protocol=buggy)
+    ring = run_scenario(
+        "ring", seed=4, params={"n_bridges": 3, "buggy_new_protocol": buggy}
+    ).as_ring()
     sim = ring.network.sim
     injector = NetworkInterface(sim, "admin", TRIGGER_MAC)
     injector.attach(ring.left_segment)

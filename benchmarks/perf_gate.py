@@ -1,0 +1,131 @@
+"""CI performance gate over ``BENCH_trace.json``.
+
+The trace-overhead micro-benchmark appends one entry per run to
+``BENCH_trace.json`` (the repository commits a baseline history; CI appends a
+fresh entry).  This gate compares the **fresh** entry (the last one) against
+the **baseline** entry (the last committed one before it) and fails when any
+tracked throughput metric — emit records/second per sink, or frame-blast
+frames/second per sink — regresses by more than the threshold (default 20 %).
+
+Run after the benchmark::
+
+    PYTHONPATH=src python benchmarks/bench_trace_overhead.py --frames 20000 --skip-bounded
+    python benchmarks/perf_gate.py --threshold 0.20
+
+The gate is pure stdlib (no simulator import): it only reads the JSON file.
+
+Caveat: the committed baseline may come from different hardware than the CI
+runner, so absolute throughput can shift for reasons unrelated to the code.
+The 20 % default absorbs normal runner variance; if a slow runner class trips
+the gate spuriously, refresh the committed baseline from CI's own artifact
+(or raise ``--threshold``) rather than chasing phantom regressions.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULTS_PATH = REPO_ROOT / "BENCH_trace.json"
+
+
+def collect_metrics(entry: dict) -> dict:
+    """Flatten one benchmark entry into {metric name: value} for comparison.
+
+    Frame-blast metrics are keyed by their workload size (``frames``) so a
+    run at a reduced size is never ratioed against a full-size baseline —
+    comparisons stay like-for-like.  (The emit micro-benchmark always uses
+    the same fixed record count, so its metrics carry no size key.)
+    """
+    metrics = {}
+    for sink, rate in (entry.get("emit_records_per_second") or {}).items():
+        metrics[f"emit/{sink} records/s"] = float(rate)
+    for sink, blast in (entry.get("frame_blast") or {}).items():
+        rate = blast.get("frames_per_second")
+        if rate is not None:
+            frames = blast.get("frames", "?")
+            metrics[f"blast/{sink}@{frames} frames/s"] = float(rate)
+    return metrics
+
+
+def compare(baseline: dict, fresh: dict, threshold: float) -> list:
+    """Return [(metric, base, new, ratio, ok)] for every shared metric."""
+    base_metrics = collect_metrics(baseline)
+    fresh_metrics = collect_metrics(fresh)
+    rows = []
+    skipped = sorted(base_metrics.keys() ^ fresh_metrics.keys())
+    if skipped:
+        print("perf gate: metrics without a like-for-like counterpart (skipped):")
+        for name in skipped:
+            print(f"  ?    {name}")
+    for name in sorted(base_metrics.keys() & fresh_metrics.keys()):
+        base = base_metrics[name]
+        new = fresh_metrics[name]
+        ratio = new / base if base > 0 else float("inf")
+        rows.append((name, base, new, ratio, ratio >= 1.0 - threshold))
+    return rows
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.20,
+        help="maximum tolerated fractional regression (default 0.20 = 20%%)",
+    )
+    parser.add_argument(
+        "--results",
+        type=Path,
+        default=RESULTS_PATH,
+        help="path to the benchmark history JSON",
+    )
+    args = parser.parse_args(argv)
+    if not 0.0 < args.threshold < 1.0:
+        parser.error("--threshold must be in (0, 1)")
+
+    try:
+        history = json.loads(args.results.read_text())
+    except (OSError, ValueError) as exc:
+        print(f"perf gate: cannot read {args.results}: {exc}")
+        return 1
+    if not isinstance(history, list) or not history:
+        print(f"perf gate: {args.results} holds no benchmark entries")
+        return 1
+    if len(history) < 2:
+        print("perf gate: no committed baseline to compare against; passing")
+        return 0
+
+    fresh = history[-1]
+    baseline = history[-2]
+    rows = compare(baseline, fresh, args.threshold)
+    if not rows:
+        print("perf gate: baseline and fresh entries share no metrics; passing")
+        return 0
+
+    width = max(len(name) for name, *_ in rows)
+    failed = []
+    print(
+        f"perf gate: fresh ({fresh.get('timestamp', '?')}) vs "
+        f"baseline ({baseline.get('timestamp', '?')}), "
+        f"threshold -{args.threshold:.0%}"
+    )
+    for name, base, new, ratio, ok in rows:
+        marker = "ok  " if ok else "FAIL"
+        print(f"  {marker} {name:<{width}}  {base:>12,.0f} -> {new:>12,.0f}  ({ratio:6.2%})")
+        if not ok:
+            failed.append(name)
+    if failed:
+        print(f"perf gate: {len(failed)} metric(s) regressed more than {args.threshold:.0%}:")
+        for name in failed:
+            print(f"  - {name}")
+        return 1
+    print(f"perf gate: all {len(rows)} metrics within threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

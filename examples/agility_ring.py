@@ -14,12 +14,12 @@ Run with:  python examples/agility_ring.py
 from __future__ import annotations
 
 from repro.measurement.agility import AgilityProbe
-from repro.measurement.setups import build_ring
+from repro.scenario import run_scenario
 
 
 def main() -> None:
     print("building the ring: 3 active bridges, DEC running, IEEE loaded, control armed")
-    ring = build_ring(n_bridges=3, seed=6)
+    ring = run_scenario("ring", seed=6, params={"n_bridges": 3}).as_ring()
     probe = AgilityProbe.for_ring(ring, ping_interval=1.0)
 
     print("letting the old protocol converge (forward-delay timers)...")

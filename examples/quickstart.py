@@ -11,8 +11,8 @@ Run with:  python examples/quickstart.py
 
 from __future__ import annotations
 
-from repro import ActiveNode, NetworkBuilder
 from repro.measurement.ping import PingRunner
+from repro.scenario import run_scenario
 from repro.switchlets.packaging import (
     dumb_bridge_package,
     learning_bridge_package,
@@ -33,19 +33,12 @@ def ping_once(network, source, destination, label):
 
 
 def main() -> None:
-    # --- build the testbed: two 100 Mb/s LANs, a host on each -------------
-    builder = NetworkBuilder(seed=1)
-    builder.add_segment("lan1")
-    builder.add_segment("lan2")
-    host1 = builder.add_host("host1", "lan1")
-    host2 = builder.add_host("host2", "lan2")
-    builder.populate_static_arp()
-    network = builder.build()
-
-    # --- an unprogrammed active node between them --------------------------
-    bridge = ActiveNode(network.sim, "bridge")
-    bridge.add_interface("eth0", network.segment("lan1"))
-    bridge.add_interface("eth1", network.segment("lan2"))
+    # --- the testbed comes from the scenario registry: two 100 Mb/s LANs,
+    # --- a host on each, and an *unprogrammed* active node between them
+    run = run_scenario("pair/unprogrammed", seed=1)
+    network = run.network
+    host1, host2 = run.host("host1"), run.host("host2")
+    bridge = run.device("bridge")
     environment = bridge.environment.modules
 
     print("1. Unprogrammed node: the two LANs are isolated.")

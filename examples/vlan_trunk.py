@@ -1,0 +1,68 @@
+"""802.1Q VLAN trunking: the first workload beyond the paper.
+
+Two VLAN-aware active bridges (each running the dumb-bridge switchlet plus
+the VLAN learning switchlet) join four access LANs — VLAN 10 and VLAN 20 on
+each side — over a single tagged trunk.  The demo shows:
+
+* same-VLAN hosts ping each other across the trunk (frames tagged on the
+  trunk, untagged on the access LANs),
+* cross-VLAN traffic never arrives, even with ARP warmed manually,
+* the per-VLAN learning tables and the VLAN discipline counters,
+* the matrix expander scaling the same spec to more VLANs and hosts.
+
+Run with:  python examples/vlan_trunk.py
+"""
+
+from __future__ import annotations
+
+from repro.measurement.ping import PingRunner
+from repro.scenario import expand_matrix, run_scenario
+
+
+def ping(run, source_name, dest_name, label, identifier):
+    source, dest = run.host(source_name), run.host(dest_name)
+    runner = PingRunner(
+        run.sim, source, dest.ip, payload_size=256, count=3, interval=0.1,
+        identifier=identifier,
+    )
+    result = runner.run(start_time=run.sim.now + 0.1)
+    print(f"  {label}: {result.received}/{result.sent} replies")
+    return result
+
+
+def main() -> None:
+    print("compiling scenario 'vlan/trunk' (2 switches, VLANs 10 and 20, one trunk)")
+    run = run_scenario("vlan/trunk", seed=1)
+    print(f"  segments: {', '.join(run.network.segments)}")
+    print(f"  hosts   : {', '.join(run.network.hosts)}")
+
+    print("\n1. Same-VLAN traffic crosses the trunk (tagged in flight).")
+    ping(run, "h1v10n1", "h2v10n1", "VLAN 10 -> VLAN 10 across trunk", 1)
+    ping(run, "h1v20n1", "h2v20n1", "VLAN 20 -> VLAN 20 across trunk", 2)
+
+    print("\n2. Cross-VLAN traffic is isolated (even with ARP warmed by hand).")
+    near, wrong = run.host("h1v10n1"), run.host("h2v20n1")
+    near.stack.add_static_arp(wrong.ip, wrong.mac)
+    ping(run, "h1v10n1", "h2v20n1", "VLAN 10 -> VLAN 20 (must fail)", 3)
+
+    print("\n3. Per-VLAN learning tables on switch1:")
+    app = run.device("switch1").func.lookup("switchlet.vlan-bridge")
+    for vlan, table in sorted(app.snapshot().items()):
+        print(f"  VLAN {vlan}:")
+        for mac, (age, port) in sorted(table.items()):
+            print(f"    {mac} -> {port} (age {age:.3f}s)")
+    stats = app.stats()
+    print("  discipline counters: "
+          f"forwarded={stats['frames_forwarded']} "
+          f"flooded={stats['frames_flooded']} "
+          f"dropped_tagged_on_access={stats['dropped_tagged_on_access']} "
+          f"dropped_untagged_on_trunk={stats['dropped_untagged_on_trunk']}")
+
+    print("\n4. The same spec scales through the matrix expander:")
+    for spec in expand_matrix("vlan/trunk", {"n_vlans": [2, 3], "hosts_per_vlan": [1, 2]}):
+        print(f"  {spec.name}: {len(spec.segments)} segments, "
+              f"{len(spec.hosts)} hosts, {len(spec.devices)} switches")
+
+
+if __name__ == "__main__":
+    main()

@@ -16,7 +16,7 @@ This package implements the complete system described in the paper:
 
 The most convenient entry points are re-exported at the top level:
 
->>> from repro import Simulator, NetworkBuilder, ActiveNode
+>>> from repro import Simulator, NetworkBuilder, ActiveNode, run_scenario
 >>> from repro.switchlets import learning_bridge_package
 """
 
@@ -27,6 +27,7 @@ from repro.core.node import ActiveNode
 from repro.core.loader import SwitchletLoader
 from repro.core.switchlet import SwitchletPackage
 from repro.costs.model import CostModel
+from repro.scenario import ScenarioSpec, run_scenario
 
 __all__ = [
     "__version__",
@@ -36,4 +37,6 @@ __all__ = [
     "SwitchletLoader",
     "SwitchletPackage",
     "CostModel",
+    "ScenarioSpec",
+    "run_scenario",
 ]

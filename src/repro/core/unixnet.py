@@ -32,31 +32,51 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Deque, Dict, List, Optional
 
-from repro.ethernet.frame import EthernetFrame
+from repro.ethernet.ethertype import EtherType
+from repro.ethernet.frame import EthernetFrame, VlanTag
 from repro.ethernet.mac import MacAddress
 from repro.exceptions import AlreadyBound, FrameError, NoInterface
 from repro.core.safeunix import SockAddr
 
 
+#: The 802.1Q tag protocol identifier, recognized in ``pkt`` byte strings.
+_VLAN_TPID = int(EtherType.VLAN_8021Q)
+
+
 def frame_to_packet_bytes(frame: EthernetFrame) -> bytes:
-    """Flatten an Ethernet frame into the ``pkt`` byte string switchlets see."""
-    return (
-        frame.destination.octets
-        + frame.source.octets
-        + int(frame.ethertype).to_bytes(2, "big")
-        + frame.payload
-    )
+    """Flatten an Ethernet frame into the ``pkt`` byte string switchlets see.
+
+    802.1Q tags are preserved in-line (TPID + TCI between the source address
+    and the real EtherType), exactly as on the wire — a VLAN-aware switchlet
+    must unmarshal the tag itself, like any other header field.
+    """
+    header = frame.destination.octets + frame.source.octets
+    if frame.vlan is not None:
+        header += _VLAN_TPID.to_bytes(2, "big") + frame.vlan.tci.to_bytes(2, "big")
+    return header + int(frame.ethertype).to_bytes(2, "big") + frame.payload
 
 
 def packet_bytes_to_frame(data: bytes) -> EthernetFrame:
     """Rebuild an Ethernet frame from switchlet-produced ``pkt`` bytes."""
     if len(data) < 14:
         raise FrameError(f"packet bytes too short for an Ethernet header: {len(data)}")
+    outer_type = int.from_bytes(bytes(data[12:14]), "big")
+    vlan = None
+    body_start = 14
+    if outer_type == _VLAN_TPID:
+        if len(data) < 18:
+            raise FrameError(f"packet bytes too short for an 802.1Q header: {len(data)}")
+        vlan = VlanTag.from_tci(int.from_bytes(bytes(data[14:16]), "big"))
+        ethertype = int.from_bytes(bytes(data[16:18]), "big")
+        body_start = 18
+    else:
+        ethertype = outer_type
     return EthernetFrame(
         destination=MacAddress(bytes(data[0:6])),
         source=MacAddress(bytes(data[6:12])),
-        ethertype=int.from_bytes(bytes(data[12:14]), "big"),
-        payload=bytes(data[14:]),
+        ethertype=ethertype,
+        payload=bytes(data[body_start:]),
+        vlan=vlan,
     )
 
 

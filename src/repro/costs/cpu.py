@@ -34,14 +34,16 @@ class CpuQueue:
         self._pending: Deque[Tuple[float, Callable[[], None]]] = deque()
         self._busy = False
         self._stall_until = 0.0
-        # The single server has at most one item in service; holding its
-        # callback here lets service completion reuse one bound method
-        # instead of allocating a closure per item.
-        self._in_service_callback: Optional[Callable[[], None]] = None
+        # The callbacks of the batch currently in service (usually one;
+        # back-to-back zero-cost items ride along).  Holding them here lets
+        # service completion reuse one bound method instead of allocating a
+        # closure per item.
+        self._in_service_callbacks: Optional[Tuple[Callable[[], None], ...]] = None
         # Statistics
         self.items_processed = 0
         self.busy_time = 0.0
         self.max_queue_depth = 0
+        self.batches_merged = 0
 
     @property
     def queue_depth(self) -> int:
@@ -91,17 +93,45 @@ class CpuQueue:
             return
         self._busy = True
         cost, callback = self._pending.popleft()
-        stall = self._stall_until
-        total = cost if stall <= 0.0 else cost + max(0.0, stall - self.sim.now)
         self.busy_time += cost
         self.items_processed += 1
-        self._in_service_callback = callback
+        # Back-to-back zero-cost items complete at the same timestamp as the
+        # head item, so serving the whole run as ONE event preserves every
+        # completion time while cutting the event count (see ROADMAP:
+        # "batched CPU service").
+        if self._pending and self._pending[0][0] == 0.0:
+            batch = [callback]
+            while self._pending and self._pending[0][0] == 0.0:
+                _, extra = self._pending.popleft()
+                batch.append(extra)
+                self.items_processed += 1
+            self.batches_merged += 1
+            callbacks: Tuple[Callable[[], None], ...] = tuple(batch)
+        else:
+            callbacks = (callback,)
+        stall = self._stall_until
+        total = cost if stall <= 0.0 else cost + max(0.0, stall - self.sim.now)
+        self._in_service_callbacks = callbacks
         self.sim.schedule(total, self._finish, label=self._service_label)
 
     def _finish(self) -> None:
-        callback = self._in_service_callback
-        self._in_service_callback = None
-        callback()
+        callbacks = self._in_service_callbacks
+        self._in_service_callbacks = None
+        remaining = list(callbacks)
+        while remaining:
+            callback = remaining.pop(0)
+            callback()
+            if remaining and self._stall_until > self.sim.now:
+                # A stall landed after the batch was committed (a GC pause
+                # mid-service, or this very callback stalling the server).
+                # Unbatched, the still-queued items would wait it out —
+                # preserve that: put them back at the head of the queue and
+                # let the normal stall accounting delay them.
+                self.items_processed -= len(remaining)
+                self._pending.extendleft(
+                    (0.0, rider) for rider in reversed(remaining)
+                )
+                break
         self._serve_next()
 
     def utilization(self, elapsed: Optional[float] = None) -> float:

@@ -18,6 +18,11 @@ class EtherType(IntEnum):
     #: IPv4, used by the minimal IP layer of the network loader stack.
     IPV4 = 0x0800
 
+    #: IEEE 802.1Q VLAN tag protocol identifier (TPID).  A tagged frame
+    #: carries this value in the outer type field, followed by the 2-byte
+    #: tag control information and then the real EtherType.
+    VLAN_8021Q = 0x8100
+
     #: ARP (provided for completeness of the host stack).
     ARP = 0x0806
 

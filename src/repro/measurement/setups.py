@@ -1,4 +1,4 @@
-"""The paper's experimental configurations.
+"""The paper's experimental configurations, as thin wrappers over the fabric.
 
 Three two-host configurations (Figures 7 and 8):
 
@@ -12,73 +12,36 @@ Three two-host configurations (Figures 7 and 8):
 plus the Section 7.5 **ring**: a chain of active bridges between the two
 NICs of a measurement host, each bridge running the DEC protocol with the
 IEEE protocol loaded-but-idle and the control switchlet armed.
+
+Since the declarative scenario fabric landed (:mod:`repro.scenario`), every
+configuration here is a registered :class:`~repro.scenario.spec.ScenarioSpec`
+(``pair/direct``, ``pair/repeater``, ``pair/active-bridge``,
+``pair/static-bridge``, ``ring``) compiled through
+:func:`~repro.scenario.runner.run_scenario`; these functions remain as the
+stable, ergonomic entry points the benchmarks and tests have always used.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Optional
 
-from repro.baselines.c_repeater import BufferedRepeater
-from repro.baselines.static_bridge import StaticLearningBridge
-from repro.core.node import ActiveNode
 from repro.costs.model import CostModel
-from repro.lan.host import Host
-from repro.lan.segment import Segment
-from repro.lan.topology import Network, NetworkBuilder
-from repro.switchlets.packaging import (
-    control_package,
-    dec_spanning_tree_package,
-    dumb_bridge_package,
-    learning_bridge_package,
-    spanning_tree_package,
-)
+from repro.scenario import run_scenario
+from repro.scenario.compile import PairSetup, RingSetup
+from repro.scenario.spec import BASIC_WARMUP, SPANNING_TREE_WARMUP
 
-#: Extra settling time after the forwarding-delay window before measuring.
-SPANNING_TREE_WARMUP = 31.0
-
-#: Settling time for configurations with no spanning tree.
-BASIC_WARMUP = 0.1
-
-
-@dataclass
-class PairSetup:
-    """A two-host configuration ready for ping/ttcp measurements.
-
-    Attributes:
-        network: the assembled network.
-        left / right: the two measurement hosts.
-        device: the interconnecting device (``None`` for the direct baseline).
-        ready_time: simulated time after which the path is forwarding (the
-            spanning-tree configurations need ~30 s of warm-up).
-        label: short name used in benchmark output.
-    """
-
-    network: Network
-    left: Host
-    right: Host
-    device: Optional[object]
-    ready_time: float
-    label: str
-
-
-@dataclass
-class RingSetup:
-    """The Section 7.5 ring of active bridges.
-
-    Attributes:
-        network: the assembled network.
-        bridges: the active bridges, in chain order.
-        left_segment / right_segment: the end segments the measurement
-            host's two NICs attach to.
-        ready_time: time by which the old (DEC) protocol has converged.
-    """
-
-    network: Network
-    bridges: List[ActiveNode] = field(default_factory=list)
-    left_segment: Optional[Segment] = None
-    right_segment: Optional[Segment] = None
-    ready_time: float = SPANNING_TREE_WARMUP
+__all__ = [
+    "PairSetup",
+    "RingSetup",
+    "SPANNING_TREE_WARMUP",
+    "BASIC_WARMUP",
+    "build_direct_pair",
+    "build_repeater_pair",
+    "build_bridged_pair",
+    "build_static_bridge_pair",
+    "build_ring",
+    "PAIR_BUILDERS",
+]
 
 
 # ---------------------------------------------------------------------------
@@ -92,20 +55,9 @@ def build_direct_pair(
     trace_sinks=None,
 ) -> PairSetup:
     """Two hosts on a single LAN (Figure 8's baseline setup)."""
-    builder = NetworkBuilder(seed=seed, cost_model=cost_model, trace_sinks=trace_sinks)
-    builder.add_segment("lan1")
-    left = builder.add_host("host1", "lan1")
-    right = builder.add_host("host2", "lan1")
-    builder.populate_static_arp()
-    network = builder.build()
-    return PairSetup(
-        network=network,
-        left=left,
-        right=right,
-        device=None,
-        ready_time=BASIC_WARMUP,
-        label="direct",
-    )
+    return run_scenario(
+        "pair/direct", seed=seed, cost_model=cost_model, trace_sinks=trace_sinks
+    ).as_pair()
 
 
 def build_repeater_pair(
@@ -114,25 +66,9 @@ def build_repeater_pair(
     trace_sinks=None,
 ) -> PairSetup:
     """Two LANs joined by the C buffered repeater."""
-    builder = NetworkBuilder(seed=seed, cost_model=cost_model, trace_sinks=trace_sinks)
-    builder.add_segment("lan1")
-    builder.add_segment("lan2")
-    left = builder.add_host("host1", "lan1")
-    right = builder.add_host("host2", "lan2")
-    builder.populate_static_arp()
-    network = builder.build()
-    repeater = BufferedRepeater(network.sim, "repeater", cost_model=network.cost_model)
-    repeater.add_interface("eth0", network.segment("lan1"))
-    repeater.add_interface("eth1", network.segment("lan2"))
-    builder.register_station("repeater", repeater)
-    return PairSetup(
-        network=network,
-        left=left,
-        right=right,
-        device=repeater,
-        ready_time=BASIC_WARMUP,
-        label="c-repeater",
-    )
+    return run_scenario(
+        "pair/repeater", seed=seed, cost_model=cost_model, trace_sinks=trace_sinks
+    ).as_pair()
 
 
 def build_bridged_pair(
@@ -148,32 +84,18 @@ def build_bridged_pair(
     switchlet, then (optionally) the learning switchlet, then (optionally)
     the 802.1D spanning-tree switchlet.
     """
-    builder = NetworkBuilder(seed=seed, cost_model=cost_model, trace_sinks=trace_sinks)
-    builder.add_segment("lan1")
-    builder.add_segment("lan2")
-    left = builder.add_host("host1", "lan1")
-    right = builder.add_host("host2", "lan2")
-    builder.populate_static_arp()
-    network = builder.build()
-    bridge = ActiveNode(network.sim, "bridge", cost_model=network.cost_model)
-    bridge.add_interface("eth0", network.segment("lan1"))
-    bridge.add_interface("eth1", network.segment("lan2"))
-    environment = bridge.environment.modules
-    bridge.load_switchlet(dumb_bridge_package(environment))
-    if include_learning:
-        bridge.load_switchlet(learning_bridge_package(environment))
-    if include_spanning_tree:
-        bridge.load_switchlet(spanning_tree_package(environment, autostart=True))
-    builder.register_station("bridge", bridge)
-    ready_time = SPANNING_TREE_WARMUP if include_spanning_tree else BASIC_WARMUP
-    return PairSetup(
-        network=network,
-        left=left,
-        right=right,
-        device=bridge,
-        ready_time=ready_time,
-        label="active-bridge",
-    )
+    params = {}
+    if not include_spanning_tree:
+        params["include_spanning_tree"] = False
+    if not include_learning:
+        params["include_learning"] = False
+    return run_scenario(
+        "pair/active-bridge",
+        seed=seed,
+        cost_model=cost_model,
+        trace_sinks=trace_sinks,
+        params=params,
+    ).as_pair()
 
 
 def build_static_bridge_pair(
@@ -182,25 +104,9 @@ def build_static_bridge_pair(
     trace_sinks=None,
 ) -> PairSetup:
     """Two LANs joined by a fixed-function learning bridge (ablation baseline)."""
-    builder = NetworkBuilder(seed=seed, cost_model=cost_model, trace_sinks=trace_sinks)
-    builder.add_segment("lan1")
-    builder.add_segment("lan2")
-    left = builder.add_host("host1", "lan1")
-    right = builder.add_host("host2", "lan2")
-    builder.populate_static_arp()
-    network = builder.build()
-    bridge = StaticLearningBridge(network.sim, "lanbridge", cost_model=network.cost_model)
-    bridge.add_interface("eth0", network.segment("lan1"))
-    bridge.add_interface("eth1", network.segment("lan2"))
-    builder.register_station("lanbridge", bridge)
-    return PairSetup(
-        network=network,
-        left=left,
-        right=right,
-        device=bridge,
-        ready_time=BASIC_WARMUP,
-        label="static-bridge",
-    )
+    return run_scenario(
+        "pair/static-bridge", seed=seed, cost_model=cost_model, trace_sinks=trace_sinks
+    ).as_pair()
 
 
 #: The three configurations of the paper's Figures 9 and 10, by label.
@@ -239,37 +145,16 @@ def build_ring(
         buggy_new_protocol: ship the deliberately faulty 802.1D variant as
             the new protocol, to exercise the automatic fallback.
     """
-    if n_bridges < 1:
-        raise ValueError("a ring needs at least one bridge")
-    builder = NetworkBuilder(seed=seed, cost_model=cost_model, trace_sinks=trace_sinks)
-    segments = []
-    for index in range(n_bridges + 1):
-        segments.append(builder.add_segment(f"seg{index}"))
-    network = builder.build()
-    setup = RingSetup(
-        network=network,
-        left_segment=segments[0],
-        right_segment=segments[-1],
-    )
-    for index in range(n_bridges):
-        bridge = ActiveNode(network.sim, f"bridge{index + 1}", cost_model=network.cost_model)
-        bridge.add_interface("eth0", segments[index])
-        bridge.add_interface("eth1", segments[index + 1])
-        environment = bridge.environment.modules
-        bridge.load_switchlet(dumb_bridge_package(environment))
-        bridge.load_switchlet(learning_bridge_package(environment))
-        bridge.load_switchlet(dec_spanning_tree_package(environment))
-        bridge.load_switchlet(
-            spanning_tree_package(environment, autostart=False, buggy=buggy_new_protocol)
-        )
-        if with_control:
-            bridge.load_switchlet(
-                control_package(
-                    environment,
-                    suppression_period=suppression_period,
-                    validation_delay=validation_delay,
-                )
-            )
-        builder.register_station(bridge.name, bridge)
-        setup.bridges.append(bridge)
-    return setup
+    return run_scenario(
+        "ring",
+        seed=seed,
+        cost_model=cost_model,
+        trace_sinks=trace_sinks,
+        params={
+            "n_bridges": n_bridges,
+            "with_control": with_control,
+            "suppression_period": suppression_period,
+            "validation_delay": validation_delay,
+            "buggy_new_protocol": buggy_new_protocol,
+        },
+    ).as_ring()

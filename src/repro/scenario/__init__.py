@@ -1,0 +1,64 @@
+"""The declarative scenario fabric.
+
+One spec, one compiler, one runner: experimental topologies are described as
+data (:mod:`~repro.scenario.spec`), registered by name with parametrized
+factories (:mod:`~repro.scenario.registry`, :mod:`~repro.scenario.catalog`),
+expanded over topology matrices, and driven through the single
+:func:`~repro.scenario.runner.run_scenario` entry point.  The legacy builder
+functions in :mod:`repro.measurement.setups` are thin wrappers over this
+package.
+"""
+
+from repro.scenario.spec import (
+    BASIC_WARMUP,
+    SPANNING_TREE_WARMUP,
+    DeviceSpec,
+    HostSpec,
+    PortSpec,
+    ScenarioSpec,
+    SegmentSpec,
+    SwitchletSpec,
+)
+from repro.scenario.compile import (
+    PairSetup,
+    RingSetup,
+    ScenarioRun,
+    SWITCHLET_CATALOG,
+    compile_spec,
+)
+from repro.scenario.registry import (
+    ScenarioEntry,
+    expand_matrix,
+    get_scenario,
+    list_scenarios,
+    register_scenario,
+    scenario_entry,
+)
+from repro.scenario.runner import run_matrix, run_scenario
+
+# Importing the catalog registers the built-in scenarios.
+from repro.scenario import catalog as _catalog  # noqa: F401
+
+__all__ = [
+    "BASIC_WARMUP",
+    "SPANNING_TREE_WARMUP",
+    "SegmentSpec",
+    "HostSpec",
+    "PortSpec",
+    "SwitchletSpec",
+    "DeviceSpec",
+    "ScenarioSpec",
+    "PairSetup",
+    "RingSetup",
+    "ScenarioRun",
+    "SWITCHLET_CATALOG",
+    "compile_spec",
+    "ScenarioEntry",
+    "register_scenario",
+    "scenario_entry",
+    "get_scenario",
+    "list_scenarios",
+    "expand_matrix",
+    "run_scenario",
+    "run_matrix",
+]

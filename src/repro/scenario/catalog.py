@@ -1,0 +1,309 @@
+"""The built-in scenario catalog.
+
+Every experimental configuration the paper's figures and tables use — the
+three two-host pairs of Figures 7/8, the static-bridge ablation baseline and
+the Section 7.5 ring — is registered here as a declarative factory, together
+with the new families the fabric enables: a many-LAN bridge chain and the
+802.1Q VLAN trunk workload.  ``list_scenarios()`` is the catalog listing; the
+README's "Scenario catalog" section mirrors it.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.lan.segment import DEFAULT_BANDWIDTH_BPS
+from repro.scenario.registry import register_scenario
+from repro.scenario.spec import (
+    BASIC_WARMUP,
+    SPANNING_TREE_WARMUP,
+    DeviceSpec,
+    HostSpec,
+    PortSpec,
+    ScenarioSpec,
+    SegmentSpec,
+    SwitchletSpec,
+)
+
+
+def _pair_segments(count: int, bandwidth_bps: float) -> Tuple[SegmentSpec, ...]:
+    return tuple(
+        SegmentSpec(f"lan{index + 1}", bandwidth_bps=bandwidth_bps)
+        for index in range(count)
+    )
+
+
+@register_scenario(
+    "pair/direct",
+    description="two hosts on a single LAN (Figure 8's best-case baseline)",
+    axes=("bandwidth_bps",),
+)
+def direct_pair(bandwidth_bps: float = DEFAULT_BANDWIDTH_BPS) -> ScenarioSpec:
+    return ScenarioSpec(
+        name="pair/direct",
+        label="direct",
+        description="two hosts on one shared LAN",
+        segments=_pair_segments(1, bandwidth_bps),
+        hosts=(HostSpec("host1", "lan1"), HostSpec("host2", "lan1")),
+        ready_time=BASIC_WARMUP,
+    )
+
+
+@register_scenario(
+    "pair/repeater",
+    description="two LANs joined by the C buffered repeater",
+    axes=("bandwidth_bps",),
+)
+def repeater_pair(bandwidth_bps: float = DEFAULT_BANDWIDTH_BPS) -> ScenarioSpec:
+    return ScenarioSpec(
+        name="pair/repeater",
+        label="c-repeater",
+        description="two LANs joined by the C buffered repeater",
+        segments=_pair_segments(2, bandwidth_bps),
+        hosts=(HostSpec("host1", "lan1"), HostSpec("host2", "lan2")),
+        devices=(
+            DeviceSpec(
+                "repeater",
+                kind="repeater",
+                ports=(PortSpec("eth0", "lan1"), PortSpec("eth1", "lan2")),
+            ),
+        ),
+        ready_time=BASIC_WARMUP,
+    )
+
+
+@register_scenario(
+    "pair/active-bridge",
+    description="two LANs joined by the active bridge running the switchlet stack",
+    axes=("include_spanning_tree", "include_learning", "bandwidth_bps"),
+)
+def bridged_pair(
+    include_spanning_tree: bool = True,
+    include_learning: bool = True,
+    bandwidth_bps: float = DEFAULT_BANDWIDTH_BPS,
+) -> ScenarioSpec:
+    stack = [SwitchletSpec("dumb-bridge")]
+    if include_learning:
+        stack.append(SwitchletSpec("learning-bridge"))
+    if include_spanning_tree:
+        stack.append(SwitchletSpec("spanning-tree", {"autostart": True}))
+    return ScenarioSpec(
+        name="pair/active-bridge",
+        label="active-bridge",
+        description="two LANs joined by the active bridge (Figure 7)",
+        segments=_pair_segments(2, bandwidth_bps),
+        hosts=(HostSpec("host1", "lan1"), HostSpec("host2", "lan2")),
+        devices=(
+            DeviceSpec(
+                "bridge",
+                kind="active-node",
+                ports=(PortSpec("eth0", "lan1"), PortSpec("eth1", "lan2")),
+                switchlets=tuple(stack),
+            ),
+        ),
+        ready_time=SPANNING_TREE_WARMUP if include_spanning_tree else BASIC_WARMUP,
+    )
+
+
+@register_scenario(
+    "pair/static-bridge",
+    description="two LANs joined by a fixed-function learning bridge (ablation baseline)",
+    axes=("bandwidth_bps",),
+)
+def static_bridge_pair(bandwidth_bps: float = DEFAULT_BANDWIDTH_BPS) -> ScenarioSpec:
+    return ScenarioSpec(
+        name="pair/static-bridge",
+        label="static-bridge",
+        description="two LANs joined by a DEC-LANbridge-like fixed bridge",
+        segments=_pair_segments(2, bandwidth_bps),
+        hosts=(HostSpec("host1", "lan1"), HostSpec("host2", "lan2")),
+        devices=(
+            DeviceSpec(
+                "lanbridge",
+                kind="static-bridge",
+                ports=(PortSpec("eth0", "lan1"), PortSpec("eth1", "lan2")),
+            ),
+        ),
+        ready_time=BASIC_WARMUP,
+    )
+
+
+@register_scenario(
+    "pair/unprogrammed",
+    description="two LANs joined by an unprogrammed active node (quickstart canvas)",
+)
+def unprogrammed_pair(bandwidth_bps: float = DEFAULT_BANDWIDTH_BPS) -> ScenarioSpec:
+    return ScenarioSpec(
+        name="pair/unprogrammed",
+        label="unprogrammed",
+        description="an empty active node between two LANs, ready to be programmed",
+        segments=_pair_segments(2, bandwidth_bps),
+        hosts=(HostSpec("host1", "lan1"), HostSpec("host2", "lan2")),
+        devices=(
+            DeviceSpec(
+                "bridge",
+                kind="active-node",
+                ports=(PortSpec("eth0", "lan1"), PortSpec("eth1", "lan2")),
+            ),
+        ),
+        ready_time=BASIC_WARMUP,
+    )
+
+
+@register_scenario(
+    "ring",
+    description="the Section 7.5 chain of active bridges (DEC running, IEEE idle, control armed)",
+    axes=("n_bridges", "bandwidth_bps"),
+)
+def ring(
+    n_bridges: int = 3,
+    with_control: bool = True,
+    suppression_period: float = 30.0,
+    validation_delay: float = 60.0,
+    buggy_new_protocol: bool = False,
+    bandwidth_bps: float = DEFAULT_BANDWIDTH_BPS,
+) -> ScenarioSpec:
+    if n_bridges < 1:
+        raise ValueError("a ring needs at least one bridge")
+    segments = tuple(
+        SegmentSpec(f"seg{index}", bandwidth_bps=bandwidth_bps)
+        for index in range(n_bridges + 1)
+    )
+    stack = [
+        SwitchletSpec("dumb-bridge"),
+        SwitchletSpec("learning-bridge"),
+        SwitchletSpec("dec-spanning-tree"),
+        SwitchletSpec("spanning-tree", {"autostart": False, "buggy": buggy_new_protocol}),
+    ]
+    if with_control:
+        stack.append(
+            SwitchletSpec(
+                "control",
+                {
+                    "suppression_period": suppression_period,
+                    "validation_delay": validation_delay,
+                },
+            )
+        )
+    devices = tuple(
+        DeviceSpec(
+            f"bridge{index + 1}",
+            kind="active-node",
+            ports=(
+                PortSpec("eth0", f"seg{index}"),
+                PortSpec("eth1", f"seg{index + 1}"),
+            ),
+            switchlets=tuple(stack),
+        )
+        for index in range(n_bridges)
+    )
+    return ScenarioSpec(
+        name="ring",
+        label="ring",
+        description="chain of active bridges between two end segments",
+        segments=segments,
+        devices=devices,
+        ready_time=SPANNING_TREE_WARMUP,
+    )
+
+
+@register_scenario(
+    "chain",
+    description="two hosts at the ends of a chain of learning bridges (many-LAN scaling)",
+    axes=("n_bridges", "bandwidth_bps"),
+)
+def chain(
+    n_bridges: int = 2,
+    bandwidth_bps: float = DEFAULT_BANDWIDTH_BPS,
+) -> ScenarioSpec:
+    if n_bridges < 1:
+        raise ValueError("a chain needs at least one bridge")
+    segments = tuple(
+        SegmentSpec(f"seg{index}", bandwidth_bps=bandwidth_bps)
+        for index in range(n_bridges + 1)
+    )
+    devices = tuple(
+        DeviceSpec(
+            f"bridge{index + 1}",
+            kind="active-node",
+            ports=(
+                PortSpec("eth0", f"seg{index}"),
+                PortSpec("eth1", f"seg{index + 1}"),
+            ),
+            switchlets=(
+                SwitchletSpec("dumb-bridge"),
+                SwitchletSpec("learning-bridge"),
+            ),
+        )
+        for index in range(n_bridges)
+    )
+    return ScenarioSpec(
+        name="chain",
+        label="chain",
+        description="hosts at the ends of a loop-free bridge chain",
+        segments=segments,
+        hosts=(HostSpec("left", "seg0"), HostSpec("right", f"seg{n_bridges}")),
+        devices=devices,
+        ready_time=BASIC_WARMUP,
+    )
+
+
+@register_scenario(
+    "vlan/trunk",
+    description="802.1Q VLAN bridges joined by a tagged trunk; per-VLAN isolation",
+    axes=("n_vlans", "hosts_per_vlan", "n_switches", "bandwidth_bps"),
+)
+def vlan_trunk(
+    n_vlans: int = 2,
+    hosts_per_vlan: int = 1,
+    n_switches: int = 2,
+    vlan_base: int = 10,
+    bandwidth_bps: float = DEFAULT_BANDWIDTH_BPS,
+) -> ScenarioSpec:
+    if n_vlans < 1:
+        raise ValueError("a VLAN scenario needs at least one VLAN")
+    if n_switches < 2:
+        raise ValueError("a trunk scenario needs at least two switches")
+    if hosts_per_vlan < 1:
+        raise ValueError("each VLAN needs at least one host per switch")
+    vlans = tuple(vlan_base * (index + 1) for index in range(n_vlans))
+    segments = []
+    hosts = []
+    devices = []
+    for switch in range(1, n_switches + 1):
+        for vlan in vlans:
+            segment_name = f"sw{switch}-v{vlan}"
+            segments.append(SegmentSpec(segment_name, bandwidth_bps=bandwidth_bps))
+            for index in range(hosts_per_vlan):
+                hosts.append(
+                    HostSpec(f"h{switch}v{vlan}n{index + 1}", segment_name, vlan=vlan)
+                )
+    segments.append(SegmentSpec("trunk", bandwidth_bps=bandwidth_bps))
+    for switch in range(1, n_switches + 1):
+        ports = [
+            PortSpec(f"eth{index}", f"sw{switch}-v{vlan}", mode="access", vlan=vlan)
+            for index, vlan in enumerate(vlans)
+        ]
+        ports.append(
+            PortSpec(f"eth{n_vlans}", "trunk", mode="trunk", allowed_vlans=vlans)
+        )
+        devices.append(
+            DeviceSpec(
+                f"switch{switch}",
+                kind="active-node",
+                ports=tuple(ports),
+                switchlets=(
+                    SwitchletSpec("dumb-bridge"),
+                    SwitchletSpec("vlan-bridge"),
+                ),
+            )
+        )
+    return ScenarioSpec(
+        name="vlan/trunk",
+        label="vlan-trunk",
+        description="VLAN-aware bridges, access segments per VLAN, one 802.1Q trunk",
+        segments=tuple(segments),
+        hosts=tuple(hosts),
+        devices=tuple(devices),
+        ready_time=BASIC_WARMUP,
+    )

@@ -1,0 +1,74 @@
+"""The one parametrized scenario runner.
+
+:func:`run_scenario` is the single entry point every benchmark, test and
+example drives: it resolves a scenario (by registered name or as an explicit
+:class:`~repro.scenario.spec.ScenarioSpec`), compiles it, and hands back the
+live :class:`~repro.scenario.compile.ScenarioRun`.  :func:`run_matrix`
+applies it across a topology-matrix expansion.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping, Optional, Union
+
+from repro.costs.model import CostModel
+from repro.scenario.compile import ScenarioRun, compile_spec
+from repro.scenario.registry import expand_matrix, get_scenario
+from repro.scenario.spec import ScenarioSpec
+
+
+def run_scenario(
+    scenario: Union[str, ScenarioSpec],
+    *,
+    seed: int = 0,
+    cost_model: Optional[CostModel] = None,
+    trace_sinks=None,
+    params: Optional[Mapping[str, object]] = None,
+) -> ScenarioRun:
+    """Compile a scenario into a live network ready for measurement.
+
+    Args:
+        scenario: a registered scenario name (e.g. ``"pair/active-bridge"``)
+            or an explicit spec.
+        seed: simulator seed (deterministic experiments).
+        cost_model: software cost constants shared by all components;
+            ``None`` selects the calibrated defaults.
+        trace_sinks: optional trace sinks for the simulator (e.g. a bounded
+            ring buffer for very long runs).
+        params: factory parameters when ``scenario`` is a name (matrix-axis
+            values such as ``{"n_bridges": 5}``).
+
+    Returns:
+        The compiled :class:`ScenarioRun`; the caller decides how far to run
+        the simulator (``run.warm_up()`` reaches the scenario's ready time).
+    """
+    if isinstance(scenario, str):
+        spec = get_scenario(scenario, **dict(params or {}))
+    else:
+        if params:
+            raise ValueError("params are only accepted with a scenario name")
+        spec = scenario
+    return compile_spec(
+        spec, seed=seed, cost_model=cost_model, trace_sinks=trace_sinks
+    )
+
+
+def run_matrix(
+    name: str,
+    axes: Mapping[str, Iterable[object]],
+    *,
+    seed: int = 0,
+    cost_model: Optional[CostModel] = None,
+    trace_sinks=None,
+    base_params: Optional[Mapping[str, object]] = None,
+) -> Iterator[ScenarioRun]:
+    """Compile and yield one :class:`ScenarioRun` per matrix point.
+
+    Expansion order is deterministic (see
+    :func:`~repro.scenario.registry.expand_matrix`); each run is compiled
+    lazily, so a large sweep only holds one live network at a time.
+    """
+    for spec in expand_matrix(name, axes, base_params=base_params):
+        yield compile_spec(
+            spec, seed=seed, cost_model=cost_model, trace_sinks=trace_sinks
+        )

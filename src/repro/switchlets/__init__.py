@@ -27,10 +27,12 @@ from repro.switchlets.learning_bridge import LearningBridgeApp, LearningTable
 from repro.switchlets.spanning_tree import SpanningTreeApp
 from repro.switchlets.dec_spanning_tree import DecSpanningTreeApp
 from repro.switchlets.control import ControlApp
+from repro.switchlets.vlan_bridge import VlanLearningBridgeApp
 from repro.switchlets.packaging import (
     build_package,
     dumb_bridge_package,
     learning_bridge_package,
+    vlan_bridge_package,
     spanning_tree_package,
     dec_spanning_tree_package,
     control_package,
@@ -44,12 +46,14 @@ __all__ = [
     "DumbBridgeApp",
     "LearningBridgeApp",
     "LearningTable",
+    "VlanLearningBridgeApp",
     "SpanningTreeApp",
     "DecSpanningTreeApp",
     "ControlApp",
     "build_package",
     "dumb_bridge_package",
     "learning_bridge_package",
+    "vlan_bridge_package",
     "spanning_tree_package",
     "dec_spanning_tree_package",
     "control_package",

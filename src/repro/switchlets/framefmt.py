@@ -24,6 +24,7 @@ class FrameFmt:
 
     HEADER_LEN = 14
     BROADCAST = "ff:ff:ff:ff:ff:ff"
+    VLAN_TPID = 0x8100
 
     @staticmethod
     def dst_bytes(pkt):
@@ -83,3 +84,49 @@ class FrameFmt:
             + int(ethertype).to_bytes(2, "big")
             + bytes(payload)
         )
+
+    # -- 802.1Q tag handling -------------------------------------------------
+    #
+    # A tagged ``pkt`` carries TPID (2) + TCI (2) between the source address
+    # and the real EtherType, exactly as on the wire.
+
+    @staticmethod
+    def is_tagged(pkt):
+        """Whether the frame bytes carry an 802.1Q tag."""
+        return int.from_bytes(bytes(pkt[12:14]), "big") == FrameFmt.VLAN_TPID
+
+    @staticmethod
+    def vlan_id(pkt):
+        """The 12-bit VLAN id, or ``None`` for untagged frames."""
+        if not FrameFmt.is_tagged(pkt):
+            return None
+        return int.from_bytes(bytes(pkt[14:16]), "big") & 0x0FFF
+
+    @staticmethod
+    def vlan_priority(pkt):
+        """The 3-bit priority code point, or ``None`` for untagged frames."""
+        if not FrameFmt.is_tagged(pkt):
+            return None
+        return int.from_bytes(bytes(pkt[14:16]), "big") >> 13
+
+    @staticmethod
+    def add_vlan(pkt, vid, priority=0):
+        """Insert an 802.1Q tag into untagged frame bytes."""
+        if FrameFmt.is_tagged(pkt):
+            raise ValueError("frame is already 802.1Q-tagged")
+        data = bytes(pkt)
+        tci = ((int(priority) & 0x7) << 13) | (int(vid) & 0x0FFF)
+        return (
+            data[0:12]
+            + FrameFmt.VLAN_TPID.to_bytes(2, "big")
+            + tci.to_bytes(2, "big")
+            + data[12:]
+        )
+
+    @staticmethod
+    def strip_vlan(pkt):
+        """Remove the 802.1Q tag from tagged frame bytes (no-op if untagged)."""
+        data = bytes(pkt)
+        if not FrameFmt.is_tagged(data):
+            return data
+        return data[0:12] + data[16:]

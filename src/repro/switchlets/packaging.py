@@ -26,6 +26,7 @@ from repro.switchlets import dec_spanning_tree as dec_module
 from repro.switchlets import dumb_bridge as dumb_module
 from repro.switchlets import learning_bridge as learning_module
 from repro.switchlets import spanning_tree as stp_module
+from repro.switchlets import vlan_bridge as vlan_module
 
 #: Environment modules every bridge switchlet is compiled against.
 DEFAULT_REQUIRED_MODULES = ("Safestd", "Safeunix", "Log", "Safethread", "Func", "Unixnet")
@@ -123,6 +124,39 @@ def learning_bridge_package(
         registration_source=registration,
         environment=environment,
         metadata={"description": "self-learning bridge switching function"},
+    )
+
+
+def vlan_bridge_package(
+    environment: Optional[Mapping[str, object]] = None,
+    default_vlan: Optional[int] = None,
+    aging_time: Optional[float] = None,
+) -> SwitchletPackage:
+    """The VLAN-aware learning bridge (802.1Q access/trunk semantics).
+
+    Like the plain learning switchlet it replaces the dumb bridge's
+    switching function; the port table is pushed afterwards through the
+    ``"bridge.vlan.configure"`` access point.
+    """
+    registration = vlan_module.REGISTRATION_SOURCE
+    if default_vlan is not None or aging_time is not None:
+        arguments = ""
+        if default_vlan is not None:
+            arguments += f", default_vlan={int(default_vlan)!r}"
+        if aging_time is not None:
+            arguments += f", aging_time={float(aging_time)!r}"
+        registration = (
+            "\n_app = VlanLearningBridgeApp(Unixnet, Func, Log, Safeunix, Safestd"
+            f"{arguments})\n"
+            "_app.start()\n"
+            'Func.register("switchlet.vlan-bridge", _app)\n'
+        )
+    return build_package(
+        name="vlan-bridge",
+        components=vlan_module.PACKAGED_COMPONENTS,
+        registration_source=registration,
+        environment=environment,
+        metadata={"description": "802.1Q VLAN-aware learning bridge"},
     )
 
 

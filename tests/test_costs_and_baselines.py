@@ -111,6 +111,105 @@ class TestCpuQueue:
         assert cpu.max_queue_depth >= 3
         sim.run()
 
+    def test_zero_cost_run_batches_into_one_event(self, sim):
+        # Back-to-back zero-cost items complete at the same timestamp as the
+        # head item: one service event must cover the whole run.
+        cpu = CpuQueue(sim, "cpu")
+        done = []
+        cpu.submit(1.0, lambda: done.append(("head", sim.now)))
+        for index in range(5):
+            cpu.submit(0.0, lambda i=index: done.append((i, sim.now)))
+        sim.run()
+        assert [name for name, _ in done] == ["head", 0, 1, 2, 3, 4]
+        assert all(time == pytest.approx(1.0) for _, time in done)
+        assert cpu.items_processed == 6
+        assert cpu.batches_merged == 1
+        # The head starts service at submit time, before the zero-cost items
+        # arrive; those five are then served as ONE batch event instead of
+        # five separate ones: two events total instead of six.
+        assert sim.events_dispatched == 2
+
+    def test_batching_preserves_mixed_cost_timestamps(self, sim):
+        cpu = CpuQueue(sim, "cpu")
+        done = []
+        costs = [0.5, 0.0, 0.0, 0.25, 0.0]
+        for index, cost in enumerate(costs):
+            cpu.submit(cost, lambda i=index: done.append((i, sim.now)))
+        sim.run()
+        # Items 0-2 complete together at 0.5; items 3-4 together at 0.75.
+        assert done == [
+            (0, pytest.approx(0.5)),
+            (1, pytest.approx(0.5)),
+            (2, pytest.approx(0.5)),
+            (3, pytest.approx(0.75)),
+            (4, pytest.approx(0.75)),
+        ]
+        # Item 0 alone (service began at submit), then batch (1,2), then
+        # batch (3,4): three events instead of five.
+        assert sim.events_dispatched == 3
+        assert cpu.batches_merged == 2
+        assert cpu.busy_time == pytest.approx(0.75)
+
+    def test_batching_respects_stall(self, sim):
+        # A stall (GC pause) delays the whole batch; the cpu.stall trace
+        # record plus the event count make the reduction observable.
+        cpu = CpuQueue(sim, "cpu")
+        done = []
+        cpu.stall(2.0)
+        cpu.submit(0.5, lambda: done.append(sim.now))
+        cpu.submit(0.0, lambda: done.append(sim.now))
+        cpu.submit(0.0, lambda: done.append(sim.now))
+        sim.run()
+        assert done == [pytest.approx(2.5)] * 3
+        # Stalled head alone, then one batch for the two zero-cost riders.
+        assert sim.events_dispatched == 2
+        assert cpu.batches_merged == 1
+        assert sim.trace.count(category="cpu.stall") == 1
+        stalls = [r for r in sim.trace if r.category == "cpu.stall"]
+        assert stalls[0].detail["duration"] == pytest.approx(2.0)
+
+    def test_mid_service_stall_still_delays_batched_riders(self, sim):
+        # A stall that arrives while a batch is in service (a GC pause from
+        # a timer) must still delay the zero-cost riders, exactly as it
+        # delayed still-queued items before batching existed.
+        cpu = CpuQueue(sim, "cpu")
+        done = []
+        cpu.submit(1.0, lambda: done.append(("first", sim.now)))
+        cpu.submit(1.0, lambda: done.append(("head", sim.now)))
+        cpu.submit(0.0, lambda: done.append(("rider", sim.now)))
+        sim.schedule_at(1.5, lambda: cpu.stall(5.0))
+        sim.run()
+        # head+rider batch when service begins at t=1.0 and would finish at
+        # t=2.0; the stall at t=1.5 (until t=6.5) lets the head complete on
+        # its already-scheduled event but pushes the rider behind the stall.
+        assert done == [
+            ("first", pytest.approx(1.0)),
+            ("head", pytest.approx(2.0)),
+            ("rider", pytest.approx(6.5)),
+        ]
+        assert cpu.items_processed == 3
+
+    def test_stall_from_batched_callback_delays_later_riders(self, sim):
+        # A callback inside the batch stalling the server pushes the
+        # *remaining* riders behind the stall, as FIFO service would.
+        cpu = CpuQueue(sim, "cpu")
+        done = []
+        cpu.submit(1.0, lambda: done.append(("head", sim.now)))
+
+        def stalling_rider():
+            done.append(("stallER", sim.now))
+            cpu.stall(3.0)
+
+        cpu.submit(0.0, stalling_rider)
+        cpu.submit(0.0, lambda: done.append(("late", sim.now)))
+        sim.run()
+        assert done == [
+            ("head", pytest.approx(1.0)),
+            ("stallER", pytest.approx(1.0)),
+            ("late", pytest.approx(4.0)),
+        ]
+        assert cpu.items_processed == 3
+
 
 def _two_lan_pair(device_factory):
     builder = NetworkBuilder(seed=17)

@@ -1,0 +1,280 @@
+"""The declarative scenario fabric: specs, compilation, registry, matrix.
+
+Covers the three properties the fabric promises:
+
+* **spec → network compilation** — a declarative spec produces exactly the
+  topology it describes (segments, hosts, devices, switchlet stacks, port
+  parameters);
+* **deterministic sweep expansion** — the matrix expander yields the same
+  family in the same order every time;
+* **wrapper-vs-legacy equivalence** — the thin wrapper builders produce
+  measurements bit-identical to the hand-written builder code they replaced.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.costs.model import CostModel
+from repro.lan.topology import NetworkBuilder
+from repro.measurement.ping import PingRunner, ping_sweep
+from repro.measurement.setups import (
+    BASIC_WARMUP,
+    build_bridged_pair,
+    build_direct_pair,
+    build_ring,
+)
+from repro.scenario import (
+    DeviceSpec,
+    HostSpec,
+    PortSpec,
+    ScenarioSpec,
+    SegmentSpec,
+    SwitchletSpec,
+    expand_matrix,
+    get_scenario,
+    list_scenarios,
+    register_scenario,
+    run_matrix,
+    run_scenario,
+)
+from repro.switchlets.packaging import (
+    dumb_bridge_package,
+    learning_bridge_package,
+)
+
+
+class TestSpecValidation:
+    def test_duplicate_component_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            ScenarioSpec(
+                name="bad",
+                segments=(SegmentSpec("lan1"), SegmentSpec("lan1")),
+            )
+
+    def test_host_on_unknown_segment_rejected(self):
+        with pytest.raises(ValueError, match="unknown segment"):
+            ScenarioSpec(
+                name="bad",
+                segments=(SegmentSpec("lan1"),),
+                hosts=(HostSpec("h1", "lan9"),),
+            )
+
+    def test_unknown_device_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown kind"):
+            ScenarioSpec(
+                name="bad",
+                segments=(SegmentSpec("lan1"),),
+                devices=(DeviceSpec("d", kind="router"),),
+            )
+
+    def test_unknown_port_mode_rejected(self):
+        with pytest.raises(ValueError, match="unknown mode"):
+            ScenarioSpec(
+                name="bad",
+                segments=(SegmentSpec("lan1"),),
+                devices=(
+                    DeviceSpec("d", ports=(PortSpec("eth0", "lan1", mode="hybrid"),)),
+                ),
+            )
+
+
+class TestCompilation:
+    def test_spec_compiles_to_declared_topology(self):
+        spec = ScenarioSpec(
+            name="t/compile",
+            segments=(
+                SegmentSpec("fast", bandwidth_bps=1e9),
+                SegmentSpec("slow", bandwidth_bps=1e7, propagation_delay=5e-6),
+            ),
+            hosts=(HostSpec("a", "fast"), HostSpec("b", "slow", ip="10.0.0.77")),
+            devices=(
+                DeviceSpec(
+                    "br",
+                    kind="active-node",
+                    ports=(PortSpec("eth0", "fast"), PortSpec("eth1", "slow")),
+                    switchlets=(
+                        SwitchletSpec("dumb-bridge"),
+                        SwitchletSpec("learning-bridge"),
+                    ),
+                ),
+            ),
+        )
+        run = run_scenario(spec, seed=3)
+        assert set(run.network.segments) == {"fast", "slow"}
+        assert run.segment("fast").bandwidth_bps == 1e9
+        assert run.segment("slow").propagation_delay == 5e-6
+        assert str(run.host("b").ip) == "10.0.0.77"
+        bridge = run.device("br")
+        assert sorted(bridge.interfaces) == ["eth0", "eth1"]
+        assert bridge.loader.loaded_names() == ["dumb-bridge", "learning-bridge"]
+        # Declaration order is preserved by the accessors.
+        assert [h.name for h in run.hosts] == ["a", "b"]
+        assert [d.name for d in run.devices] == ["br"]
+
+    def test_unknown_switchlet_name_fails_at_compile(self):
+        spec = ScenarioSpec(
+            name="t/unknown-switchlet",
+            segments=(SegmentSpec("lan1"),),
+            devices=(
+                DeviceSpec(
+                    "br",
+                    ports=(PortSpec("eth0", "lan1"),),
+                    switchlets=(SwitchletSpec("quantum-bridge"),),
+                ),
+            ),
+        )
+        with pytest.raises(ValueError, match="unknown switchlet"):
+            run_scenario(spec)
+
+    def test_as_pair_requires_two_hosts(self):
+        run = run_scenario("ring", params={"n_bridges": 1})
+        with pytest.raises(ValueError, match="pair"):
+            run.as_pair()
+
+    def test_ready_time_and_warm_up(self):
+        run = run_scenario("pair/direct")
+        assert run.ready_time == BASIC_WARMUP
+        run.warm_up()
+        assert run.sim.now >= BASIC_WARMUP
+
+
+class TestRegistry:
+    def test_get_scenario_records_params_and_suffixes_name(self):
+        spec = get_scenario("ring", n_bridges=5)
+        assert spec.name == "ring[n_bridges=5]"
+        assert spec.params["n_bridges"] == 5
+        assert len(spec.devices) == 5
+
+    def test_unknown_scenario_name(self):
+        with pytest.raises(KeyError, match="no scenario named"):
+            get_scenario("pair/warp-drive")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_scenario("pair/direct", lambda: None)
+
+    def test_catalog_lists_the_paper_scenarios(self):
+        names = {entry.name for entry in list_scenarios()}
+        assert {
+            "pair/direct",
+            "pair/repeater",
+            "pair/active-bridge",
+            "pair/static-bridge",
+            "ring",
+            "vlan/trunk",
+        } <= names
+
+
+class TestMatrixExpansion:
+    def test_expansion_is_deterministic(self):
+        axes = {"n_bridges": [1, 3], "bandwidth_bps": [1e7, 1e8]}
+        first = expand_matrix("ring", axes)
+        second = expand_matrix("ring", axes)
+        assert [spec.name for spec in first] == [spec.name for spec in second]
+        assert [spec.params for spec in first] == [spec.params for spec in second]
+        # Cartesian product in axis order: first axis varies slowest.
+        assert [spec.params["n_bridges"] for spec in first] == [1, 1, 3, 3]
+        assert [spec.params["bandwidth_bps"] for spec in first] == [1e7, 1e8, 1e7, 1e8]
+
+    def test_expansion_applies_axis_values(self):
+        specs = expand_matrix("chain", {"n_bridges": [2, 4]})
+        assert [len(spec.devices) for spec in specs] == [2, 4]
+        for spec in specs:
+            assert spec.segments[0].bandwidth_bps == 1e8
+
+    def test_run_matrix_compiles_every_point(self):
+        rtts = []
+        for run in run_matrix("chain", {"n_bridges": [1, 2]}, seed=9):
+            left, right = run.host("left"), run.host("right")
+            runner = PingRunner(
+                run.sim, left, right.ip, payload_size=64, count=2, interval=0.05
+            )
+            result = runner.run(start_time=run.ready_time)
+            assert result.received == result.sent == 2
+            rtts.append(result.mean_rtt_ms())
+        # Every extra bridge hop adds per-frame software cost.
+        assert rtts[1] > rtts[0]
+
+
+class TestWrapperLegacyEquivalence:
+    """The wrappers reproduce the hand-written builders bit-for-bit."""
+
+    def _legacy_direct(self, seed):
+        # The pre-fabric body of build_direct_pair, verbatim.
+        builder = NetworkBuilder(seed=seed)
+        builder.add_segment("lan1")
+        left = builder.add_host("host1", "lan1")
+        right = builder.add_host("host2", "lan1")
+        builder.populate_static_arp()
+        network = builder.build()
+        return network, left, right
+
+    def test_direct_pair_ping_identical(self):
+        network, left, right = self._legacy_direct(seed=11)
+        legacy = ping_sweep(
+            network.sim, left, right.ip, [64, 512], start_time=BASIC_WARMUP, count=4
+        )
+        setup = build_direct_pair(seed=11)
+        fabric = ping_sweep(
+            setup.network.sim,
+            setup.left,
+            setup.right.ip,
+            [64, 512],
+            start_time=setup.ready_time,
+            count=4,
+        )
+        for size in (64, 512):
+            assert fabric[size].rtts == legacy[size].rtts
+
+    def test_bridged_pair_ping_identical(self):
+        # The pre-fabric body of build_bridged_pair(include_spanning_tree=False).
+        from repro.core.node import ActiveNode
+
+        seed = 12
+        builder = NetworkBuilder(seed=seed)
+        builder.add_segment("lan1")
+        builder.add_segment("lan2")
+        left = builder.add_host("host1", "lan1")
+        right = builder.add_host("host2", "lan2")
+        builder.populate_static_arp()
+        network = builder.build()
+        bridge = ActiveNode(network.sim, "bridge", cost_model=network.cost_model)
+        bridge.add_interface("eth0", network.segment("lan1"))
+        bridge.add_interface("eth1", network.segment("lan2"))
+        environment = bridge.environment.modules
+        bridge.load_switchlet(dumb_bridge_package(environment))
+        bridge.load_switchlet(learning_bridge_package(environment))
+        legacy = ping_sweep(
+            network.sim, left, right.ip, [128, 1024], start_time=BASIC_WARMUP, count=4
+        )
+
+        setup = build_bridged_pair(seed=seed, include_spanning_tree=False)
+        fabric = ping_sweep(
+            setup.network.sim,
+            setup.left,
+            setup.right.ip,
+            [128, 1024],
+            start_time=setup.ready_time,
+            count=4,
+        )
+        for size in (128, 1024):
+            assert fabric[size].rtts == legacy[size].rtts
+
+    def test_wrappers_keep_legacy_labels_and_interfaces(self):
+        assert build_direct_pair().label == "direct"
+        assert build_bridged_pair(include_spanning_tree=False).label == "active-bridge"
+        ring = build_ring(n_bridges=2, seed=1)
+        assert [b.name for b in ring.bridges] == ["bridge1", "bridge2"]
+        assert ring.left_segment.name == "seg0"
+        assert ring.right_segment.name == "seg2"
+        with pytest.raises(ValueError, match="at least one bridge"):
+            build_ring(n_bridges=0)
+
+    def test_cost_model_is_shared_through_the_fabric(self):
+        model = CostModel().with_native_code(10.0)
+        setup = build_bridged_pair(
+            seed=2, cost_model=model, include_spanning_tree=False
+        )
+        assert setup.device.costs is model
+        assert setup.network.cost_model is model
