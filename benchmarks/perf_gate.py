@@ -1,15 +1,19 @@
 """CI performance gate over ``BENCH_trace.json``.
 
-The trace-overhead micro-benchmark appends one entry per run to
-``BENCH_trace.json`` (the repository commits a baseline history; CI appends a
-fresh entry).  This gate compares the **fresh** entry (the last one) against
-the **baseline** entry (the last committed one before it) and fails when any
-tracked throughput metric — emit records/second per sink, or frame-blast
-frames/second per sink — regresses by more than the threshold (default 20 %).
+The benchmarks append one entry per run to ``BENCH_trace.json`` (the
+repository commits a baseline history; CI appends fresh entries).  Entries
+come from *different* workloads — the trace-overhead micro-benchmark and the
+sharded-fabric ring sweep — so the gate pairs each tracked metric with its
+own history: for every metric name it takes the **newest** value and compares
+it with that metric's **previous** occurrence, failing when any throughput —
+emit records/second per sink, frame-blast frames/second per sink, or
+sharded-fabric frames/records per second per shard count — regresses by more
+than the threshold (default 20 %).
 
-Run after the benchmark::
+Run after the benchmarks::
 
     PYTHONPATH=src python benchmarks/bench_trace_overhead.py --frames 20000 --skip-bounded
+    PYTHONPATH=src python benchmarks/bench_sharded_fabric.py --frames 200
     python benchmarks/perf_gate.py --threshold 0.20
 
 The gate is pure stdlib (no simulator import): it only reads the JSON file.
@@ -35,10 +39,11 @@ RESULTS_PATH = REPO_ROOT / "BENCH_trace.json"
 def collect_metrics(entry: dict) -> dict:
     """Flatten one benchmark entry into {metric name: value} for comparison.
 
-    Frame-blast metrics are keyed by their workload size (``frames``) so a
-    run at a reduced size is never ratioed against a full-size baseline —
-    comparisons stay like-for-like.  (The emit micro-benchmark always uses
-    the same fixed record count, so its metrics carry no size key.)
+    Workload-sized metrics carry their size in the key (``@frames``,
+    ``@segments x frames``) so a run at a reduced size is never ratioed
+    against a full-size baseline — comparisons stay like-for-like.  (The emit
+    micro-benchmark always uses the same fixed record count, so its metrics
+    carry no size key.)
     """
     metrics = {}
     for sink, rate in (entry.get("emit_records_per_second") or {}).items():
@@ -48,22 +53,66 @@ def collect_metrics(entry: dict) -> dict:
         if rate is not None:
             frames = blast.get("frames", "?")
             metrics[f"blast/{sink}@{frames} frames/s"] = float(rate)
+    fabric = entry.get("sharded_fabric") or {}
+    size = f"{fabric.get('segments', '?')}x{fabric.get('frames_per_pair', '?')}"
+    for config, result in (fabric.get("configs") or {}).items():
+        blast = result.get("blast") or {}
+        for unit in ("frames", "records"):
+            rate = blast.get(f"{unit}_per_second")
+            if rate is not None:
+                metrics[f"fabric/{config}@{size} {unit}/s"] = float(rate)
     return metrics
 
 
-def compare(baseline: dict, fresh: dict, threshold: float) -> list:
-    """Return [(metric, base, new, ratio, ok)] for every shared metric."""
-    base_metrics = collect_metrics(baseline)
-    fresh_metrics = collect_metrics(fresh)
-    rows = []
-    skipped = sorted(base_metrics.keys() ^ fresh_metrics.keys())
-    if skipped:
-        print("perf gate: metrics without a like-for-like counterpart (skipped):")
-        for name in skipped:
+def pair_metrics(history: list) -> dict:
+    """Pair every *fresh* metric's newest value with its previous occurrence.
+
+    Walks the whole history so entries of different kinds interleave freely:
+    each metric is compared against the last *earlier* entry that carried it.
+    Only metrics produced by the freshest runs — the last two entries, which
+    is what one CI run appends (trace-overhead + sharded-fabric) — are gated;
+    a retired metric whose occurrences are all historical is skipped rather
+    than compared against two frozen committed values forever.
+
+    Returns:
+        {metric name: (baseline value, fresh value)}; metrics seen only once
+        or only in older entries are omitted.
+    """
+    newest: dict = {}
+    previous: dict = {}
+    for entry in history:
+        for name, value in collect_metrics(entry).items():
+            if name in newest:
+                previous[name] = newest[name]
+            newest[name] = value
+    fresh_names = set()
+    for entry in history[-2:]:
+        fresh_names.update(collect_metrics(entry))
+    return {
+        name: (previous[name], newest[name])
+        for name in newest
+        if name in previous and name in fresh_names
+    }
+
+
+def compare(history: list, threshold: float) -> list:
+    """Return [(metric, base, new, ratio, ok)] for every paired metric."""
+    pairs = pair_metrics(history)
+    single = sorted(
+        {
+            name
+            for entry in history
+            for name in collect_metrics(entry)
+            if name not in pairs
+        }
+    )
+    if single:
+        print("perf gate: metrics without a fresh+baseline pair (not gated):")
+        for name in single:
             print(f"  ?    {name}")
-    for name in sorted(base_metrics.keys() & fresh_metrics.keys()):
-        base = base_metrics[name]
-        new = fresh_metrics[name]
+    rows = []
+    for name in sorted(pairs):
+        base, new = pairs[name]
         ratio = new / base if base > 0 else float("inf")
         rows.append((name, base, new, ratio, ratio >= 1.0 - threshold))
     return rows
@@ -99,19 +148,16 @@ def main(argv=None) -> int:
         print("perf gate: no committed baseline to compare against; passing")
         return 0
 
-    fresh = history[-1]
-    baseline = history[-2]
-    rows = compare(baseline, fresh, args.threshold)
+    rows = compare(history, args.threshold)
     if not rows:
-        print("perf gate: baseline and fresh entries share no metrics; passing")
+        print("perf gate: no metric has both a fresh and a baseline value; passing")
         return 0
 
     width = max(len(name) for name, *_ in rows)
     failed = []
     print(
-        f"perf gate: fresh ({fresh.get('timestamp', '?')}) vs "
-        f"baseline ({baseline.get('timestamp', '?')}), "
-        f"threshold -{args.threshold:.0%}"
+        f"perf gate: newest value of each metric vs its previous occurrence "
+        f"({len(history)} entries), threshold -{args.threshold:.0%}"
     )
     for name, base, new, ratio, ok in rows:
         marker = "ok  " if ok else "FAIL"

@@ -15,7 +15,6 @@ blind copy to every other port.
 
 from __future__ import annotations
 
-import itertools
 from typing import Dict, Optional
 
 from repro.costs.cpu import CpuQueue
@@ -27,7 +26,9 @@ from repro.lan.nic import NetworkInterface
 from repro.lan.segment import Segment
 from repro.sim.engine import Simulator
 
-_AUTO_MAC_IDS = itertools.count(0xC0_0000)
+#: Namespace base for repeater interface MACs (allocated per engine, so runs
+#: in one process stay bit-identical).
+_AUTO_MAC_BASE = 0xC0_0000
 
 
 class BufferedRepeater:
@@ -58,7 +59,7 @@ class BufferedRepeater:
         if name in self.interfaces:
             raise TopologyError(f"repeater {self.name!r} already has interface {name!r}")
         if mac is None:
-            mac = MacAddress.locally_administered(next(_AUTO_MAC_IDS))
+            mac = MacAddress.locally_administered(self.sim.auto_station_id(_AUTO_MAC_BASE))
         nic = NetworkInterface(self.sim, f"{self.name}.{name}", mac)
         nic.attach(segment)
         nic.set_promiscuous(True)

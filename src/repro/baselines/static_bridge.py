@@ -10,7 +10,6 @@ change its behaviour at run time.  The ablation benchmark uses it to separate
 
 from __future__ import annotations
 
-import itertools
 from typing import Dict, Optional, Tuple
 
 from repro.costs.cpu import CpuQueue
@@ -22,7 +21,9 @@ from repro.lan.nic import NetworkInterface
 from repro.lan.segment import Segment
 from repro.sim.engine import Simulator
 
-_AUTO_MAC_IDS = itertools.count(0xD0_0000)
+#: Namespace base for static-bridge interface MACs (allocated per engine, so
+#: runs in one process stay bit-identical).
+_AUTO_MAC_BASE = 0xD0_0000
 
 #: Per-frame forwarding cost of the fixed-function bridge (5 microseconds;
 #: effectively wire-speed at the paper's frame rates).
@@ -72,7 +73,7 @@ class StaticLearningBridge:
         if name in self.interfaces:
             raise TopologyError(f"bridge {self.name!r} already has interface {name!r}")
         if mac is None:
-            mac = MacAddress.locally_administered(next(_AUTO_MAC_IDS))
+            mac = MacAddress.locally_administered(self.sim.auto_station_id(_AUTO_MAC_BASE))
         nic = NetworkInterface(self.sim, f"{self.name}.{name}", mac)
         nic.attach(segment)
         nic.set_promiscuous(True)

@@ -20,7 +20,6 @@ frames/second forwarding ceiling the paper measures.
 
 from __future__ import annotations
 
-import itertools
 from typing import Dict, Optional
 
 from repro.costs.cpu import CpuQueue
@@ -37,10 +36,12 @@ from repro.lan.segment import Segment
 from repro.sim.engine import Simulator
 from repro.sim.timers import PeriodicTimer
 
-#: Allocator for automatically assigned node interface MAC addresses.  Node
-#: interfaces start at 0xB00000 so they never collide with the host addresses
-#: handed out by :class:`repro.lan.topology.NetworkBuilder` (which start at 1).
-_AUTO_MAC_IDS = itertools.count(0xB0_0000)
+#: Namespace base for automatically assigned node interface MAC addresses.
+#: Node interfaces start at 0xB00000 so they never collide with the host
+#: addresses handed out by :class:`repro.lan.topology.NetworkBuilder` (which
+#: start at 1).  Allocation is per engine (:meth:`Simulator.auto_station_id`)
+#: so back-to-back runs in one process stay bit-identical.
+_AUTO_MAC_BASE = 0xB0_0000
 
 
 class ActiveNode:
@@ -100,7 +101,7 @@ class ActiveNode:
         if name in self.interfaces:
             raise TopologyError(f"node {self.name!r} already has an interface {name!r}")
         if mac is None:
-            mac = MacAddress.locally_administered(next(_AUTO_MAC_IDS))
+            mac = MacAddress.locally_administered(self.sim.auto_station_id(_AUTO_MAC_BASE))
         nic = NetworkInterface(self.sim, f"{self.name}.{name}", mac)
         nic.attach(segment)
         nic.set_handler(lambda _nic, frame, port=name: self._receive(port, frame))

@@ -10,6 +10,12 @@ behaviour the paper depends on:
 * per-interface transmit/receive counters used by the measurement tools;
 * an owner-supplied receive handler, which for an active node is the node's
   demultiplexer and for a host is the host protocol stack.
+
+Under the sharded fabric a NIC *resides* on the engine of the station that
+owns it (:attr:`NetworkInterface.home_sim`): received frames are handled, and
+follow-on work is scheduled, on that shard.  A segment homed on another shard
+reads the residency to route the frame through the inter-shard delivery
+channel (see :meth:`repro.lan.segment.Segment._refresh_delivery_runs`).
 """
 
 from __future__ import annotations
@@ -38,6 +44,9 @@ class NetworkInterface:
         self.sim = sim
         self.name = name
         self.mac = mac
+        # The trace hub never changes over a NIC's lifetime; caching it
+        # saves an attribute hop on every frame sent or delivered.
+        self._trace = sim.trace
         self.segment: Optional[Segment] = None
         self.promiscuous = False
         self.up = True
@@ -52,6 +61,16 @@ class NetworkInterface:
     # ------------------------------------------------------------------
     # Wiring
     # ------------------------------------------------------------------
+
+    @property
+    def home_sim(self) -> Simulator:
+        """The engine this NIC's owner schedules on (its shard residency).
+
+        Segments group receivers by residency to decide which shard each
+        delivery event runs on; for an unsharded run this is simply the one
+        shared :class:`Simulator`.
+        """
+        return self.sim
 
     def attach(self, segment: Segment) -> None:
         """Attach this NIC to a segment (at most one segment per NIC)."""
@@ -96,7 +115,7 @@ class NetworkInterface:
             return
         self.frames_sent += 1
         self.bytes_sent += frame.frame_length
-        trace = self.sim.trace
+        trace = self._trace
         if trace.wants("nic.tx"):
             trace.emit(self.name, "nic.tx", lambda: {"frame": frame.describe()})
         self.segment.transmit(self, frame)
@@ -110,11 +129,17 @@ class NetworkInterface:
         if not self.up:
             self.frames_dropped += 1
             return
-        if not self.accepts(frame):
-            return
+        # Inlined hardware filter (see accepts(), kept as the public form).
+        if not self.promiscuous:
+            if (
+                frame.destination != self.mac
+                and not frame.is_broadcast
+                and not frame.is_multicast
+            ):
+                return
         self.frames_received += 1
         self.bytes_received += frame.frame_length
-        trace = self.sim.trace
+        trace = self._trace
         if trace.wants("nic.rx"):
             trace.emit(self.name, "nic.rx", lambda: {"frame": frame.describe()})
         if self._handler is not None:

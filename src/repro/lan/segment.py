@@ -6,12 +6,27 @@ attached station sees every frame, and a frame occupies the wire for
 Stations that want to transmit while the medium is busy are queued in FIFO
 order (an idealized, collision-free CSMA — adequate because the paper's
 experiments are not collision-bound, they are bridge-CPU-bound).
+
+**Inter-shard channel.**  Under the sharded fabric
+(:mod:`repro.sim.fabric`) a segment may have stations placed on other shard
+engines than its own; such a segment is a *cut segment* and cross-shard frame
+handoff is the fabric's only coupling point.  The segment detects this
+automatically from its interfaces' home engines (:meth:`attach` /
+:meth:`detach` refresh the plan) and routes delivery through per-shard
+delivery runs: one delivery event per contiguous run of same-shard receivers,
+scheduled on the receiving shard at the same ``deliver_at`` the single engine
+would use.  The handoff latency is bounded below by
+:attr:`propagation_delay` — the fabric's conservative-synchronization
+lookahead.  On a homogeneous segment (every station on the segment's own
+engine — in particular, any unsharded run) the classic single-event delivery
+path is taken unchanged.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import TYPE_CHECKING, Deque, Optional, Tuple
+from functools import partial
+from typing import TYPE_CHECKING, Deque, List, Optional, Tuple
 
 from repro.ethernet.frame import EthernetFrame
 from repro.exceptions import TopologyError
@@ -52,7 +67,17 @@ class Segment:
         self.name = name
         self.bandwidth_bps = float(bandwidth_bps)
         self.propagation_delay = float(propagation_delay)
+        # The trace hub never changes over the segment's lifetime.
+        self._trace = sim.trace
+        # Delivery/service events are never cancelled: use the engine's
+        # fire-and-forget scheduler when it offers one (the sharded fabric's
+        # cores do); otherwise a cached bound schedule_at.
+        fire = getattr(sim, "schedule_fire", None)
+        self._schedule = fire if fire is not None else sim.schedule_at
         self._interfaces: list["NetworkInterface"] = []
+        # Attach-order snapshot iterated on delivery; rebuilding it on
+        # attach/detach (rare) keeps the per-frame path copy-free.
+        self._receivers: Tuple["NetworkInterface", ...] = ()
         self._busy_until = 0.0
         self._pending: Deque[Tuple["NetworkInterface", EthernetFrame]] = deque()
         self._in_service = False
@@ -60,9 +85,14 @@ class Segment:
         # up on the hot path.
         self._deliver_label = f"{name}:deliver"
         self._next_label = f"{name}:next"
+        # Inter-shard delivery plan: None while every attached station lives
+        # on this segment's own engine (the common, unsharded case); else a
+        # list of (engine, [interfaces]) runs in attach order.
+        self._delivery_runs: Optional[List[tuple]] = None
         # Statistics
         self.frames_carried = 0
         self.bytes_carried = 0
+        self.cross_shard_frames = 0
 
     # ------------------------------------------------------------------
     # Attachment
@@ -80,6 +110,8 @@ class Segment:
                 f"interface {interface.name} is already attached to {self.name}"
             )
         self._interfaces.append(interface)
+        self._receivers = tuple(self._interfaces)
+        self._refresh_delivery_runs()
 
     def detach(self, interface: "NetworkInterface") -> None:
         """Detach a NIC (frames already queued from it still complete)."""
@@ -88,6 +120,32 @@ class Segment:
                 f"interface {interface.name} is not attached to {self.name}"
             )
         self._interfaces.remove(interface)
+        self._receivers = tuple(self._interfaces)
+        self._refresh_delivery_runs()
+
+    def _refresh_delivery_runs(self) -> None:
+        """Recompute the inter-shard delivery plan from interface residency.
+
+        Attach order is preserved: contiguous same-engine receivers share one
+        delivery event, and run order equals attach order, so the sharded
+        receive order (and every trace record it produces) is exactly the
+        single engine's.
+        """
+        home = self.sim
+        if all(interface.home_sim is home for interface in self._interfaces):
+            self._delivery_runs = None
+            return
+        runs: List[tuple] = []
+        current_sim = None
+        current_run: Optional[list] = None
+        for interface in self._interfaces:
+            engine = interface.home_sim
+            if engine is not current_sim:
+                current_run = []
+                runs.append((engine, current_run))
+                current_sim = engine
+            current_run.append(interface)
+        self._delivery_runs = runs
 
     # ------------------------------------------------------------------
     # Transmission
@@ -103,13 +161,13 @@ class Segment:
         Delivery to every other attached NIC happens after the medium becomes
         free, the frame serializes, and the propagation delay elapses.
         """
-        if sender not in self._interfaces:
+        if sender.segment is not self:
             raise TopologyError(
                 f"interface {sender.name} transmitted on {self.name} "
                 "without being attached"
             )
         self._pending.append((sender, frame))
-        trace = self.sim.trace
+        trace = self._trace
         if trace.wants("segment.enqueue"):
             trace.emit(
                 self.name,
@@ -125,10 +183,10 @@ class Segment:
             return
         self._in_service = True
         sender, frame = self._pending.popleft()
-        now = self.sim.now
-        start = max(now, self._busy_until)
-        serialization = self.serialization_delay(frame)
-        finish = start + serialization
+        now = self.sim.clock._now_s
+        busy = self._busy_until
+        start = now if now >= busy else busy
+        finish = start + frame.wire_length * 8.0 / self.bandwidth_bps
         self._busy_until = finish
         deliver_at = finish + self.propagation_delay
         self.frames_carried += 1
@@ -136,23 +194,67 @@ class Segment:
         # plus preamble/SFD/inter-frame gap, not just header+payload+FCS.
         self.bytes_carried += frame.wire_length
 
-        def deliver() -> None:
-            self._deliver(sender, frame)
-
-        self.sim.schedule_at(deliver_at, deliver, label=self._deliver_label)
-        self.sim.schedule_at(finish, self._service_next, label=self._next_label)
+        runs = self._delivery_runs
+        if runs is None:
+            self._schedule(
+                deliver_at,
+                partial(self._deliver, sender, frame),
+                label=self._deliver_label,
+            )
+        else:
+            # Cut segment: one delivery event per contiguous same-shard run of
+            # receivers, scheduled consecutively (so their shared-counter
+            # sequence numbers preserve attach order) on each receiving shard.
+            self.cross_shard_frames += 1
+            first = True
+            for engine, run in runs:
+                engine.schedule_fire(
+                    deliver_at,
+                    partial(self._deliver_run, sender, frame, run, first),
+                    label=self._deliver_label,
+                )
+                first = False
+        self._schedule(finish, self._service_next, label=self._next_label)
 
     def _deliver(self, sender: "NetworkInterface", frame: EthernetFrame) -> None:
-        trace = self.sim.trace
+        trace = self._trace
         if trace.wants("segment.deliver"):
             trace.emit(
                 self.name,
                 "segment.deliver",
                 lambda: {"sender": sender.name, "frame": frame.describe()},
             )
-        # Snapshot the list: receivers may attach/detach during delivery.
-        for interface in list(self._interfaces):
+        # The receiver tuple is a stable snapshot: attach/detach during the
+        # loop rebuild it without disturbing this delivery.
+        for interface in self._receivers:
             if interface is sender:
+                continue
+            interface.deliver(frame)
+
+    def _deliver_run(
+        self,
+        sender: "NetworkInterface",
+        frame: EthernetFrame,
+        run: List["NetworkInterface"],
+        first: bool,
+    ) -> None:
+        """Deliver ``frame`` to one same-shard run of receivers.
+
+        Runs are snapshotted when the frame is scheduled (an interface that
+        detaches mid-flight is skipped below; one that attaches mid-flight
+        joins from the next frame on — the classic path snapshots at delivery
+        instead, a difference only visible to mid-flight retopology).
+        """
+        if first:
+            trace = self._trace
+            if trace.wants("segment.deliver"):
+                trace.emit(
+                    self.name,
+                    "segment.deliver",
+                    lambda: {"sender": sender.name, "frame": frame.describe()},
+                )
+        for interface in run:
+            if interface is sender or interface.segment is not self:
                 continue
             interface.deliver(frame)
 

@@ -64,6 +64,17 @@ class Network:
         except KeyError as exc:
             raise TopologyError(f"no station named {name!r}") from exc
 
+    def sim_for(self, name: str) -> Simulator:
+        """The engine the named component is placed on.
+
+        Under the sharded fabric this resolves the component's shard; with a
+        plain :class:`Simulator` it is just the shared simulator.
+        """
+        resolver = getattr(self.sim, "sim_for", None)
+        if resolver is None:
+            return self.sim
+        return resolver(name)
+
     def run_until(self, until_seconds: float) -> int:
         """Convenience passthrough to :meth:`Simulator.run_until`."""
         return self.sim.run_until(until_seconds)
@@ -81,6 +92,11 @@ class NetworkBuilder:
         trace_sinks: optional trace sinks for the simulator (e.g. a bounded
             :class:`~repro.sim.trace.RingBufferSink` for very long runs);
             ``None`` keeps the default :class:`~repro.sim.trace.ListSink`.
+            Ignored when ``engine`` is given (the engine owns its sinks).
+        engine: an already-constructed engine to build on instead of a fresh
+            :class:`Simulator` — in particular a
+            :class:`~repro.sim.fabric.ShardedSimulator`, whose ``sim_for``
+            placement decides which shard each created component runs on.
     """
 
     def __init__(
@@ -89,8 +105,11 @@ class NetworkBuilder:
         cost_model: Optional[CostModel] = None,
         subnet_prefix: str = "10.0.0",
         trace_sinks=None,
+        engine=None,
     ) -> None:
-        self.sim = Simulator(seed=seed, trace_sinks=trace_sinks)
+        self.sim = engine if engine is not None else Simulator(
+            seed=seed, trace_sinks=trace_sinks
+        )
         self.cost_model = cost_model if cost_model is not None else CostModel()
         self.subnet_prefix = subnet_prefix
         self._network = Network(sim=self.sim, cost_model=self.cost_model)
@@ -129,7 +148,7 @@ class NetworkBuilder:
         if name in self._network.segments:
             raise TopologyError(f"segment {name!r} already exists")
         segment = Segment(
-            self.sim,
+            self._network.sim_for(name),
             name,
             bandwidth_bps=bandwidth_bps,
             propagation_delay=propagation_delay,
@@ -151,7 +170,7 @@ class NetworkBuilder:
             IPv4Address.from_string(ip) if ip is not None else self.allocate_ip()
         )
         host = Host(
-            self.sim,
+            self._network.sim_for(name),
             name,
             mac=self.allocate_mac(),
             ip=address,

@@ -14,6 +14,7 @@ from repro.scenario.spec import (
     SPANNING_TREE_WARMUP,
     DeviceSpec,
     HostSpec,
+    PartitionSpec,
     PortSpec,
     ScenarioSpec,
     SegmentSpec,
@@ -21,10 +22,12 @@ from repro.scenario.spec import (
 )
 from repro.scenario.compile import (
     PairSetup,
+    PartitionPlan,
     RingSetup,
     ScenarioRun,
     SWITCHLET_CATALOG,
     compile_spec,
+    plan_partition,
 )
 from repro.scenario.registry import (
     ScenarioEntry,
@@ -49,10 +52,13 @@ __all__ = [
     "DeviceSpec",
     "ScenarioSpec",
     "PairSetup",
+    "PartitionPlan",
+    "PartitionSpec",
     "RingSetup",
     "ScenarioRun",
     "SWITCHLET_CATALOG",
     "compile_spec",
+    "plan_partition",
     "ScenarioEntry",
     "register_scenario",
     "scenario_entry",

@@ -153,7 +153,7 @@ def unprogrammed_pair(bandwidth_bps: float = DEFAULT_BANDWIDTH_BPS) -> ScenarioS
 @register_scenario(
     "ring",
     description="the Section 7.5 chain of active bridges (DEC running, IEEE idle, control armed)",
-    axes=("n_bridges", "bandwidth_bps"),
+    axes=("n_bridges", "bandwidth_bps", "hosts_per_segment"),
 )
 def ring(
     n_bridges: int = 3,
@@ -162,12 +162,24 @@ def ring(
     validation_delay: float = 60.0,
     buggy_new_protocol: bool = False,
     bandwidth_bps: float = DEFAULT_BANDWIDTH_BPS,
+    hosts_per_segment: int = 0,
 ) -> ScenarioSpec:
+    """``hosts_per_segment`` populates every LAN with end hosts — the
+    wire-speed multi-LAN sweep configuration the sharded fabric is
+    benchmarked on (local per-segment traffic, bridges carrying the
+    spanning-tree control plane across shards)."""
     if n_bridges < 1:
         raise ValueError("a ring needs at least one bridge")
+    if hosts_per_segment < 0:
+        raise ValueError("hosts_per_segment cannot be negative")
     segments = tuple(
         SegmentSpec(f"seg{index}", bandwidth_bps=bandwidth_bps)
         for index in range(n_bridges + 1)
+    )
+    hosts = tuple(
+        HostSpec(f"seg{index}h{host + 1}", f"seg{index}")
+        for index in range(n_bridges + 1)
+        for host in range(hosts_per_segment)
     )
     stack = [
         SwitchletSpec("dumb-bridge"),
@@ -202,6 +214,7 @@ def ring(
         label="ring",
         description="chain of active bridges between two end segments",
         segments=segments,
+        hosts=hosts,
         devices=devices,
         ready_time=SPANNING_TREE_WARMUP,
     )
@@ -259,7 +272,10 @@ def vlan_trunk(
     n_switches: int = 2,
     vlan_base: int = 10,
     bandwidth_bps: float = DEFAULT_BANDWIDTH_BPS,
+    native_vlan: int = 0,
 ) -> ScenarioSpec:
+    """``native_vlan`` (a VLAN id, 0 = none) makes that VLAN travel the
+    trunk untagged — the 802.1Q native-VLAN interoperability configuration."""
     if n_vlans < 1:
         raise ValueError("a VLAN scenario needs at least one VLAN")
     if n_switches < 2:
@@ -285,7 +301,13 @@ def vlan_trunk(
             for index, vlan in enumerate(vlans)
         ]
         ports.append(
-            PortSpec(f"eth{n_vlans}", "trunk", mode="trunk", allowed_vlans=vlans)
+            PortSpec(
+                f"eth{n_vlans}",
+                "trunk",
+                mode="trunk",
+                allowed_vlans=vlans,
+                native_vlan=native_vlan if native_vlan else None,
+            )
         )
         devices.append(
             DeviceSpec(

@@ -13,7 +13,7 @@ measurement tools consume.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from repro.baselines.c_repeater import BufferedRepeater
 from repro.baselines.static_bridge import StaticLearningBridge
@@ -24,9 +24,12 @@ from repro.lan.segment import Segment
 from repro.lan.topology import Network, NetworkBuilder
 from repro.scenario.spec import (
     DeviceSpec,
+    PartitionSpec,
     ScenarioSpec,
     SPANNING_TREE_WARMUP,
 )
+from repro.sim.clock import seconds_to_ns
+from repro.sim.fabric import ShardedSimulator
 from repro.switchlets.packaging import (
     control_package,
     dec_spanning_tree_package,
@@ -88,6 +91,137 @@ class RingSetup:
 
 
 @dataclass
+class PartitionPlan:
+    """The partitioner's output: where every component of a spec runs.
+
+    Attributes:
+        n_shards: shard engines the plan uses (1 = plain single engine).
+        assignments: component name -> shard index, complete over the spec's
+            segments, hosts and devices.
+        cut_segments: segments whose attached stations span shards — the
+            fabric's only coupling points.
+        lookahead_ns: the conservative-synchronization lookahead — the
+            minimum propagation delay over the cut segments, in nanoseconds
+            (``None`` when the shards are fully independent).
+    """
+
+    n_shards: int
+    assignments: Dict[str, int]
+    cut_segments: Tuple[str, ...] = ()
+    lookahead_ns: Optional[int] = None
+
+
+def plan_partition(
+    spec: ScenarioSpec, partition: Union[int, PartitionSpec]
+) -> PartitionPlan:
+    """Partition a spec's segment graph across shard engines.
+
+    Segments are chunked contiguously in declaration order, balancing chunks
+    by attachment weight (1 + hosts + device ports per segment); each host is
+    placed with its segment and each device with its first port's segment, so
+    a bridge chain cuts exactly at chunk boundaries.  Explicit
+    :attr:`PartitionSpec.assignments` override any automatic placement.
+
+    The plan's lookahead is the minimum propagation delay over cut segments;
+    a cut segment with zero propagation delay is rejected because the
+    conservative synchronizer requires cross-shard handoffs to land strictly
+    in the receiving shard's future.
+
+    The shard count is clamped to the number of segments; plans for one shard
+    (or specs without segments) fall back to the single engine.
+    """
+    if isinstance(partition, PartitionSpec):
+        requested, explicit = partition.shards, dict(partition.assignments)
+    else:
+        requested, explicit = int(partition), {}
+    if requested < 1:
+        raise ValueError("a partition needs at least one shard")
+    shards = min(requested, len(spec.segments)) if spec.segments else 1
+    known = {
+        item.name
+        for group in (spec.segments, spec.hosts, spec.devices)
+        for item in group
+    }
+    for name, index in explicit.items():
+        if name not in known:
+            raise ValueError(
+                f"partition assigns unknown component {name!r}; the scenario "
+                f"{spec.name!r} has no segment, host or device by that name"
+            )
+        if not 0 <= int(index) < shards:
+            raise ValueError(
+                f"partition assigns {name!r} to shard {index}, but the plan "
+                f"uses only {shards} shard(s) for {len(spec.segments)} "
+                "segment(s); lower the assignment or add segments"
+            )
+    if shards <= 1:
+        names = [item.name for group in (spec.segments, spec.hosts, spec.devices)
+                 for item in group]
+        return PartitionPlan(n_shards=1, assignments={name: 0 for name in names})
+
+    weights = {segment.name: 1 for segment in spec.segments}
+    for host in spec.hosts:
+        weights[host.segment] += 1
+    for device in spec.devices:
+        for port in device.ports:
+            weights[port.segment] += 1
+
+    assignments: Dict[str, int] = {}
+    total = sum(weights.values())
+    consumed = 0.0
+    shard = 0
+    remaining = len(spec.segments)
+    for segment in spec.segments:
+        # Advance to the next shard once this one has its fair share, but
+        # never leave later shards without segments.
+        if (
+            shard < shards - 1
+            and consumed >= total * (shard + 1) / shards
+            and remaining >= shards - shard - 1
+        ):
+            shard += 1
+        assignments[segment.name] = explicit.get(segment.name, shard)
+        consumed += weights[segment.name]
+        remaining -= 1
+    for host in spec.hosts:
+        assignments[host.name] = explicit.get(host.name, assignments[host.segment])
+    for device in spec.devices:
+        automatic = (
+            assignments[device.ports[0].segment] if device.ports else 0
+        )
+        assignments[device.name] = explicit.get(device.name, automatic)
+
+    cut: List[str] = []
+    lookahead_ns: Optional[int] = None
+    attached: Dict[str, set] = {segment.name: set() for segment in spec.segments}
+    for host in spec.hosts:
+        attached[host.segment].add(assignments[host.name])
+    for device in spec.devices:
+        for port in device.ports:
+            attached[port.segment].add(assignments[device.name])
+    for segment in spec.segments:
+        stations = attached[segment.name]
+        if stations - {assignments[segment.name]}:
+            cut.append(segment.name)
+            if segment.propagation_delay <= 0:
+                raise ValueError(
+                    f"segment {segment.name!r} joins shards with zero "
+                    "propagation delay: the conservative synchronizer has no "
+                    "lookahead; give the cut segment a positive delay or "
+                    "adjust the partition"
+                )
+            delay_ns = seconds_to_ns(segment.propagation_delay)
+            if lookahead_ns is None or delay_ns < lookahead_ns:
+                lookahead_ns = delay_ns
+    return PartitionPlan(
+        n_shards=shards,
+        assignments=assignments,
+        cut_segments=tuple(cut),
+        lookahead_ns=lookahead_ns,
+    )
+
+
+@dataclass
 class ScenarioRun:
     """A compiled, live scenario: the network plus spec-aware accessors.
 
@@ -95,11 +229,19 @@ class ScenarioRun:
         spec: the spec this run was compiled from.
         network: the assembled :class:`~repro.lan.topology.Network`.
         ready_time: simulated time after which the data path is forwarding.
+        partition: the partition plan the run was compiled with (``None``
+            for single-engine runs).
     """
 
     spec: ScenarioSpec
     network: Network
     ready_time: float
+    partition: Optional[PartitionPlan] = None
+
+    @property
+    def n_shards(self) -> int:
+        """Shard engines this run executes on (1 = single engine)."""
+        return getattr(self.network.sim, "n_shards", 1)
 
     # -- accessors ----------------------------------------------------------
 
@@ -202,24 +344,28 @@ def _vlan_port_config(device: DeviceSpec) -> Dict[str, Dict[str, object]]:
     for port in device.ports:
         if port.mode == "trunk":
             allowed = None if port.allowed_vlans is None else list(port.allowed_vlans)
-            config[port.name] = {"mode": "trunk", "allowed": allowed}
+            entry: Dict[str, object] = {"mode": "trunk", "allowed": allowed}
+            if port.native_vlan is not None:
+                entry["native"] = int(port.native_vlan)
+            config[port.name] = entry
         else:
             config[port.name] = {"mode": "access", "vlan": int(port.vlan)}
     return config
 
 
 def _instantiate_device(network: Network, device: DeviceSpec) -> object:
+    sim = network.sim_for(device.name)
     if device.kind == "repeater":
-        station = BufferedRepeater(network.sim, device.name, cost_model=network.cost_model)
+        station = BufferedRepeater(sim, device.name, cost_model=network.cost_model)
         for port in device.ports:
             station.add_interface(port.name, network.segment(port.segment))
         return station
     if device.kind == "static-bridge":
-        station = StaticLearningBridge(network.sim, device.name, cost_model=network.cost_model)
+        station = StaticLearningBridge(sim, device.name, cost_model=network.cost_model)
         for port in device.ports:
             station.add_interface(port.name, network.segment(port.segment))
         return station
-    node = ActiveNode(network.sim, device.name, cost_model=network.cost_model)
+    node = ActiveNode(sim, device.name, cost_model=network.cost_model)
     for port in device.ports:
         node.add_interface(port.name, network.segment(port.segment))
     environment = node.environment.modules
@@ -248,6 +394,7 @@ def compile_spec(
     seed: int = 0,
     cost_model: Optional[CostModel] = None,
     trace_sinks=None,
+    shards: Union[int, PartitionSpec] = 1,
 ) -> ScenarioRun:
     """Compile ``spec`` into a live :class:`ScenarioRun`.
 
@@ -255,8 +402,29 @@ def compile_spec(
     segments, hosts, static ARP, ``build()``, then devices in declaration
     order — so address allocation, switchlet load order and therefore every
     simulated timestamp match the pre-fabric code path.
+
+    With ``shards`` > 1 (or an explicit :class:`PartitionSpec`) the same
+    sequence is replayed onto a :class:`~repro.sim.fabric.ShardedSimulator`:
+    the partitioner places every component on a shard engine and the
+    resulting run is bit-identical — same traces, same counters, same
+    timestamps — to the single-engine compile (see
+    :mod:`repro.sim.fabric` for the determinism argument).
     """
-    builder = NetworkBuilder(seed=seed, cost_model=cost_model, trace_sinks=trace_sinks)
+    plan = plan_partition(spec, shards)
+    if plan.n_shards > 1:
+        engine = ShardedSimulator(
+            seed=seed,
+            shards=plan.n_shards,
+            trace_sinks=trace_sinks,
+            placement=plan.assignments,
+            lookahead_ns=plan.lookahead_ns,
+        )
+        builder = NetworkBuilder(seed=seed, cost_model=cost_model, engine=engine)
+    else:
+        plan = None
+        builder = NetworkBuilder(
+            seed=seed, cost_model=cost_model, trace_sinks=trace_sinks
+        )
     for segment in spec.segments:
         builder.add_segment(
             segment.name,
@@ -271,4 +439,6 @@ def compile_spec(
     network = builder.build()
     for device in spec.devices:
         builder.register_station(device.name, _instantiate_device(network, device))
-    return ScenarioRun(spec=spec, network=network, ready_time=spec.ready_time)
+    return ScenarioRun(
+        spec=spec, network=network, ready_time=spec.ready_time, partition=plan
+    )

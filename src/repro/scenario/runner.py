@@ -14,7 +14,7 @@ from typing import Iterable, Iterator, Mapping, Optional, Union
 from repro.costs.model import CostModel
 from repro.scenario.compile import ScenarioRun, compile_spec
 from repro.scenario.registry import expand_matrix, get_scenario
-from repro.scenario.spec import ScenarioSpec
+from repro.scenario.spec import PartitionSpec, ScenarioSpec
 
 
 def run_scenario(
@@ -24,6 +24,7 @@ def run_scenario(
     cost_model: Optional[CostModel] = None,
     trace_sinks=None,
     params: Optional[Mapping[str, object]] = None,
+    shards: Union[int, PartitionSpec] = 1,
 ) -> ScenarioRun:
     """Compile a scenario into a live network ready for measurement.
 
@@ -37,6 +38,10 @@ def run_scenario(
             ring buffer for very long runs).
         params: factory parameters when ``scenario`` is a name (matrix-axis
             values such as ``{"n_bridges": 5}``).
+        shards: shard the compiled network across this many cooperating
+            engines (or per an explicit :class:`PartitionSpec`).  Results are
+            bit-identical to the single-engine run; large topologies execute
+            faster on the fabric's batched per-shard event rings.
 
     Returns:
         The compiled :class:`ScenarioRun`; the caller decides how far to run
@@ -49,7 +54,8 @@ def run_scenario(
             raise ValueError("params are only accepted with a scenario name")
         spec = scenario
     return compile_spec(
-        spec, seed=seed, cost_model=cost_model, trace_sinks=trace_sinks
+        spec, seed=seed, cost_model=cost_model, trace_sinks=trace_sinks,
+        shards=shards,
     )
 
 
@@ -61,14 +67,18 @@ def run_matrix(
     cost_model: Optional[CostModel] = None,
     trace_sinks=None,
     base_params: Optional[Mapping[str, object]] = None,
+    shards: Union[int, PartitionSpec] = 1,
 ) -> Iterator[ScenarioRun]:
     """Compile and yield one :class:`ScenarioRun` per matrix point.
 
     Expansion order is deterministic (see
     :func:`~repro.scenario.registry.expand_matrix`); each run is compiled
-    lazily, so a large sweep only holds one live network at a time.
+    lazily, so a large sweep only holds one live network at a time.  The
+    ``shards`` knob applies to every point (the partitioner clamps it for
+    points with fewer segments).
     """
     for spec in expand_matrix(name, axes, base_params=base_params):
         yield compile_spec(
-            spec, seed=seed, cost_model=cost_model, trace_sinks=trace_sinks
+            spec, seed=seed, cost_model=cost_model, trace_sinks=trace_sinks,
+            shards=shards,
         )

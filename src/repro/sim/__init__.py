@@ -13,6 +13,8 @@ frame, go back to sleep" structure of that program with reproducible timing.
 from repro.sim.clock import Clock
 from repro.sim.events import Event, EventQueue
 from repro.sim.engine import Simulator
+from repro.sim.fabric import FabricTrace, ShardedSimulator
+from repro.sim.shard import EngineShard, ShardQueue, ShardTraceRecorder
 from repro.sim.timers import Timer, PeriodicTimer
 from repro.sim.process import Process
 from repro.sim.random_source import RandomSource
@@ -28,8 +30,13 @@ from repro.sim.trace import (
 
 __all__ = [
     "Clock",
+    "EngineShard",
     "Event",
     "EventQueue",
+    "FabricTrace",
+    "ShardQueue",
+    "ShardTraceRecorder",
+    "ShardedSimulator",
     "Simulator",
     "Timer",
     "PeriodicTimer",

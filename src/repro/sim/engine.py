@@ -13,6 +13,11 @@ API that the rest of the library uses:
 A single simulator instance is shared by every host, LAN segment and active
 node in an experiment; the :class:`~repro.lan.topology.NetworkBuilder` wires
 that up.
+
+For topologies too large for one engine, the same scheduling surface is
+provided per shard by :class:`repro.sim.shard.EngineShard` under the
+:class:`repro.sim.fabric.ShardedSimulator` coordinator — sharded runs are
+bit-identical to this single engine (see :mod:`repro.sim.fabric`).
 """
 
 from __future__ import annotations
@@ -47,6 +52,19 @@ class Simulator:
         self._queue = EventQueue()
         self._running = False
         self._dispatched = 0
+        self._auto_station_ids: dict = {}
+
+    def auto_station_id(self, base: int) -> int:
+        """Allocate the next automatic station id in the ``base`` namespace.
+
+        Station classes (active nodes, baseline repeaters/bridges) draw their
+        auto-assigned interface MAC ids from here, one counter per namespace
+        base **per engine**, so two simulations built in the same process
+        allocate identical addresses — runs stay bit-for-bit reproducible.
+        """
+        next_id = self._auto_station_ids.get(base, base)
+        self._auto_station_ids[base] = next_id + 1
+        return next_id
 
     # ------------------------------------------------------------------
     # Time
@@ -205,11 +223,17 @@ class Simulator:
         return self.run_until(self.now + duration_seconds, max_events=max_events)
 
     def reset(self) -> None:
-        """Discard all pending events and rewind the clock to zero."""
+        """Discard all pending events and rewind the clock to zero.
+
+        Also rewinds the automatic station-id namespaces, so a topology
+        rebuilt on a reset simulator allocates the same addresses as on a
+        fresh one.
+        """
         self._queue.clear()
         self.clock.reset()
         self.trace.clear()
         self._dispatched = 0
+        self._auto_station_ids.clear()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -33,6 +33,19 @@ from repro.exceptions import SchedulingError
 _COMPACT_MIN_HEAP = 64
 
 
+def validate_schedule_time(now_ns: int, when_ns: int) -> None:
+    """Raise :class:`SchedulingError` if ``when_ns`` lies in the past.
+
+    Shared by the single-engine :class:`EventQueue` and the per-shard queues
+    of the sharded fabric so both report the identical error.
+    """
+    if when_ns < now_ns:
+        raise SchedulingError(
+            f"cannot schedule an event at t={when_ns}ns, "
+            f"which is before the current time t={now_ns}ns"
+        )
+
+
 class Event:
     """A single scheduled event.
 
@@ -98,7 +111,9 @@ class EventQueue:
     def __init__(self) -> None:
         # Entries are (time_ns, sequence, event): heap sifting compares the
         # two integers at C speed and never reaches the event object, since
-        # sequence numbers are unique.
+        # sequence numbers are unique.  (The sharded fabric's per-shard
+        # queues — :class:`repro.sim.shard.ShardQueue` — share one counter
+        # across shards instead, keeping (time, sequence) a global order.)
         self._heap: list = []
         self._counter = itertools.count()
         self._live = 0
@@ -179,11 +194,7 @@ class EventQueue:
 
     def validate_schedule_time(self, now_ns: int, when_ns: int) -> None:
         """Raise :class:`SchedulingError` if ``when_ns`` lies in the past."""
-        if when_ns < now_ns:
-            raise SchedulingError(
-                f"cannot schedule an event at t={when_ns}ns, "
-                f"which is before the current time t={now_ns}ns"
-            )
+        validate_schedule_time(now_ns, when_ns)
 
 
 def describe_event(event: Event) -> dict:

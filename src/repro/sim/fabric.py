@@ -1,0 +1,514 @@
+"""The sharded event fabric: partitioned simulators under conservative sync.
+
+A :class:`ShardedSimulator` coordinates several
+:class:`~repro.sim.shard.EngineShard` scheduling cores.  Every component of a
+scenario (segment, host, device) is *placed* on one shard and schedules onto
+that shard's event ring; the only cross-shard coupling is frame handoff on a
+LAN segment whose stations live on different shards (see
+:meth:`~repro.lan.segment.Segment` — the inter-shard delivery channel).
+
+**Synchronization model.**  Shards advance under a conservative protocol:
+the coordinator repeatedly picks the shard holding the globally earliest
+pending event and lets it run a *batch* — every event strictly below the
+earliest pending key of any other shard (the batch limit).  Cross-shard
+pushes made while a batch runs shrink the limit live, so no shard ever runs
+past an event another shard must fire first.  This next-event bound is at
+least as tight as the classic clock-plus-lookahead bound — the lookahead
+derived from inter-shard :attr:`Segment.propagation_delay` (recorded as
+:attr:`ShardedSimulator.lookahead_ns`) guarantees cross-shard handoffs land
+strictly in the shard's future, which is what makes batches non-trivial and
+the fabric deadlock-free.
+
+**Determinism guarantee.**  Shard queues share one event-sequence counter
+and the coordinator dispatches in the exact global ``(time_ns, sequence)``
+order, so a sharded run executes the very same callback sequence as the
+single :class:`~repro.sim.engine.Simulator` — every trace record, counter and
+component statistic is bit-identical.  Per-shard trace streams carry a shared
+emission sequence (:attr:`TraceRecord.seq`); :class:`FabricTrace` merges them
+back into single-engine emission order by that key, deterministically.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
+
+from repro.exceptions import SimulationError
+from repro.sim.clock import Clock, seconds_to_ns
+from repro.sim.events import Event
+from repro.sim.random_source import RandomSource
+from repro.sim.shard import EngineShard, ShardTraceRecorder
+from repro.sim.trace import (
+    CountingSink,
+    TraceRecord,
+    TraceSink,
+    last_match,
+    match_records,
+)
+
+#: "No bound" sentinel for drain-style dispatch (far beyond any event time).
+_NO_BOUND_NS = 2 ** 63
+
+
+class FabricTrace:
+    """The fabric-wide trace view: shared counters, merged record streams.
+
+    Quacks like a :class:`~repro.sim.trace.TraceRecorder` for every existing
+    consumer: ``CounterWindow`` reads the live shared :attr:`counters`,
+    analysis code iterates / filters the merged stream, and gating calls
+    (``disable_category`` et al.) fan out to every shard recorder so hot-path
+    producers keep their one-set-lookup ``wants()`` check.
+    """
+
+    def __init__(
+        self,
+        recorders: List[ShardTraceRecorder],
+        counters: CountingSink,
+        shared_sinks: List[TraceSink],
+    ) -> None:
+        self._recorders = recorders
+        self._counters_sink = counters
+        self._shared_sinks = shared_sinks
+        self._enabled = True
+        self._disabled_categories: set = set()
+        for recorder in recorders:
+            recorder._sync_all = self.sync_counters
+
+    @property
+    def counters(self) -> CountingSink:
+        """The live fabric-wide counters, synced with every shard stream.
+
+        Shard recorders defer per-record counter bookkeeping off the emit hot
+        path; any read through this property (or through a recorder's
+        ``counters``) folds the outstanding records in first, so consumers
+        such as ``CounterWindow`` always see exact totals.
+        """
+        self.sync_counters()
+        return self._counters_sink
+
+    def sync_counters(self) -> None:
+        """Fold every shard's unsynced records into the shared pair table."""
+        for recorder in self._recorders:
+            recorder._sync_own_counters()
+
+    # ------------------------------------------------------------------
+    # Gating (fans out so producers on any shard see the same state)
+    # ------------------------------------------------------------------
+
+    @property
+    def enabled(self) -> bool:
+        """Whether records are currently being captured."""
+        return self._enabled
+
+    def disable(self) -> None:
+        """Stop capturing records on every shard."""
+        self._enabled = False
+        for recorder in self._recorders:
+            recorder.disable()
+
+    def enable(self) -> None:
+        """Resume capturing records on every shard."""
+        self._enabled = True
+        for recorder in self._recorders:
+            recorder.enable()
+
+    def disable_category(self, category: str) -> None:
+        """Suppress one category fabric-wide."""
+        self._disabled_categories.add(category)
+        for recorder in self._recorders:
+            recorder.disable_category(category)
+
+    def enable_category(self, category: str) -> None:
+        """Re-enable a previously disabled category fabric-wide."""
+        self._disabled_categories.discard(category)
+        for recorder in self._recorders:
+            recorder.enable_category(category)
+
+    @property
+    def disabled_categories(self) -> frozenset:
+        """The categories currently gated off."""
+        return frozenset(self._disabled_categories)
+
+    def wants(self, category: str) -> bool:
+        """Whether a record in ``category`` would currently be captured."""
+        return self._enabled and category not in self._disabled_categories
+
+    # ------------------------------------------------------------------
+    # Recording and listeners
+    # ------------------------------------------------------------------
+
+    def emit(self, source, category, detail=None) -> Optional[TraceRecord]:
+        """Emit a record into the fabric (routed via shard 0's recorder)."""
+        return self._recorders[0].emit(source, category, detail)
+
+    def record(self, source, category, **detail) -> Optional[TraceRecord]:
+        """Back-compat eager form of :meth:`emit`."""
+        return self.emit(source, category, detail if detail else None)
+
+    def add_listener(self, listener: Callable[[TraceRecord], None]) -> None:
+        """Register a callback invoked for every new record, fabric-wide."""
+        for recorder in self._recorders:
+            recorder.add_listener(listener)
+
+    def remove_listener(self, listener: Callable[[TraceRecord], None]) -> None:
+        """Unregister a listener."""
+        for recorder in self._recorders:
+            recorder.remove_listener(listener)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def merged_records(self) -> List[TraceRecord]:
+        """Every retained record, merged into emission order by ``seq``.
+
+        Per-shard streams are already seq-ascending, so this is a k-way merge;
+        the result is bit-identical to the single engine's record list.  When
+        shared sinks are installed (e.g. one bounded ring buffer for all
+        shards) the first queryable sink already holds the merged stream.
+        """
+        for sink in self._shared_sinks:
+            if hasattr(sink, "filter"):
+                return list(sink)  # type: ignore[arg-type]
+        streams = [recorder.records_list() for recorder in self._recorders]
+        live = [s for s in streams if s]
+        if len(live) == 1:
+            return list(live[0])
+        return list(heapq.merge(*live, key=lambda record: record.seq))
+
+    def __len__(self) -> int:
+        """Total records captured (live, O(pairs))."""
+        return self.counters.total
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self.merged_records())
+
+    def filter(self, category=None, source=None, since=None, until=None):
+        """Records matching every provided criterion, in emission order."""
+        return match_records(
+            self.merged_records(), category=category, source=source,
+            since=since, until=until,
+        )
+
+    def count(self, category=None, source=None) -> int:
+        """Number of records captured matching the criteria (O(1), live)."""
+        return self.counters.count(category=category, source=source)
+
+    def last(self, category=None, source=None) -> Optional[TraceRecord]:
+        """The most recent retained record matching the criteria, if any."""
+        return last_match(self.merged_records(), category=category, source=source)
+
+    def clear(self) -> None:
+        """Drop all captured records and reset the live counters."""
+        self._counters_sink.clear()
+        for recorder in self._recorders:
+            recorder.clear()
+        for sink in self._shared_sinks:
+            sink.clear()
+
+
+class ShardedSimulator:
+    """A deterministic discrete-event fabric of cooperating shard engines.
+
+    Drop-in compatible with :class:`~repro.sim.engine.Simulator` for
+    experiment drivers (``run_until`` / ``run`` / ``step``, ``now``,
+    ``schedule*``, ``trace``), while components are constructed on individual
+    shards via :meth:`sim_for`.
+
+    Args:
+        seed: seed for the fabric-wide :class:`RandomSource`.
+        shards: number of shard engines.
+        trace_sinks: optional sinks shared by every shard (e.g. one bounded
+            :class:`~repro.sim.trace.RingBufferSink`); ``None`` keeps the
+            default per-shard record buffers merged on query.
+        placement: component name -> shard index used by :meth:`sim_for`
+            (the scenario compiler passes the partitioner's assignment).
+            Unknown names fall back to shard 0.
+        lookahead_ns: minimum cross-shard handoff latency (derived from
+            inter-shard segment propagation delays by the partitioner);
+            recorded for introspection and validated positive by the
+            partitioner.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        shards: int = 2,
+        trace_sinks: Optional[Iterable[TraceSink]] = None,
+        placement: Optional[Mapping[str, int]] = None,
+        lookahead_ns: Optional[int] = None,
+    ) -> None:
+        if shards < 1:
+            raise SimulationError("a sharded simulator needs at least one shard")
+        self.clock = Clock()
+        self.random = RandomSource(seed)
+        self._event_counter = itertools.count()
+        self._emit_counter = itertools.count()
+        counters_sink = CountingSink()
+        shared_sinks = list(trace_sinks) if trace_sinks is not None else None
+        recorders = [
+            ShardTraceRecorder(
+                self.clock, index, counters_sink, self._emit_counter, shared_sinks
+            )
+            for index in range(shards)
+        ]
+        self._shards: List[EngineShard] = [
+            EngineShard(self, index, self.clock, self.random, self._event_counter, rec)
+            for index, rec in enumerate(recorders)
+        ]
+        self.trace = FabricTrace(recorders, counters_sink, shared_sinks or [])
+        self._placement: Dict[str, int] = dict(placement or {})
+        self.lookahead_ns = lookahead_ns
+        self._active: Optional[EngineShard] = None
+        self._batch_limit: Optional[tuple] = None
+        self._tops: List[Optional[tuple]] = [None] * shards
+        self._running = False
+        self._auto_station_ids: Dict[int, int] = {}
+
+    def auto_station_id(self, base: int) -> int:
+        """Allocate the next automatic station id in the ``base`` namespace.
+
+        One fabric-wide counter per namespace, mirroring
+        :meth:`Simulator.auto_station_id` — components built in the same
+        order draw the same ids whether the run is sharded or not.
+        """
+        next_id = self._auto_station_ids.get(base, base)
+        self._auto_station_ids[base] = next_id + 1
+        return next_id
+
+    # ------------------------------------------------------------------
+    # Shards and placement
+    # ------------------------------------------------------------------
+
+    @property
+    def shards(self) -> Tuple[EngineShard, ...]:
+        """The shard engines, in index order."""
+        return tuple(self._shards)
+
+    @property
+    def n_shards(self) -> int:
+        """Number of shards in the fabric."""
+        return len(self._shards)
+
+    @property
+    def counters(self) -> CountingSink:
+        """The live fabric-wide trace counters (synced on read)."""
+        return self.trace.counters
+
+    def sim_for(self, name: str) -> EngineShard:
+        """The shard engine the named component is placed on.
+
+        Names missing from the placement map land on shard 0 (the fabric's
+        control shard, which also hosts facade-scheduled work such as
+        measurement drivers).
+        """
+        return self._shards[self._placement.get(name, 0)]
+
+    def shard_stats(self) -> List[dict]:
+        """Per-shard progress/load counters (diagnostics and benchmarks)."""
+        return [
+            {
+                "shard": shard.index,
+                "events_dispatched": shard.events_dispatched,
+                "pending_events": shard.pending_events,
+                "cursor_ns": shard.cursor_ns,
+                "cross_pushes": shard.cross_pushes,
+                "cancelled_discarded": shard._queue.cancelled_discarded,
+                "records": (
+                    len(shard.trace._fast) if shard.trace._fast is not None else None
+                ),
+            }
+            for shard in self._shards
+        ]
+
+    # ------------------------------------------------------------------
+    # Time (Simulator-compatible)
+    # ------------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self.clock._now_s
+
+    @property
+    def now_ns(self) -> int:
+        """Current simulated time in nanoseconds."""
+        return self.clock._now_ns
+
+    @property
+    def events_dispatched(self) -> int:
+        """Total events dispatched across all shards."""
+        return sum(shard._dispatched for shard in self._shards)
+
+    @property
+    def pending_events(self) -> int:
+        """Live events waiting across all shards."""
+        return sum(len(shard._queue) for shard in self._shards)
+
+    @property
+    def cancelled_events_discarded(self) -> int:
+        """Cancelled events physically dropped across all shard rings."""
+        return sum(shard._queue.cancelled_discarded for shard in self._shards)
+
+    # ------------------------------------------------------------------
+    # Scheduling (facade: lands on the control shard)
+    # ------------------------------------------------------------------
+
+    def schedule(self, delay_seconds, callback, label: str = "") -> Event:
+        """Schedule ``callback`` after ``delay_seconds`` (control shard)."""
+        return self._shards[0].schedule(delay_seconds, callback, label)
+
+    def schedule_at(self, when_seconds, callback, label: str = "") -> Event:
+        """Schedule ``callback`` at an absolute time (control shard)."""
+        return self._shards[0].schedule_at(when_seconds, callback, label)
+
+    def schedule_at_ns(self, when_ns, callback, label: str = "") -> Event:
+        """Schedule ``callback`` at ``when_ns`` (control shard)."""
+        return self._shards[0].schedule_at_ns(when_ns, callback, label)
+
+    def call_soon(self, callback, label: str = "") -> Event:
+        """Schedule ``callback`` at the current time (control shard)."""
+        return self._shards[0].call_soon(callback, label)
+
+    def schedule_fire(self, when_seconds, callback, label: str = "") -> None:
+        """Fire-and-forget scheduling at an absolute time (control shard).
+
+        Components constructed directly against the facade (e.g. a monitoring
+        NIC built with ``run.sim``) resolve here; their work runs on shard 0.
+        """
+        self._shards[0].schedule_fire(when_seconds, callback, label)
+
+    # ------------------------------------------------------------------
+    # Cross-shard bookkeeping
+    # ------------------------------------------------------------------
+
+    def _note_cross_push(self, shard: EngineShard, time_ns: int, sequence: int) -> None:
+        """A batch on another shard scheduled into ``shard``'s ring.
+
+        Refreshes the cached top key and shrinks the live batch limit so the
+        running batch stops before overtaking the new event.
+        """
+        shard.cross_pushes += 1
+        key = (time_ns, sequence)
+        index = shard.index
+        top = self._tops[index]
+        if top is None or key < top:
+            self._tops[index] = key
+        limit = self._batch_limit
+        if limit is None or key < limit:
+            self._batch_limit = key
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def _dispatch(self, until_ns: int, max_events: Optional[int] = None) -> int:
+        """Dispatch events in global (time, sequence) order up to ``until_ns``."""
+        shards = self._shards
+        tops = self._tops
+        for shard in shards:
+            tops[shard.index] = shard._queue.top_key()
+        dispatched = 0
+        while True:
+            # One pass finds both the globally minimal shard and the batch
+            # limit (the smallest key any *other* shard holds).
+            best = None
+            best_key = None
+            limit = None
+            for index, key in enumerate(tops):
+                if key is None:
+                    continue
+                if best_key is None or key < best_key:
+                    limit = best_key
+                    best_key = key
+                    best = shards[index]
+                elif limit is None or key < limit:
+                    limit = key
+            if best is None or best_key[0] > until_ns:
+                break
+            best_index = best.index
+            self._batch_limit = limit
+            self._active = best
+            budget = None if max_events is None else max_events - dispatched
+            if budget is not None and budget <= 0:
+                self._active = None
+                break
+            ran = best._run_batch(until_ns, budget)
+            self._active = None
+            dispatched += ran
+            fresh = best._queue.top_key()
+            if ran == 0 and fresh == best_key:
+                # The batch was eligible to run its top event but did not —
+                # the caches can only be stale *smaller*, so this means no
+                # further progress is possible.  Guard against a silent spin.
+                raise SimulationError(
+                    "sharded dispatch made no progress; shard "
+                    f"{best_index} top={fresh!r} limit={limit!r}"
+                )
+            tops[best_index] = fresh
+            if max_events is not None and dispatched >= max_events:
+                break
+        return dispatched
+
+    def step(self) -> bool:
+        """Dispatch the single globally earliest event, if any."""
+        return self._dispatch(_NO_BOUND_NS, max_events=1) == 1
+
+    def run(self, max_events: Optional[int] = None) -> int:
+        """Run until every shard ring drains (or ``max_events`` is reached)."""
+        if self._running:
+            raise SimulationError("Simulator.run() called re-entrantly")
+        self._running = True
+        try:
+            return self._dispatch(_NO_BOUND_NS, max_events)
+        finally:
+            self._running = False
+
+    def run_until(self, until_seconds: float, max_events: Optional[int] = None) -> int:
+        """Run events with firing times ``<= until_seconds``.
+
+        As with the single engine, the clock is advanced to ``until_seconds``
+        at the end even if the rings drained earlier.
+        """
+        if self._running:
+            raise SimulationError("Simulator.run_until() called re-entrantly")
+        until_ns = seconds_to_ns(until_seconds)
+        if until_ns < self.clock.now_ns:
+            raise SimulationError(
+                f"run_until({until_seconds}s) is earlier than the current "
+                f"time {self.clock.now}s"
+            )
+        self._running = True
+        try:
+            dispatched = self._dispatch(until_ns, max_events)
+            if self.clock.now_ns < until_ns:
+                self.clock.advance_to_ns(until_ns)
+        finally:
+            self._running = False
+        return dispatched
+
+    def run_for(self, duration_seconds: float, max_events: Optional[int] = None) -> int:
+        """Run for ``duration_seconds`` of simulated time starting from now."""
+        return self.run_until(self.now + duration_seconds, max_events=max_events)
+
+    def reset(self) -> None:
+        """Discard all pending events, traces and rewind the clock to zero.
+
+        Station-id namespaces rewind too, mirroring :meth:`Simulator.reset`.
+        """
+        for shard in self._shards:
+            shard._queue.clear()
+            shard._dispatched = 0
+            shard.cursor_ns = 0
+            shard.cross_pushes = 0
+        self._tops = [None] * len(self._shards)
+        self.clock.reset()
+        self.trace.clear()
+        self._auto_station_ids.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ShardedSimulator(shards={len(self._shards)}, now={self.now:.6f}s, "
+            f"pending={self.pending_events}, dispatched={self.events_dispatched})"
+        )

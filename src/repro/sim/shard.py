@@ -1,0 +1,599 @@
+"""The per-shard scheduling core of the sharded event fabric.
+
+:class:`EngineShard` is one shard of a
+:class:`~repro.sim.fabric.ShardedSimulator`: it owns its own event ring
+(:class:`ShardQueue`), its own progress cursor and its own trace stream
+(:class:`ShardTraceRecorder`), and it duck-types the
+:class:`~repro.sim.engine.Simulator` scheduling API (``now``, ``schedule``,
+``schedule_at``, ``schedule_at_ns``, ``call_soon``, ``trace``, ``random``,
+``clock``) so every existing component — segments, NICs, hosts, active nodes,
+CPU queues, timers — runs on a shard unchanged.
+
+Three shared pieces of state make the fabric *bit-deterministic* relative to
+the single engine:
+
+* one **event-sequence counter** shared by every shard queue, so
+  ``(time_ns, sequence)`` stays a global total order exactly as in the single
+  :class:`~repro.sim.engine.EventQueue`;
+* one **clock**, advanced by the coordinator strictly in that global order,
+  so a component called synchronously across a shard boundary (a NIC sending
+  onto a segment homed on another shard) reads the same timestamps it would
+  under the single engine;
+* one **trace emission counter**, stamped onto every record
+  (:attr:`~repro.sim.trace.TraceRecord.seq`), which is the deterministic
+  merge key that interleaves per-shard trace streams back into the exact
+  single-engine emission order.
+
+The queue is a *bucketed event ring* rather than one binary heap: events at
+the same nanosecond live in one FIFO bucket (append order equals sequence
+order because the counter is shared and monotone), so pushes are O(1) list
+appends and the small time-heap is touched once per distinct timestamp.
+Workloads in this simulator cluster heavily on identical timestamps
+(synchronized segments, zero-cost CPU batches), which is what amortizes heap
+traffic on the fabric's hot path.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Iterator, List, Optional
+
+from repro.sim.clock import Clock, NANOSECONDS_PER_SECOND, seconds_to_ns
+from repro.sim.events import Event, validate_schedule_time
+from repro.sim.random_source import RandomSource
+from repro.sim.trace import (
+    CountingSink,
+    DetailSource,
+    TraceRecord,
+    TraceRecorder,
+    TraceSink,
+    last_match,
+    match_records,
+)
+
+
+class ShardQueue:
+    """A bucketed event ring: FIFO buckets per timestamp plus a time heap.
+
+    Events in one bucket fire in append order, which equals sequence order
+    because every shard queue draws from the fabric's shared counter.  The
+    heap only orders *distinct* timestamps, so scheduling N same-time events
+    costs N list appends plus one heap push.
+
+    Bucket entries are ``(sequence, callback, event_or_None)`` triples: the
+    cancellable scheduling APIs attach an :class:`Event` handle, while the
+    fire-and-forget path (``schedule_fire``, used by the frame hot path for
+    deliveries that are never cancelled) skips the handle allocation
+    entirely.
+
+    Cancelled events stay in their bucket (keeping :meth:`Event.cancel` O(1),
+    as in the single-engine queue) and are discarded when they reach the
+    bucket head; :attr:`cancelled_discarded` counts them.
+    """
+
+    __slots__ = ("_counter", "_buckets", "_times", "_live", "_dead", "cancelled_discarded")
+
+    def __init__(self, counter) -> None:
+        self._counter = counter
+        self._buckets: dict = {}
+        self._times: list = []
+        self._live = 0
+        self._dead = 0
+        self.cancelled_discarded = 0
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def push(self, time_ns: int, callback: Callable[[], None], label: str = "") -> Event:
+        """Schedule ``callback`` at ``time_ns`` and return a cancellable event."""
+        event = Event(time_ns, next(self._counter), callback, label, False, self)
+        entry = (event.sequence, callback, event)
+        bucket = self._buckets.get(time_ns)
+        if bucket is None:
+            self._buckets[time_ns] = [entry]
+            heapq.heappush(self._times, time_ns)
+        else:
+            bucket.append(entry)
+        self._live += 1
+        return event
+
+    def push_fire(self, time_ns: int, callback: Callable[[], None]) -> int:
+        """Schedule ``callback`` with no cancellation handle; returns its sequence."""
+        sequence = next(self._counter)
+        entry = (sequence, callback, None)
+        bucket = self._buckets.get(time_ns)
+        if bucket is None:
+            self._buckets[time_ns] = [entry]
+            heapq.heappush(self._times, time_ns)
+        else:
+            bucket.append(entry)
+        self._live += 1
+        return sequence
+
+    def _note_cancelled(self) -> None:
+        self._live -= 1
+        self._dead += 1
+
+    def top_key(self) -> Optional[tuple]:
+        """``(time_ns, sequence)`` of the earliest live event, or ``None``.
+
+        Skips (and physically discards) cancelled events at bucket heads and
+        drops drained buckets on the way.
+        """
+        times = self._times
+        buckets = self._buckets
+        while times:
+            t = times[0]
+            bucket = buckets[t]
+            # Skip cancelled heads by index, then drop them in one slice —
+            # a bucket of k dead same-time timers costs O(k), not O(k^2).
+            index = 0
+            size = len(bucket)
+            while index < size:
+                entry = bucket[index]
+                event = entry[2]
+                if event is None or not event.cancelled:
+                    break
+                index += 1
+            if index:
+                del bucket[:index]
+                self.cancelled_discarded += index
+                self._dead -= index
+            if bucket:
+                entry = bucket[0]
+                return (t, entry[0])
+            heapq.heappop(times)
+            del buckets[t]
+        return None
+
+    def peek_time_ns(self) -> Optional[int]:
+        """Firing time of the earliest live event, if any."""
+        key = self.top_key()
+        return None if key is None else key[0]
+
+    def pop(self) -> Optional[tuple]:
+        """Pop the earliest live ``(sequence, callback, event)`` entry."""
+        key = self.top_key()
+        if key is None:
+            return None
+        bucket = self._buckets[key[0]]
+        entry = bucket.pop(0)
+        self._live -= 1
+        if entry[2] is not None:
+            entry[2]._queue = None
+        return entry
+
+    def clear(self) -> None:
+        """Drop every pending event."""
+        for bucket in self._buckets.values():
+            for entry in bucket:
+                if entry[2] is not None:
+                    entry[2]._queue = None
+        self._buckets.clear()
+        self._times.clear()
+        self._live = 0
+        self._dead = 0
+
+
+class ShardTraceRecorder(TraceRecorder):
+    """One shard's trace stream, stamped with the fabric's global merge keys.
+
+    Differences from the plain :class:`TraceRecorder`:
+
+    * the per-``(category, source)`` counters are the **fabric-shared**
+      :class:`CountingSink`, so live counter reads (``CounterWindow``,
+      :meth:`count`) see the whole fabric, identically to the single engine;
+    * every record is stamped with the shared emission sequence
+      (:attr:`TraceRecord.seq`) — the deterministic merge key;
+    * with no caller-supplied sinks the shard keeps its stream as a flat list
+      of tuples and materializes :class:`TraceRecord` objects lazily on first
+      query, keeping the emit hot path to one append;
+    * caller-supplied sinks are *shared across shards* (the fabric passes the
+      same instances to every shard), so a bounded
+      :class:`~repro.sim.trace.RingBufferSink` sees the globally merged
+      stream in emission order, exactly like under the single engine.
+    """
+
+    def __init__(
+        self,
+        clock: Clock,
+        shard_index: int,
+        shared_counters: CountingSink,
+        emit_counter,
+        sinks: Optional[List[TraceSink]] = None,
+    ) -> None:
+        self._clock = clock
+        self._enabled = True
+        self._listeners: list = []
+        self._disabled_categories: set = set()
+        self._shared_counters = shared_counters
+        self.shard_index = shard_index
+        self._emit_counter = emit_counter
+        # Fast path: tuple buffer, materialized lazily.  Slow path: shared sinks.
+        self._fast: Optional[list] = [] if sinks is None else None
+        self._fast_append = self._fast.append if self._fast is not None else None
+        self._emit_next = emit_counter.__next__
+        self._materialized: list = []
+        self._pairs_synced = 0
+        # The fabric installs a fabric-wide counter sync here; a standalone
+        # recorder falls back to syncing just its own stream.
+        self._sync_all: Optional[Callable[[], None]] = None
+        self._sinks: List[TraceSink] = list(sinks) if sinks is not None else []
+        self._primary: Optional[TraceSink] = None
+        self._refresh_primary()
+
+    # ------------------------------------------------------------------
+    # Recording (hot path)
+    # ------------------------------------------------------------------
+
+    def emit(
+        self, source: str, category: str, detail: DetailSource = None
+    ) -> Optional[TraceRecord]:
+        if not self._enabled or category in self._disabled_categories:
+            return None
+        append = self._fast_append
+        if append is not None:
+            # One append; the (category, source) counters catch up lazily on
+            # the next counter read (reads happen between trials, not per
+            # record), so live counter queries still see exact totals.
+            append(
+                (self._clock._now_s, source, category, detail, self._emit_next())
+            )
+            if self._listeners or self._sinks:
+                entry = self._record_at(len(self._fast) - 1)
+                for sink in self._sinks:
+                    sink.accept(entry)
+                for listener in self._listeners:
+                    listener(entry)
+                return entry
+            return None
+        pair = (category, source)
+        by_pair = self._shared_counters.by_category_source
+        by_pair[pair] = by_pair.get(pair, 0) + 1
+        entry = TraceRecord(
+            self._clock._now_s, source, category, detail, self._emit_next()
+        )
+        for sink in self._sinks:
+            sink.accept(entry)
+        for listener in self._listeners:
+            listener(entry)
+        return entry
+
+    # ------------------------------------------------------------------
+    # Deferred counter aggregation
+    # ------------------------------------------------------------------
+
+    @property
+    def counters(self) -> CountingSink:
+        """The fabric-shared live counters (synced with this stream on read)."""
+        sync_all = self._sync_all
+        if sync_all is not None:
+            sync_all()
+        else:
+            self._sync_own_counters()
+        return self._shared_counters
+
+    def _sync_own_counters(self) -> None:
+        """Fold this stream's unsynced records into the shared pair table."""
+        fast = self._fast
+        if fast is None:
+            return
+        synced = self._pairs_synced
+        total = len(fast)
+        if synced == total:
+            return
+        by_pair = self._shared_counters.by_category_source
+        for index in range(synced, total):
+            entry = fast[index]
+            pair = (entry[2], entry[1])
+            by_pair[pair] = by_pair.get(pair, 0) + 1
+        self._pairs_synced = total
+
+    # ------------------------------------------------------------------
+    # Materialization and queries (off the hot path)
+    # ------------------------------------------------------------------
+
+    def _record_at(self, index: int) -> TraceRecord:
+        self._materialize_upto(index + 1)
+        return self._materialized[index]
+
+    def _materialize_upto(self, count: int) -> None:
+        fast = self._fast
+        materialized = self._materialized
+        for i in range(len(materialized), count):
+            time, source, category, detail, seq = fast[i]
+            materialized.append(TraceRecord(time, source, category, detail, seq))
+
+    def records_list(self) -> List[TraceRecord]:
+        """This shard's retained records, in emission order (seq ascending)."""
+        if self._fast is not None:
+            self._materialize_upto(len(self._fast))
+            return self._materialized
+        if self._primary is None:
+            return []
+        return list(self._primary)  # type: ignore[arg-type]
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self.records_list())
+
+    def filter(self, category=None, source=None, since=None, until=None):
+        return match_records(
+            self.records_list(), category=category, source=source,
+            since=since, until=until,
+        )
+
+    def last(self, category=None, source=None):
+        return last_match(self.records_list(), category=category, source=source)
+
+    def clear(self) -> None:
+        """Drop this shard's retained records (shared counters are cleared by
+        the fabric, which owns them)."""
+        if self._fast is not None:
+            self._fast.clear()
+        self._materialized.clear()
+        self._pairs_synced = 0
+
+
+class EngineShard:
+    """One shard of the fabric: a Simulator-compatible scheduling core.
+
+    Components constructed "on" a shard use it exactly as they would use a
+    :class:`~repro.sim.engine.Simulator`; the coordinating
+    :class:`~repro.sim.fabric.ShardedSimulator` drives every shard's ring in
+    the global ``(time_ns, sequence)`` order.
+
+    Attributes:
+        index: the shard's position in the fabric.
+        cursor_ns: the shard's own progress cursor — the firing time of the
+            last event this shard dispatched.  Always ``<=`` the fabric
+            clock; per-shard lag is what the conservative synchronizer
+            reasons about.
+        cross_pushes: events other shards (or the facade) scheduled into this
+            shard's ring — cross-shard frame handoffs land here.
+    """
+
+    def __init__(
+        self,
+        fabric,
+        index: int,
+        clock: Clock,
+        random: RandomSource,
+        counter,
+        trace: ShardTraceRecorder,
+    ) -> None:
+        self.fabric = fabric
+        self.index = index
+        self.clock = clock
+        self.random = random
+        self.trace = trace
+        self._queue = ShardQueue(counter)
+        self._dispatched = 0
+        self.cursor_ns = 0
+        self.cross_pushes = 0
+        # Hot-path aliases into the queue (its containers are mutated in
+        # place, never reassigned, so the aliases stay valid across clear()).
+        self._q_buckets = self._queue._buckets
+        self._q_times = self._queue._times
+        self._q_next_seq = counter.__next__
+
+    # ------------------------------------------------------------------
+    # Time
+    # ------------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds (the fabric-wide clock)."""
+        return self.clock._now_s
+
+    @property
+    def now_ns(self) -> int:
+        """Current simulated time in nanoseconds (the fabric-wide clock)."""
+        return self.clock._now_ns
+
+    @property
+    def pending_events(self) -> int:
+        """Live events waiting in this shard's ring (O(1))."""
+        return len(self._queue)
+
+    def auto_station_id(self, base: int) -> int:
+        """Allocate the next automatic station id (fabric-wide namespace).
+
+        Delegates to the fabric so stations on different shards never collide
+        and allocation order matches the single engine's build sequence.
+        """
+        return self.fabric.auto_station_id(base)
+
+    @property
+    def events_dispatched(self) -> int:
+        """Events this shard has dispatched."""
+        return self._dispatched
+
+    # ------------------------------------------------------------------
+    # Scheduling (Simulator-compatible)
+    # ------------------------------------------------------------------
+
+    def schedule_at_ns(
+        self, when_ns: int, callback: Callable[[], None], label: str = ""
+    ) -> Event:
+        """Schedule ``callback`` at absolute time ``when_ns`` on this shard."""
+        clock_now = self.clock._now_ns
+        if when_ns < clock_now:
+            validate_schedule_time(clock_now, when_ns)
+        event = self._queue.push(when_ns, callback, label)
+        fabric = self.fabric
+        if fabric._active is not None and fabric._active is not self:
+            fabric._note_cross_push(self, when_ns, event.sequence)
+        return event
+
+    def schedule(
+        self, delay_seconds: float, callback: Callable[[], None], label: str = ""
+    ) -> Event:
+        """Schedule ``callback`` to run ``delay_seconds`` from now.
+
+        Inlined push: this is the fabric's hottest scheduling entry point
+        (CPU queues and timers), so it pays neither the ``schedule_at_ns``
+        nor the ``ShardQueue.push`` call.
+        """
+        when_ns = self.clock._now_ns + round(delay_seconds * NANOSECONDS_PER_SECOND)
+        if when_ns < self.clock._now_ns:
+            validate_schedule_time(self.clock._now_ns, when_ns)
+        queue = self._queue
+        event = Event(when_ns, self._q_next_seq(), callback, label, False, queue)
+        buckets = self._q_buckets
+        bucket = buckets.get(when_ns)
+        if bucket is None:
+            buckets[when_ns] = [(event.sequence, callback, event)]
+            heapq.heappush(self._q_times, when_ns)
+        else:
+            bucket.append((event.sequence, callback, event))
+        queue._live += 1
+        fabric = self.fabric
+        if fabric._active is not None and fabric._active is not self:
+            fabric._note_cross_push(self, when_ns, event.sequence)
+        return event
+
+    def schedule_at(
+        self, when_seconds: float, callback: Callable[[], None], label: str = ""
+    ) -> Event:
+        """Schedule ``callback`` at absolute simulated time ``when_seconds``.
+
+        Inlined push, exactly as :meth:`schedule` (segments schedule every
+        frame's delivery and service completion through here).
+        """
+        when_ns = round(when_seconds * NANOSECONDS_PER_SECOND)
+        clock_now = self.clock._now_ns
+        if when_ns < clock_now:
+            validate_schedule_time(clock_now, when_ns)
+        queue = self._queue
+        event = Event(when_ns, self._q_next_seq(), callback, label, False, queue)
+        buckets = self._q_buckets
+        bucket = buckets.get(when_ns)
+        if bucket is None:
+            buckets[when_ns] = [(event.sequence, callback, event)]
+            heapq.heappush(self._q_times, when_ns)
+        else:
+            bucket.append((event.sequence, callback, event))
+        queue._live += 1
+        fabric = self.fabric
+        if fabric._active is not None and fabric._active is not self:
+            fabric._note_cross_push(self, when_ns, event.sequence)
+        return event
+
+    def schedule_fire(
+        self, when_seconds: float, callback: Callable[[], None], label: str = ""
+    ) -> None:
+        """Schedule a fire-and-forget callback at ``when_seconds``.
+
+        Identical ordering semantics to :meth:`schedule_at`, but no
+        cancellation handle is allocated (``label`` is accepted for API
+        symmetry and dropped).  The frame hot path — segment delivery and
+        service-completion events, which are never cancelled — runs through
+        here, so the fabric skips one object allocation per event.
+        """
+        when_ns = round(when_seconds * NANOSECONDS_PER_SECOND)
+        clock_now = self.clock._now_ns
+        if when_ns < clock_now:
+            validate_schedule_time(clock_now, when_ns)
+        sequence = self._q_next_seq()
+        buckets = self._q_buckets
+        bucket = buckets.get(when_ns)
+        if bucket is None:
+            buckets[when_ns] = [(sequence, callback, None)]
+            heapq.heappush(self._q_times, when_ns)
+        else:
+            bucket.append((sequence, callback, None))
+        self._queue._live += 1
+        fabric = self.fabric
+        if fabric._active is not None and fabric._active is not self:
+            fabric._note_cross_push(self, when_ns, sequence)
+
+    def call_soon(self, callback: Callable[[], None], label: str = "") -> Event:
+        """Schedule ``callback`` at the current time (after pending work)."""
+        event = self._queue.push(self.clock._now_ns, callback, label)
+        fabric = self.fabric
+        if fabric._active is not None and fabric._active is not self:
+            fabric._note_cross_push(self, event.time_ns, event.sequence)
+        return event
+
+    # ------------------------------------------------------------------
+    # Dispatch (driven by the coordinator)
+    # ------------------------------------------------------------------
+
+    def _run_batch(self, until_ns: int, budget: Optional[int]) -> int:
+        """Run this shard's events while they stay globally minimal.
+
+        The coordinator sets ``fabric._batch_limit`` to the smallest pending
+        key of every *other* shard before calling; cross-shard pushes made by
+        the callbacks running here shrink that limit live, so the batch never
+        runs past an event another shard must fire first.  This keeps the
+        whole fabric's dispatch order exactly the single engine's
+        ``(time_ns, sequence)`` order.
+        """
+        fabric = self.fabric
+        clock = self.clock
+        queue = self._queue
+        times = queue._times
+        buckets = queue._buckets
+        n = 0
+        blocked = False
+        while times and not blocked:
+            t = times[0]
+            bucket = buckets[t]
+            if not bucket:
+                heapq.heappop(times)
+                del buckets[t]
+                continue
+            if t > until_ns:
+                break
+            # Consume the bucket by index (no per-event list shifting); a
+            # callback may append same-time events to this very bucket, and
+            # cross-shard pushes may shrink the batch limit mid-bucket, so
+            # both are re-read every iteration.  The clock advances with the
+            # first event actually executed (never on a blocked bucket).
+            index = 0
+            before = n
+            while index < len(bucket):
+                sequence, callback, event = bucket[index]
+                if event is not None and event.cancelled:
+                    index += 1
+                    queue.cancelled_discarded += 1
+                    queue._dead -= 1
+                    continue
+                limit = fabric._batch_limit
+                if limit is not None and (
+                    t > limit[0] or (t == limit[0] and sequence > limit[1])
+                ):
+                    blocked = True
+                    break
+                if budget is not None and n >= budget:
+                    blocked = True
+                    break
+                index += 1
+                if event is not None:
+                    event._queue = None
+                if t > clock._now_ns:
+                    clock._now_ns = t
+                    clock._now_s = t / NANOSECONDS_PER_SECOND
+                callback()
+                n += 1
+            if n > before:
+                # Settle per-bucket bookkeeping once, not per event (live
+                # counts are only read between runs, never by callbacks).
+                queue._live -= n - before
+                self.cursor_ns = t
+            if index:
+                if index == len(bucket):
+                    bucket.clear()
+                else:
+                    del bucket[:index]
+        self._dispatched += n
+        return n
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"EngineShard(index={self.index}, pending={len(self._queue)}, "
+            f"dispatched={self._dispatched}, cursor={self.cursor_ns}ns)"
+        )

@@ -53,9 +53,15 @@ class TraceRecord:
             the producer supplied a callable it runs on first access and the
             result is cached, so untouched hot-path records never pay for
             rendering.
+        seq: global emission sequence number, stamped by the sharded fabric's
+            per-shard recorders so per-shard streams merge back into the
+            exact single-engine emission order; ``None`` on records emitted
+            by a plain (unsharded) recorder.  Deliberately ignored by
+            equality: a sharded and an unsharded run compare record-for-record
+            even though only one of them carries merge keys.
     """
 
-    __slots__ = ("time", "source", "category", "_detail")
+    __slots__ = ("time", "source", "category", "_detail", "seq")
 
     def __init__(
         self,
@@ -63,11 +69,13 @@ class TraceRecord:
         source: str,
         category: str,
         detail: DetailSource = None,
+        seq: Optional[int] = None,
     ) -> None:
         self.time = time
         self.source = source
         self.category = category
         self._detail = detail
+        self.seq = seq
 
     @property
     def detail(self) -> Dict[str, Any]:
@@ -101,6 +109,47 @@ class TraceRecord:
             f"TraceRecord(time={self.time!r}, source={self.source!r}, "
             f"category={self.category!r}, detail={self.detail!r})"
         )
+
+
+def match_records(
+    records: Iterable[TraceRecord],
+    category: Optional[str] = None,
+    source: Optional[str] = None,
+    since: Optional[float] = None,
+    until: Optional[float] = None,
+) -> List[TraceRecord]:
+    """Records matching every provided criterion, preserving input order.
+
+    The shared predicate behind :meth:`TraceRecorder.filter` and the sharded
+    fabric's stream queries.
+    """
+    selected = []
+    for entry in records:
+        if category is not None and entry.category != category:
+            continue
+        if source is not None and entry.source != source:
+            continue
+        if since is not None and entry.time < since:
+            continue
+        if until is not None and entry.time > until:
+            continue
+        selected.append(entry)
+    return selected
+
+
+def last_match(
+    records: "List[TraceRecord]",
+    category: Optional[str] = None,
+    source: Optional[str] = None,
+) -> Optional[TraceRecord]:
+    """The most recent record matching the criteria, if any."""
+    for entry in reversed(records):
+        if category is not None and entry.category != category:
+            continue
+        if source is not None and entry.source != source:
+            continue
+        return entry
+    return None
 
 
 # ---------------------------------------------------------------------------

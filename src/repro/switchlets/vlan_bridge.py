@@ -7,13 +7,19 @@ fixed-function LAN switches:
 
 * every port is either an **access** port (untagged frames, one VLAN) or a
   **trunk** port (802.1Q-tagged frames, a configurable set of VLANs),
+* a trunk may carry one **native VLAN**: untagged frames arriving on the
+  trunk are classified into it, and frames of the native VLAN egress the
+  trunk untagged — the classic 802.1Q interoperability device for joining
+  VLAN-unaware equipment across a trunk,
 * each VLAN has its **own learning table** — host locations never leak
   between VLANs,
 * frames are forwarded or flooded strictly within the VLAN they arrived on:
   out access ports of that VLAN untagged, out trunk ports carrying that VLAN
-  tagged,
-* frames that violate the port discipline (tagged on access, untagged on
-  trunk, VLAN not allowed on trunk) are dropped and counted.
+  tagged (untagged if it is the trunk's native VLAN),
+* frames that violate the port discipline (tagged on access, untagged on a
+  native-less trunk, VLAN not allowed on trunk, or a frame arriving *tagged
+  with the native VLAN id* — the classic native-mismatch hazard real
+  switches guard with ``vlan dot1q tag native``) are dropped and counted.
 
 Like the plain learning switchlet it replaces the dumb bridge's
 ``"bridge.switch"`` registration and uses its ``"bridge.send_out"`` /
@@ -77,6 +83,7 @@ class VlanLearningBridgeApp:
         self.dropped_tagged_on_access = 0
         self.dropped_untagged_on_trunk = 0
         self.dropped_vlan_not_allowed = 0
+        self.dropped_tagged_on_native = 0
 
     # ------------------------------------------------------------------
     # Lifecycle and configuration
@@ -105,19 +112,23 @@ class VlanLearningBridgeApp:
 
         Access entries look like ``{"mode": "access", "vlan": 10}``; trunk
         entries like ``{"mode": "trunk", "allowed": [10, 20]}`` (``None``
-        allows every VLAN).  Unlisted ports stay access ports on the default
-        VLAN.
+        allows every VLAN) with an optional ``"native": 10`` VLAN that
+        travels the trunk untagged (the native VLAN is implicitly carried
+        even when absent from the allowed set).  Unlisted ports stay access
+        ports on the default VLAN.
         """
         table = {}
         for port, entry in dict(config).items():
             mode = entry.get("mode", "access")
             if mode == "trunk":
                 allowed = entry.get("allowed")
+                native = entry.get("native")
                 table[port] = {
                     "mode": "trunk",
                     "allowed": None
                     if allowed is None
                     else set(self._valid_vid(v) for v in allowed),
+                    "native": None if native is None else self._valid_vid(native),
                 }
             elif mode == "access":
                 table[port] = {
@@ -178,17 +189,29 @@ class VlanLearningBridgeApp:
             vlan = entry["vlan"]
             inner = bytes(pkt_bytes)
         else:
+            native = entry.get("native")
             if vid is None:
-                self.dropped_untagged_on_trunk += 1
+                if native is None:
+                    self.dropped_untagged_on_trunk += 1
+                    return
+                # Untagged on a native-VLAN trunk: classified into the native.
+                vlan = native
+                inner = bytes(pkt_bytes)
+            elif vid == native:
+                # Tagged with the native VLAN id: the native-mismatch hazard
+                # (a peer tagging what this side expects untagged) — drop and
+                # count rather than double-deliver the VLAN.
+                self.dropped_tagged_on_native += 1
                 return
-            allowed = entry["allowed"]
-            if allowed is not None and vid not in allowed:
-                self.dropped_vlan_not_allowed += 1
-                return
-            vlan = vid
-            # Preserve the QoS marking across trunk-to-trunk forwarding.
-            priority = FrameFmt.vlan_priority(pkt_bytes)
-            inner = FrameFmt.strip_vlan(pkt_bytes)
+            else:
+                allowed = entry["allowed"]
+                if allowed is not None and vid not in allowed:
+                    self.dropped_vlan_not_allowed += 1
+                    return
+                vlan = vid
+                # Preserve the QoS marking across trunk-to-trunk forwarding.
+                priority = FrameFmt.vlan_priority(pkt_bytes)
+                inner = FrameFmt.strip_vlan(pkt_bytes)
 
         if self._allowed(in_port, None) is False:
             self.frames_suppressed += 1
@@ -238,14 +261,18 @@ class VlanLearningBridgeApp:
         """Emit ``inner`` on ``out_port`` if that port carries ``vlan``.
 
         Access ports of the VLAN send untagged; trunk ports carrying the
-        VLAN re-tag (keeping the incoming priority bits).  Ports in other
-        VLANs (or trunks not allowing this one) simply do not participate —
-        that is the isolation property.
+        VLAN re-tag (keeping the incoming priority bits), except the trunk's
+        native VLAN, which egresses untagged and is implicitly carried.
+        Ports in other VLANs (or trunks not allowing this one) simply do not
+        participate — that is the isolation property.
         """
         entry = self._port_entry(out_port)
         if entry["mode"] == "access":
             if entry["vlan"] != vlan:
                 return False
+            self.func.call(self.SEND_OUT_KEY, out_port, inner)
+            return True
+        if entry.get("native") == vlan:
             self.func.call(self.SEND_OUT_KEY, out_port, inner)
             return True
         allowed = entry["allowed"]
@@ -281,6 +308,7 @@ class VlanLearningBridgeApp:
             "dropped_tagged_on_access": self.dropped_tagged_on_access,
             "dropped_untagged_on_trunk": self.dropped_untagged_on_trunk,
             "dropped_vlan_not_allowed": self.dropped_vlan_not_allowed,
+            "dropped_tagged_on_native": self.dropped_tagged_on_native,
             "vlans": sorted(self.tables),
             "addresses_learned": sum(t.learned for t in self.tables.values()),
         }

@@ -348,3 +348,100 @@ class TestVlanTrunkScenario:
             run.sim, near, wrong.ip, payload_size=64, count=2, interval=0.05
         ).run(start_time=run.sim.now + 0.1)
         assert result.received == 0
+
+
+class TestNativeVlanTrunk:
+    """Native-VLAN trunks: untagged trunk traffic maps to the native VLAN."""
+
+    def _native_run(self, seed=20):
+        return run_scenario("vlan/trunk", seed=seed, params={"native_vlan": 10})
+
+    def test_native_vlan_ping_crosses_the_trunk(self):
+        run = self._native_run()
+        near, far = run.host("h1v10n1"), run.host("h2v10n1")
+        result = PingRunner(
+            run.sim, near, far.ip, payload_size=128, count=3, interval=0.1
+        ).run(start_time=run.ready_time)
+        assert result.received == result.sent == 3
+
+    def test_native_vlan_egresses_untagged_others_stay_tagged(self):
+        run = self._native_run(seed=21)
+        seen = []
+        spy = NetworkInterface(run.sim, "spy", MacAddress.from_string("02:aa:00:00:00:05"))
+        spy.attach(run.segment("trunk"))
+        spy.set_promiscuous(True)
+        spy.set_handler(lambda _nic, frame: seen.append(frame))
+        near10, far10 = run.host("h1v10n1"), run.host("h2v10n1")
+        near20, far20 = run.host("h1v20n1"), run.host("h2v20n1")
+        PingRunner(
+            run.sim, near10, far10.ip, payload_size=64, count=2, interval=0.1
+        ).run(start_time=run.ready_time)
+        PingRunner(
+            run.sim, near20, far20.ip, payload_size=64, count=2, interval=0.1,
+            identifier=0x4321,
+        ).run(start_time=run.sim.now + 0.1)
+        native_frames = [frame for frame in seen if frame.vlan is None]
+        tagged_frames = [frame for frame in seen if frame.vlan is not None]
+        assert native_frames, "native VLAN traffic should cross the trunk untagged"
+        assert {frame.vlan.vid for frame in tagged_frames} == {20}
+
+    def test_isolation_holds_with_a_native_vlan(self):
+        run = self._native_run(seed=22)
+        near, wrong = run.host("h1v10n1"), run.host("h2v20n1")
+        near.stack.add_static_arp(wrong.ip, wrong.mac)
+        result = PingRunner(
+            run.sim, near, wrong.ip, payload_size=64, count=2, interval=0.1
+        ).run(start_time=run.ready_time)
+        assert result.sent == 2
+        assert result.received == 0
+        assert run.host("h2v20n1").nic.frames_received == 0
+
+    def test_tagged_native_frames_are_dropped_and_counted(self):
+        run = self._native_run(seed=23)
+        run.warm_up()
+        app = run.device("switch1").func.lookup("switchlet.vlan-bridge")
+        rogue = NetworkInterface(run.sim, "rogue", MacAddress.from_string("02:aa:00:00:00:06"))
+        rogue.attach(run.segment("trunk"))
+        rogue.send(
+            EthernetFrame(
+                destination=BROADCAST,
+                source=rogue.mac,
+                ethertype=int(EtherType.MEASUREMENT),
+                payload=b"tagged-native",
+                vlan=VlanTag(vid=10),
+            )
+        )
+        run.run_until(run.sim.now + 0.5)
+        stats = app.stats()
+        assert stats["dropped_tagged_on_native"] == 1
+        # The mismatch frame never reached either VLAN's access segments.
+        assert _segment_rx(run, "sw1-v10") == 0
+        assert _segment_rx(run, "sw1-v20") == 0
+
+    def test_untagged_trunk_frames_without_native_still_drop(self):
+        run = run_scenario("vlan/trunk", seed=24)
+        run.warm_up()
+        app = run.device("switch1").func.lookup("switchlet.vlan-bridge")
+        rogue = NetworkInterface(run.sim, "rogue", MacAddress.from_string("02:aa:00:00:00:07"))
+        rogue.attach(run.segment("trunk"))
+        rogue.send(
+            EthernetFrame(
+                destination=BROADCAST,
+                source=rogue.mac,
+                ethertype=int(EtherType.MEASUREMENT),
+                payload=b"untagged",
+            )
+        )
+        run.run_until(run.sim.now + 0.5)
+        stats = app.stats()
+        assert stats["dropped_untagged_on_trunk"] == 1
+        assert stats["dropped_tagged_on_native"] == 0
+
+    def test_native_trunk_scenario_is_shard_deterministic(self):
+        single = self._native_run(seed=25)
+        single.warm_up()
+        sharded = run_scenario(
+            "vlan/trunk", seed=25, params={"native_vlan": 10}, shards=3
+        )
+        sharded.warm_up()
+        assert list(single.sim.trace) == list(sharded.sim.trace)
