@@ -1,6 +1,6 @@
 """Scenario-driven scaling studies over the topology matrix.
 
-Uses :func:`repro.scenario.run_matrix` for two sweeps the ROADMAP calls for:
+Uses :func:`repro.scenario.run_matrix` for three sweeps the ROADMAP calls for:
 
 * **ring length vs. spanning-tree convergence** — how long the DEC protocol
   takes to put every port in its steady state as the bridge ring grows, and
@@ -8,7 +8,11 @@ Uses :func:`repro.scenario.run_matrix` for two sweeps the ROADMAP calls for:
   convergence; the control-plane load is what scales);
 * **chain depth vs. ping latency** — end-to-end RTT through a lengthening
   chain of learning bridges, the many-LAN scaling of Figure 9's latency
-  experiment.
+  experiment;
+* **large-ring shard-count sweep** — the 256-LAN host-populated ring warmed
+  up (compile + spanning-tree convergence) on the single engine, the strict
+  fabric and the relaxed fabric at increasing shard counts: the
+  engine-scaling view at a size where partitioning actually matters.
 
 The study emits one markdown report (default ``benchmarks/scaling_study.md``)
 that CI uploads as a build artifact, and prints it to stdout.  Pass
@@ -28,13 +32,21 @@ import time
 from pathlib import Path
 
 from repro.measurement.ping import PingRunner
-from repro.scenario import run_matrix
+from repro.scenario import run_matrix, run_scenario
 
 DEFAULT_OUTPUT = Path(__file__).resolve().parent / "scaling_study.md"
 
 #: Ping payloads for the chain sweep (bytes): the small and large ends of
 #: Figure 9's range.
 CHAIN_PAYLOADS = (64, 1024)
+
+#: Engine configurations for the large-ring sweep: (label, shards, sync).
+LARGE_RING_CONFIGS = (
+    ("single", 1, "strict"),
+    ("strict, 2 shards", 2, "strict"),
+    ("strict, 4 shards", 4, "strict"),
+    ("relaxed, 4 shards", 4, "relaxed"),
+)
 
 
 def ring_convergence_sweep(lengths, shards: int) -> list:
@@ -94,7 +106,43 @@ def chain_latency_sweep(depths, shards: int) -> list:
     return rows
 
 
-def render_markdown(ring_rows, chain_rows, shards: int) -> str:
+def large_ring_sweep(segments: int) -> list:
+    """Warm the 256-LAN host-populated ring up under each engine config."""
+    rows = []
+    reference_counters = None
+    for label, shards, sync in LARGE_RING_CONFIGS:
+        start = time.perf_counter()
+        run = run_scenario(
+            "ring",
+            params={"n_bridges": segments - 1, "hosts_per_segment": 2},
+            shards=shards,
+            sync=sync if shards > 1 else None,
+        )
+        compiled = time.perf_counter()
+        run.warm_up()
+        warmed = time.perf_counter()
+        counters = dict(run.sim.trace.counters.by_category_source)
+        if reference_counters is None:
+            reference_counters = counters
+        else:
+            assert counters == reference_counters, (
+                f"{label} warm-up diverged from the single engine"
+            )
+        rows.append(
+            {
+                "engine": label,
+                "segments": segments,
+                "cut": len(run.partition.cut_segments) if run.partition else 0,
+                "events": run.sim.events_dispatched,
+                "compile_s": compiled - start,
+                "warmup_s": warmed - compiled,
+            }
+        )
+        del run
+    return rows
+
+
+def render_markdown(ring_rows, chain_rows, large_rows, shards: int) -> str:
     lines = [
         "# Scaling study",
         "",
@@ -132,6 +180,26 @@ def render_markdown(ring_rows, chain_rows, shards: int) -> str:
             f"{row[f'rtt_ms_{payload}B']:.3f}" for payload in CHAIN_PAYLOADS
         )
         lines.append(f"| {row['n_bridges']} | {row['segments']} | {cells} |")
+    if large_rows:
+        lines += [
+            "",
+            f"## {large_rows[0]['segments']}-LAN ring: engine configurations",
+            "",
+            "Compile plus spanning-tree warm-up of the host-populated ring",
+            "(two hosts per LAN) per engine configuration.  Counters are",
+            "verified identical across every row; event counts differ only",
+            "by the fabric's per-handoff bookkeeping (cut-segment delivery",
+            "runs, relaxed barrier events) — warm-up is control-plane-bound,",
+            "so the relaxed win shows in the blast benchmarks, not here.",
+            "",
+            "| engine | cut segments | events | compile (s) | warm-up (s) |",
+            "|---|---:|---:|---:|---:|",
+        ]
+        for row in large_rows:
+            lines.append(
+                f"| {row['engine']} | {row['cut']} | {row['events']} "
+                f"| {row['compile_s']:.2f} | {row['warmup_s']:.2f} |"
+            )
     lines.append("")
     return "\n".join(lines)
 
@@ -151,6 +219,10 @@ def main() -> None:
         help="run every matrix point on the sharded fabric",
     )
     parser.add_argument(
+        "--large-ring", type=int, default=256,
+        help="LAN count for the engine-configuration sweep (0 disables it)",
+    )
+    parser.add_argument(
         "--output", type=Path, default=DEFAULT_OUTPUT,
         help="markdown report path (uploaded by CI as an artifact)",
     )
@@ -158,7 +230,10 @@ def main() -> None:
 
     ring_rows = ring_convergence_sweep(args.ring_lengths, args.shards)
     chain_rows = chain_latency_sweep(args.chain_depths, args.shards)
-    report = render_markdown(ring_rows, chain_rows, args.shards)
+    large_rows = (
+        large_ring_sweep(args.large_ring) if args.large_ring else []
+    )
+    report = render_markdown(ring_rows, chain_rows, large_rows, args.shards)
     args.output.write_text(report)
     print(report)
     print(f"report written to {args.output}")

@@ -1,23 +1,38 @@
-"""Sharded-fabric benchmark: the wire-speed multi-LAN ring sweep.
+"""Sharded-fabric benchmark: wire-speed multi-LAN ring sweeps, strict vs relaxed.
 
 Measures the :class:`~repro.sim.fabric.ShardedSimulator` against the
-single-engine path on the catalog ``ring`` scenario populated with end hosts
-(64 segments by default, two hosts each, 63 active bridges running the DEC
-spanning tree).  Two phases per engine configuration:
+single-engine path on the catalog ``ring`` scenario populated with end hosts,
+at two sizes: the classic 64-LAN ring and the 256-LAN ring (two hosts per
+segment, N-1 active bridges running the DEC spanning tree).  Two phases per
+engine configuration:
 
 * **warm-up** — compile plus spanning-tree convergence to the scenario's
   ready time: the control plane crosses shard boundaries, exercising the
   inter-shard channel and the conservative synchronizer;
 * **wire blast** — every segment's host pair exchanges raw frames
-  back-to-back, all 64 LANs concurrently.  Bridge ports are administratively
+  back-to-back, all LANs concurrently.  Bridge ports are administratively
   down for this phase so the sweep measures the event fabric at wire speed
   rather than the bridge CPU model (the paper's bridge tops out near 2100
   frames/second — three orders of magnitude below the wire).
 
-The blast phase is the headline: frames/second and trace records/second,
-single engine versus each shard count, plus the best speedup.  Every sharded
-run must reproduce the single-engine run bit-for-bit — the benchmark asserts
-the live trace counters are identical before reporting.
+Each size sweeps engine configurations across both synchronization modes:
+
+* ``shards=1`` — the single engine baseline;
+* ``shards=N`` — the strict fabric (exact global event order, bit-identical);
+* ``shards=N/relaxed`` — relaxed sync (:mod:`repro.sim.relaxed`): concurrent
+  lookahead windows plus segment express lanes, equivalent to strict under
+  the canonical merge.  The blast handlers are declared ``inline_safe`` so
+  eligible segments take the express lane — that is the production pattern
+  the relaxed mode exists for.  ``relaxed_speedup`` (relaxed over strict
+  records/sec at the same shard count) is the headline metric; the 256-LAN
+  ring at shards=4 is the perf-gated configuration.
+
+A relaxed configuration run on worker threads is also recorded (under
+``threaded``, informational, not perf-gated): on GIL builds the threads only
+add synchronization overhead — the benchmarked pick is the sequential window
+executor — while on free-threaded builds the same numbers show the wall-clock
+win.  Every sharded run, strict or relaxed, must reproduce the single-engine
+counters exactly — the benchmark asserts this before reporting.
 
 Measurement hygiene: every engine configuration is measured in its own fresh
 interpreter (a subprocess), so one configuration's allocator/heap state never
@@ -29,8 +44,10 @@ collection is disabled inside the measured windows (and re-enabled after) so
 the comparison measures engine mechanics, not collector cadence against
 retained-record volume.
 
-Results are appended to ``BENCH_trace.json``; ``perf_gate.py`` tracks the
-throughput metrics against the committed baseline.  Run directly::
+Results are appended to ``BENCH_trace.json`` as one entry holding both size
+sweeps (``sharded_fabric`` = 64 LANs, ``sharded_fabric_256`` = 256 LANs);
+``perf_gate.py`` tracks the throughput and speedup metrics against the
+committed baseline.  Run directly::
 
     PYTHONPATH=src python benchmarks/bench_sharded_fabric.py [--frames N]
 """
@@ -61,14 +78,31 @@ BLAST_PAYLOAD = 256
 #: Upper bound on simulated seconds per exchanged frame (sizing the window).
 BLAST_FRAME_BUDGET = 40e-6
 
+#: The two ring sizes swept, and the BENCH entry key each one records under.
+SWEEPS = ((64, "sharded_fabric"), (256, "sharded_fabric_256"))
 
-def build(segments: int, shards: int):
+#: Engine configurations per sweep: (sync, shards).  ``shards=1`` is always
+#: the single-engine baseline; the relaxed configurations carry their own
+#: config-key suffix.
+CONFIGS = (("strict", 1), ("strict", 2), ("strict", 4), ("relaxed", 4))
+
+#: The relaxed configuration re-run on worker threads (informational).
+THREADED_SHARDS = 4
+
+
+def config_key(sync: str, shards: int) -> str:
+    return f"shards={shards}" if sync == "strict" else f"shards={shards}/{sync}"
+
+
+def build(segments: int, shards: int, sync: str, workers: int = 0):
     """Compile and warm up the host-populated ring on ``shards`` engines."""
     compile_start = time.perf_counter()
     run = run_scenario(
         "ring",
         params={"n_bridges": segments - 1, "hosts_per_segment": 2},
         shards=shards,
+        sync=sync if shards > 1 else None,
+        workers=workers,
     )
     compiled = time.perf_counter()
     run.warm_up()
@@ -76,7 +110,7 @@ def build(segments: int, shards: int):
     return run, compiled - compile_start, warmed - compiled
 
 
-def _blast_pass(run, frames_per_pair: int) -> dict:
+def _blast_pass(run, frames_per_pair: int, inline_safe: bool = False) -> dict:
     """One concurrent ping-pong exchange on every segment; return one sample."""
     sim = run.sim
     pairs = []
@@ -107,8 +141,11 @@ def _blast_pass(run, frames_per_pair: int) -> dict:
 
             return handler
 
-        left.nic.set_handler(bounce(left.nic, forward))
-        right.nic.set_handler(bounce(right.nic, backward))
+        # inline_safe declares the handlers reactive-only, which is what
+        # makes relaxed segments express-eligible; the strict engine and the
+        # single engine ignore the flag entirely.
+        left.nic.set_handler(bounce(left.nic, forward), inline_safe=inline_safe)
+        right.nic.set_handler(bounce(right.nic, backward), inline_safe=inline_safe)
         pairs.append((left, forward))
 
     frames_before = sum(s.frames_carried for s in run.network.segments.values())
@@ -140,7 +177,7 @@ def _blast_pass(run, frames_per_pair: int) -> dict:
     }
 
 
-def wire_blast(run, frames_per_pair: int, passes: int = 3) -> dict:
+def wire_blast(run, frames_per_pair: int, inline_safe: bool, passes: int = 3) -> dict:
     """Run ``passes`` blast exchanges and keep the fastest sample.
 
     The retained trace is cleared between passes: a steadily growing
@@ -150,7 +187,7 @@ def wire_blast(run, frames_per_pair: int, passes: int = 3) -> dict:
     best = None
     for _ in range(passes):
         run.sim.trace.clear()
-        sample = _blast_pass(run, frames_per_pair)
+        sample = _blast_pass(run, frames_per_pair, inline_safe)
         if best is None or sample["records_per_second"] > best["records_per_second"]:
             best = sample
     return best
@@ -160,18 +197,22 @@ def wire_blast(run, frames_per_pair: int, passes: int = 3) -> dict:
 VERIFY_FRAMES = 50
 
 
-def bench_configuration(segments: int, shards: int, frames_per_pair: int) -> dict:
-    run, compile_seconds, warm_seconds = build(segments, shards)
+def bench_configuration(
+    segments: int, shards: int, frames_per_pair: int, sync: str, workers: int = 0
+) -> dict:
+    run, compile_seconds, warm_seconds = build(segments, shards, sync, workers)
     for device in run.devices:
         for nic in device.interfaces.values():
             nic.set_up(False)
+    inline_safe = sync == "relaxed"
     # Verification exchange: runs before any trace clearing so the counters
     # snapshot covers compile, warm-up and a full blast round-trip.
-    _blast_pass(run, VERIFY_FRAMES)
+    _blast_pass(run, VERIFY_FRAMES, inline_safe)
     counters = dict(run.sim.trace.counters.by_category_source)
-    blast = wire_blast(run, frames_per_pair)
+    blast = wire_blast(run, frames_per_pair, inline_safe)
     result = {
         "shards": shards,
+        "sync": sync if shards > 1 else "single",
         "compile_seconds": round(compile_seconds, 3),
         "warmup_seconds": round(warm_seconds, 3),
         "blast": blast,
@@ -185,10 +226,15 @@ def bench_configuration(segments: int, shards: int, frames_per_pair: int) -> dic
             {k: v for k, v in stats.items() if k != "records"}
             for stats in run.network.sim.shard_stats()
         ]
+        if sync == "relaxed":
+            result["workers"] = workers
+            result["relaxed_stats"] = run.network.sim.relaxed_stats
     return result
 
 
-def measure_in_subprocess(segments: int, shards: int, frames: int) -> dict:
+def measure_in_subprocess(
+    segments: int, shards: int, frames: int, sync: str, workers: int = 0
+) -> dict:
     """Run one configuration in a fresh interpreter and return its JSON."""
     process = subprocess.run(
         [
@@ -197,6 +243,8 @@ def measure_in_subprocess(segments: int, shards: int, frames: int) -> dict:
             "--measure-one",
             f"--segments={segments}",
             f"--frames={frames}",
+            f"--sync={sync}",
+            f"--workers={workers}",
             "--shards",
             str(shards),
         ],
@@ -206,14 +254,89 @@ def measure_in_subprocess(segments: int, shards: int, frames: int) -> dict:
     )
     if process.returncode != 0:
         raise RuntimeError(
-            f"measurement subprocess (shards={shards}) failed:\n{process.stderr}"
+            f"measurement subprocess (segments={segments}, shards={shards}, "
+            f"sync={sync}) failed:\n{process.stderr}"
         )
     return json.loads(process.stdout)
 
 
+def run_sweep(segments: int, frames: int) -> dict:
+    """Measure every configuration at one ring size; verify and summarize."""
+    configs = {}
+    baseline_counters = None
+    for sync, shards in CONFIGS:
+        result = measure_in_subprocess(segments, shards, frames, sync)
+        counters = result.pop("counters")
+        if shards == 1:
+            baseline_counters = counters
+        else:
+            # The fabric's contract — strict runs are bit-identical, relaxed
+            # runs canonical-merge-equivalent — means the live counters over
+            # compile, warm-up and a blast round-trip must match the single
+            # engine exactly in every mode.
+            assert counters == baseline_counters, (
+                f"{sync} run (shards={shards}) diverged from the single engine"
+            )
+        key = config_key(sync, shards)
+        configs[key] = result
+        blast = result["blast"]
+        print(
+            f"{segments} LANs {key}: warm {result['warmup_seconds']:.2f}s, blast "
+            f"{blast['frames']} frames in {blast['seconds_cpu']:.3f} cpu-s = "
+            f"{blast['frames_per_second']:,} frames/s, "
+            f"{blast['records_per_second']:,} records/s"
+        )
+
+    threaded = measure_in_subprocess(
+        segments, THREADED_SHARDS, frames, "relaxed", workers=THREADED_SHARDS
+    )
+    threaded_counters = threaded.pop("counters")
+    assert threaded_counters == baseline_counters, (
+        "threaded relaxed run diverged from the single engine"
+    )
+    print(
+        f"{segments} LANs shards={THREADED_SHARDS}/relaxed+threads: "
+        f"{threaded['blast']['records_per_second']:,} records/s cpu-based "
+        f"({threaded['blast']['seconds_wall']:.3f}s wall)"
+    )
+
+    base_rate = configs["shards=1"]["blast"]["records_per_second"]
+    best_shards, best_speedup = 1, 1.0
+    for result in configs.values():
+        speedup = result["blast"]["records_per_second"] / base_rate
+        if speedup > best_speedup:
+            best_shards = result["shards"]
+            best_speedup = speedup
+
+    strict_key = config_key("strict", THREADED_SHARDS)
+    relaxed_key = config_key("relaxed", THREADED_SHARDS)
+    relaxed_speedup = (
+        configs[relaxed_key]["blast"]["records_per_second"]
+        / configs[strict_key]["blast"]["records_per_second"]
+    )
+    print(
+        f"{segments} LANs: relaxed is {relaxed_speedup:.2f}x strict records/s "
+        f"at shards={THREADED_SHARDS}; best vs single engine: "
+        f"shards={best_shards} at {best_speedup:.2f}x "
+        "(all engine modes verified counter-identical)\n"
+    )
+    return {
+        "segments": segments,
+        "frames_per_pair": frames,
+        "configs": configs,
+        "threaded": threaded,
+        "best_shards": best_shards,
+        "best_speedup": round(best_speedup, 2),
+        "relaxed_speedup": round(relaxed_speedup, 2),
+    }
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--segments", type=int, default=64, help="ring LAN count")
+    parser.add_argument(
+        "--segments", type=int, default=None,
+        help="ring LAN count (default: run the standard 64- and 256-LAN sweeps)",
+    )
     parser.add_argument(
         "--frames", type=int, default=600, help="blast frames per host pair"
     )
@@ -221,8 +344,16 @@ def main() -> None:
         "--shards",
         type=int,
         nargs="+",
-        default=[1, 2, 4, 8],
-        help="shard counts to measure (1 = the single-engine baseline)",
+        default=None,
+        help="shard count for --measure-one (sweep configurations are fixed)",
+    )
+    parser.add_argument(
+        "--sync", choices=("strict", "relaxed"), default="strict",
+        help="fabric synchronization mode for --measure-one",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=0,
+        help="relaxed worker threads for --measure-one (0 = sequential)",
     )
     parser.add_argument(
         "--measure-one",
@@ -230,11 +361,26 @@ def main() -> None:
         help="internal: measure the single given configuration and print JSON",
     )
     args = parser.parse_args()
-    if args.segments < 2 or args.frames <= 0:
-        parser.error("--segments must be >= 2 and --frames positive")
+    if args.frames <= 0:
+        parser.error("--frames must be positive")
+    if args.segments is not None and args.segments < 2:
+        parser.error("--segments must be >= 2")
+    if args.shards is not None and not args.measure_one:
+        parser.error(
+            "--shards only applies with --measure-one; the sweep "
+            "configurations are fixed (see CONFIGS)"
+        )
 
     if args.measure_one:
-        result = bench_configuration(args.segments, args.shards[0], args.frames)
+        if args.segments is None:
+            parser.error("--measure-one needs --segments")
+        result = bench_configuration(
+            args.segments,
+            args.shards[0] if args.shards else 4,
+            args.frames,
+            args.sync,
+            args.workers,
+        )
         # Counter keys are (category, source) tuples; make them JSON-safe.
         result["counters"] = {
             f"{category}|{source}": count
@@ -243,56 +389,14 @@ def main() -> None:
         json.dump(result, sys.stdout)
         return
 
-    # The single-engine baseline always runs, and runs first.
-    args.shards = sorted(set(args.shards) | {1})
-
-    configs = {}
-    baseline_counters = None
-    for shards in args.shards:
-        result = measure_in_subprocess(args.segments, shards, args.frames)
-        counters = result.pop("counters")
-        if shards == 1:
-            baseline_counters = counters
-        else:
-            # The fabric's contract: sharded runs are bit-identical.  The live
-            # counters cover every record of compile, warm-up and a blast
-            # round-trip; any divergence in event order or content shows up
-            # here.
-            assert counters == baseline_counters, (
-                f"sharded run (shards={shards}) diverged from the single engine"
-            )
-        configs[f"shards={shards}"] = result
-        blast = result["blast"]
-        print(
-            f"shards={shards}: warm {result['warmup_seconds']:.2f}s, blast "
-            f"{blast['frames']} frames in {blast['seconds_cpu']:.3f} cpu-s = "
-            f"{blast['frames_per_second']:,} frames/s, "
-            f"{blast['records_per_second']:,} records/s"
-        )
-
-    base_rate = configs["shards=1"]["blast"]["records_per_second"]
-    best_shards, best_speedup = 1, 1.0
-    for key, result in configs.items():
-        speedup = result["blast"]["records_per_second"] / base_rate
-        if speedup > best_speedup:
-            best_shards = result["shards"]
-            best_speedup = speedup
-    print(
-        f"\nbest: shards={best_shards} at {best_speedup:.2f}x records/s over "
-        "the single engine (sharded runs verified bit-identical)"
-    )
-
+    sweeps = SWEEPS if args.segments is None else ((args.segments, "sharded_fabric"),)
     entry = {
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
         "python": platform.python_version(),
-        "sharded_fabric": {
-            "segments": args.segments,
-            "frames_per_pair": args.frames,
-            "configs": configs,
-            "best_shards": best_shards,
-            "best_speedup": round(best_speedup, 2),
-        },
     }
+    for segments, key in sweeps:
+        entry[key] = run_sweep(segments, args.frames)
+
     history = []
     if RESULTS_PATH.exists():
         try:

@@ -51,6 +51,7 @@ class NetworkInterface:
         self.promiscuous = False
         self.up = True
         self._handler: Optional[FrameHandler] = None
+        self._inline_safe = False
         # Statistics
         self.frames_sent = 0
         self.frames_received = 0
@@ -86,9 +87,26 @@ class NetworkInterface:
         self.segment.detach(self)
         self.segment = None
 
-    def set_handler(self, handler: Optional[FrameHandler]) -> None:
-        """Install the owner's receive handler (called for every accepted frame)."""
+    def set_handler(
+        self, handler: Optional[FrameHandler], inline_safe: bool = False
+    ) -> None:
+        """Install the owner's receive handler (called for every accepted frame).
+
+        ``inline_safe=True`` declares the handler *reactive-only*: it runs
+        synchronously, touches only this NIC / its owner's local state, and
+        any frames it sends go back onto the same segment.  Under the
+        fabric's relaxed sync mode a segment whose up receivers are all
+        inline-safe (or handler-less) runs its causal chain on the express
+        lane (:meth:`Segment._express_pump`) instead of the event ring.
+        Handlers that schedule events, touch multi-segment stations (bridge
+        demultiplexers) or race with timer-driven senders on the same
+        segment must keep the default.
+        """
         self._handler = handler
+        self._inline_safe = bool(inline_safe) and handler is not None
+        segment = self.segment
+        if segment is not None:
+            segment._refresh_express()
 
     def set_promiscuous(self, enabled: bool) -> None:
         """Enable or disable promiscuous mode."""
@@ -98,9 +116,14 @@ class NetworkInterface:
         """Administratively enable/disable the interface.
 
         A downed interface neither sends nor receives; the spanning-tree
-        benchmarks use this to simulate link failures.
+        benchmarks use this to simulate link failures.  Toggling refreshes
+        the segment's express-lane eligibility (a downed receiver never runs
+        a handler, so it does not hold a segment off the express lane).
         """
         self.up = up
+        segment = self.segment
+        if segment is not None:
+            segment._refresh_express()
 
     # ------------------------------------------------------------------
     # Data path

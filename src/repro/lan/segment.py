@@ -20,6 +20,17 @@ would use.  The handoff latency is bounded below by
 lookahead.  On a homogeneous segment (every station on the segment's own
 engine — in particular, any unsharded run) the classic single-event delivery
 path is taken unchanged.
+
+**Relaxed mode.**  Under the fabric's relaxed sync (:mod:`repro.sim.relaxed`)
+a cut segment becomes a *mailbox channel*: transmits are deferred to the
+window barrier and replayed in canonical ``(time, shard, position)`` order
+(:meth:`Segment._apply_relaxed_transmit`), and delivery runs are staged in
+the sending shard's outbox instead of being pushed into other shards' rings
+mid-window — that is what makes cross-shard handoff thread-safe without a
+single lock on the frame path.  A shard-local segment whose up receivers are
+all inline-safe takes the *express lane* (:meth:`Segment._express_pump`):
+the whole service → delivery → reply chain runs inline at exact strict-engine
+timestamps, skipping the event ring entirely.
 """
 
 from __future__ import annotations
@@ -30,7 +41,9 @@ from typing import TYPE_CHECKING, Deque, List, Optional, Tuple
 
 from repro.ethernet.frame import EthernetFrame
 from repro.exceptions import TopologyError
+from repro.sim.clock import NANOSECONDS_PER_SECOND
 from repro.sim.engine import Simulator
+from repro.sim.relaxed import active_shard
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checking only
     from repro.lan.nic import NetworkInterface
@@ -89,6 +102,12 @@ class Segment:
         # on this segment's own engine (the common, unsharded case); else a
         # list of (engine, [interfaces]) runs in attach order.
         self._delivery_runs: Optional[List[tuple]] = None
+        # Express-lane eligibility (relaxed mode only): the whole causal
+        # service -> delivery -> reply chain of this segment may run inline
+        # when the segment is shard-local and every up receiver is inert or
+        # declared inline-safe.  Refreshed on attach/detach/set_up/
+        # set_handler; see _express_pump for the contract.
+        self._express = False
         # Statistics
         self.frames_carried = 0
         self.bytes_carried = 0
@@ -134,6 +153,7 @@ class Segment:
         home = self.sim
         if all(interface.home_sim is home for interface in self._interfaces):
             self._delivery_runs = None
+            self._refresh_express()
             return
         runs: List[tuple] = []
         current_sim = None
@@ -146,6 +166,33 @@ class Segment:
                 current_sim = engine
             current_run.append(interface)
         self._delivery_runs = runs
+        self._refresh_express()
+
+    def _refresh_express(self) -> None:
+        """Recompute express-lane eligibility (the relaxed-mode fast path).
+
+        A segment is *express-eligible* when its whole causal chain is
+        provably home-driven: every administratively-up interface either has
+        no handler (a pure counter/trace endpoint) or carries one its owner
+        declared inline-safe via :meth:`NetworkInterface.set_handler`, and
+        every interface homed on another shard is down.  Down interfaces
+        never run handlers or send, so they do not veto — a downed remote
+        bridge port cannot inject cross-shard traffic, and its drop counting
+        is routed through the outbox (thread-safely, on its own shard).
+        This is exactly what lets the wire-speed sweeps express-run every
+        segment of the ring once the bridge ports are down, cut segments
+        included.
+        """
+        home = self.sim
+        self._express = all(
+            (
+                (not interface.up)
+                or interface._handler is None
+                or interface._inline_safe
+            )
+            and (interface.home_sim is home or not interface.up)
+            for interface in self._interfaces
+        )
 
     # ------------------------------------------------------------------
     # Transmission
@@ -166,8 +213,46 @@ class Segment:
                 f"interface {sender.name} transmitted on {self.name} "
                 "without being attached"
             )
-        self._pending.append((sender, frame))
         trace = self._trace
+        if self._delivery_runs is not None:
+            # Cut segment: the enqueue record belongs to the *sending*
+            # shard's stream — the transmit is the sender's action at the
+            # sender's time.  (The emission moment is unchanged, so strict
+            # runs stay bit-identical; under relaxed sync it is what lets
+            # the record carry the exact send-time stamp even though the
+            # segment state update is deferred to the window barrier.)
+            sim = self.sim
+            if sim.relaxed and not self._express:
+                caller = active_shard()
+                if caller is not None:
+                    # Inside a relaxed window this segment's state must not
+                    # be touched (another shard's thread may own it, and
+                    # strict FIFO order across shards is only defined at the
+                    # barrier).  Defer the transmit — home-shard senders
+                    # included, so same-nanosecond transmits from different
+                    # shards are FIFO'd by the one canonical mailbox merge.
+                    # (Express-eligible cut segments are exempt: their only
+                    # live senders are home-shard stations, so the home
+                    # thread owns the state outright.)
+                    trace = caller.trace
+                    if trace.wants("segment.enqueue"):
+                        trace.emit(
+                            self.name,
+                            "segment.enqueue",
+                            lambda: {
+                                "sender": sender.name,
+                                "frame": frame.describe(),
+                            },
+                        )
+                    caller.outbox.append(
+                        ("tx", caller.clock._now_ns, self, sender, frame)
+                    )
+                    return
+            else:
+                active = sim.fabric._active
+                if active is not None:
+                    trace = active.trace
+        self._pending.append((sender, frame))
         if trace.wants("segment.enqueue"):
             trace.emit(
                 self.name,
@@ -177,13 +262,37 @@ class Segment:
         if not self._in_service:
             self._service_next()
 
+    def _apply_relaxed_transmit(
+        self, when_ns: int, sender: "NetworkInterface", frame: EthernetFrame
+    ) -> None:
+        """Replay a mailboxed transmit at its recorded time (window barrier).
+
+        Runs on the coordinator thread between windows: the home shard's
+        clock is set to the transmit time so the service arithmetic and
+        everything scheduled downstream carry exactly the timestamps the
+        strict engine produces.  (The enqueue record was already emitted at
+        send time, on the sending shard's stream.)
+        """
+        clock = self.sim.clock
+        clock._now_ns = when_ns
+        clock._now_s = when_ns / NANOSECONDS_PER_SECOND
+        self._pending.append((sender, frame))
+        if not self._in_service:
+            self._service_next()
+
     def _service_next(self) -> None:
         if not self._pending:
             self._in_service = False
             return
+        sim = self.sim
+        if self._express and sim.relaxed and active_shard() is not None:
+            # Relaxed express lane: run the segment's whole causal chain
+            # inline instead of round-tripping every step through the ring.
+            self._express_pump(sim.clock._now_ns)
+            return
         self._in_service = True
         sender, frame = self._pending.popleft()
-        now = self.sim.clock._now_s
+        now = sim.clock._now_s
         busy = self._busy_until
         start = now if now >= busy else busy
         finish = start + frame.wire_length * 8.0 / self.bandwidth_bps
@@ -206,15 +315,178 @@ class Segment:
             # receivers, scheduled consecutively (so their shared-counter
             # sequence numbers preserve attach order) on each receiving shard.
             self.cross_shard_frames += 1
-            first = True
-            for engine, run in runs:
-                engine.schedule_fire(
-                    deliver_at,
-                    partial(self._deliver_run, sender, frame, run, first),
-                    label=self._deliver_label,
-                )
-                first = False
+            if sim.relaxed:
+                # Relaxed: the segment.deliver record must be stamped by this
+                # segment's *home* clock at the delivery time, so it becomes
+                # its own home-shard event instead of piggybacking on the
+                # first run (whose shard sits at a different private time).
+                # Inside a window everything is staged in the caller's
+                # outbox; at a barrier (transmit replay) the rings are safe
+                # to push directly.
+                deliver_ns = round(deliver_at * NANOSECONDS_PER_SECOND)
+                caller = active_shard()
+                if caller is not None:
+                    # A cut segment's service always runs on its home shard,
+                    # so home-bound work (the deliver record and home runs)
+                    # can push straight onto the caller's own ring — keeping
+                    # its bucket position identical to the strict engine's —
+                    # while runs for other shards stage in the outbox.
+                    home_push = sim._queue.push_fire
+                    outbox = caller.outbox
+                    home_push(
+                        deliver_ns, partial(self._emit_deliver, sender, frame)
+                    )
+                    for engine, run in runs:
+                        deliver_run = partial(
+                            self._deliver_run, sender, frame, run, False
+                        )
+                        if engine is sim:
+                            home_push(deliver_ns, deliver_run)
+                        else:
+                            outbox.append(("push", deliver_ns, engine, deliver_run))
+                else:
+                    sim._relaxed_push_fire(
+                        deliver_ns, partial(self._emit_deliver, sender, frame)
+                    )
+                    for engine, run in runs:
+                        engine._relaxed_push_fire(
+                            deliver_ns,
+                            partial(self._deliver_run, sender, frame, run, False),
+                        )
+            else:
+                first = True
+                for engine, run in runs:
+                    engine.schedule_fire(
+                        deliver_at,
+                        partial(self._deliver_run, sender, frame, run, first),
+                        label=self._deliver_label,
+                    )
+                    first = False
         self._schedule(finish, self._service_next, label=self._next_label)
+
+    def _deliver_cut(self, sender: "NetworkInterface", frame: EthernetFrame) -> None:
+        """Deliver on an express-eligible cut segment at the current time.
+
+        Every remote interface is down (the express precondition), so home
+        receivers are delivered inline while the remote runs — pure drop
+        counting — execute on their own shards: staged via the outbox inside
+        a window, or scheduled directly from barrier/strict contexts (a
+        parked delivery can fire after a mode switch).
+        """
+        runs = self._delivery_runs
+        if runs is None:
+            # Retopologized since the frame was scheduled: all-home now.
+            self._deliver(sender, frame)
+            return
+        shard = self.sim
+        caller = active_shard() if shard.relaxed else None
+        when_ns = shard.clock._now_ns
+        self._emit_deliver(sender, frame)
+        for engine, run in runs:
+            if engine is shard:
+                for interface in run:
+                    if interface is sender or interface.segment is not self:
+                        continue
+                    interface.deliver(frame)
+            else:
+                deliver_run = partial(self._deliver_run, sender, frame, run, False)
+                if caller is not None:
+                    caller.outbox.append(("push", when_ns, engine, deliver_run))
+                else:
+                    engine.schedule_fire(
+                        shard.clock._now_s, deliver_run, label=self._deliver_label
+                    )
+
+    def _emit_deliver(self, sender: "NetworkInterface", frame: EthernetFrame) -> None:
+        """Emit the segment.deliver record (relaxed cut-segment delivery)."""
+        trace = self._trace
+        if trace.wants("segment.deliver"):
+            trace.emit(
+                self.name,
+                "segment.deliver",
+                lambda: {"sender": sender.name, "frame": frame.describe()},
+            )
+
+    def _express_pump(self, s_ns: int) -> None:
+        """Drain this segment's service loop inline (relaxed express lane).
+
+        Fuses every service -> delivery -> (inline-safe handler reply) step
+        of the causal chain into one loop, advancing the shard's private
+        clock to each step's exact strict-engine timestamp instead of paying
+        a queue round-trip per event.  This is only sound under the relaxed
+        canonical-merge contract: the emitted records interleave with other
+        segments' streams out of execution order, and the canonical
+        ``(time, shard, shard_seq)`` merge re-sorts them.
+
+        Arithmetic mirrors :meth:`_service_next` bit-for-bit: service times
+        are the quantized event times the strict engine would fire at, so
+        ``_busy_until`` chains, delivery timestamps and every record are
+        identical.  On leaving (queue drained or run horizon crossed) a real
+        service event is left behind at the next service time — exactly the
+        event the strict engine would have pending — so mid-run cutoffs,
+        later transmits and mode switches resume seamlessly.
+        """
+        self._in_service = True
+        shard = self.sim
+        clock = shard.clock
+        entry_ns = clock._now_ns
+        entry_s = clock._now_s
+        until_ns = shard._until_ns
+        queue = shard._queue
+        pending = self._pending
+        bandwidth = self.bandwidth_bps
+        prop = self.propagation_delay
+        runs = self._delivery_runs
+        deliver = self._deliver
+        # Frames already queued at pump entry were transmitted at or before
+        # s_ns; frames appended by the inline deliveries below arrive at
+        # their delivery instant, and — exactly as under the strict engine,
+        # where an idle medium starts serving at the transmit call — must
+        # not be served before they exist.
+        backlog = len(pending)
+        arrivals: Deque[int] = deque()
+        while pending and s_ns <= until_ns:
+            if backlog:
+                backlog -= 1
+            else:
+                arrival_ns = arrivals.popleft()
+                if arrival_ns > s_ns:
+                    s_ns = arrival_ns
+            sender, frame = pending.popleft()
+            now = s_ns / NANOSECONDS_PER_SECOND
+            busy = self._busy_until
+            start = now if now >= busy else busy
+            finish = start + frame.wire_length * 8.0 / bandwidth
+            self._busy_until = finish
+            deliver_at = finish + prop
+            self.frames_carried += 1
+            self.bytes_carried += frame.wire_length
+            if runs is not None:
+                self.cross_shard_frames += 1
+            deliver_ns = round(deliver_at * NANOSECONDS_PER_SECOND)
+            if deliver_ns > until_ns:
+                # Past the run horizon: park the delivery as a real event,
+                # as the strict engine would.  A cut segment's parked
+                # delivery keeps the per-shard run split (the plain path
+                # would touch remote NICs from this shard).
+                parked = deliver if runs is None else self._deliver_cut
+                queue.push_fire(deliver_ns, partial(parked, sender, frame))
+            else:
+                clock._now_ns = deliver_ns
+                clock._now_s = deliver_ns / NANOSECONDS_PER_SECOND
+                if deliver_ns > shard.cursor_ns:
+                    shard.cursor_ns = deliver_ns
+                before = len(pending)
+                if runs is None:
+                    deliver(sender, frame)
+                else:
+                    self._deliver_cut(sender, frame)
+                for _ in range(len(pending) - before):
+                    arrivals.append(deliver_ns)
+            s_ns = round(finish * NANOSECONDS_PER_SECOND)
+        queue.push_fire(s_ns, self._service_next)
+        clock._now_ns = entry_ns
+        clock._now_s = entry_s
 
     def _deliver(self, sender: "NetworkInterface", frame: EthernetFrame) -> None:
         trace = self._trace

@@ -88,7 +88,11 @@ class NetworkBuilder:
         cost_model: cost constants shared by hosts and stations created
             through this builder; ``None`` selects the calibrated defaults.
         subnet_prefix: first three octets of the IPv4 addresses handed to
-            hosts (the fourth octet is allocated sequentially from 1).
+            hosts.  The fourth octet is allocated sequentially from 1; when
+            it exhausts (beyond 254) allocation rolls into the next /24 by
+            incrementing the third octet, so multi-hundred-LAN topologies
+            (the 256-LAN sharded-fabric sweeps) get unique addresses without
+            any configuration.
         trace_sinks: optional trace sinks for the simulator (e.g. a bounded
             :class:`~repro.sim.trace.RingBufferSink` for very long runs);
             ``None`` keeps the default :class:`~repro.sim.trace.ListSink`.
@@ -127,9 +131,23 @@ class NetworkBuilder:
         return mac
 
     def allocate_ip(self) -> IPv4Address:
-        """Allocate the next host IPv4 address in the builder's subnet."""
+        """Allocate the next host IPv4 address.
+
+        Addresses fill the builder's subnet (``prefix.1`` .. ``prefix.254``)
+        and then roll into successive /24s by incrementing the prefix's last
+        octet, so the first 254 hosts keep their historical addresses and
+        larger topologies keep allocating instead of failing.
+        """
         if self._next_host_octet > 254:
-            raise TopologyError("subnet exhausted: more than 254 hosts requested")
+            head, _, third = self.subnet_prefix.rpartition(".")
+            bumped = int(third) + 1
+            if bumped > 254:
+                raise TopologyError(
+                    f"address space exhausted rolling past subnet "
+                    f"{self.subnet_prefix}"
+                )
+            self.subnet_prefix = f"{head}.{bumped}"
+            self._next_host_octet = 1
         address = IPv4Address.from_string(f"{self.subnet_prefix}.{self._next_host_octet}")
         self._next_host_octet += 1
         return address

@@ -8,6 +8,18 @@ bit-identical to its legacy builder equivalent.  The result is a
 :class:`ScenarioRun`: the assembled network plus typed accessors and the
 adapters (:meth:`ScenarioRun.as_pair`, :meth:`ScenarioRun.as_ring`) the
 measurement tools consume.
+
+**Partition contiguity invariant.**  :func:`plan_partition` chunks segments
+*contiguously in declaration order*, balancing chunks by attachment weight
+and force-advancing so no shard is ever left segment-less; hosts follow
+their segment and devices their first port's segment.  Contiguity is what
+keeps the cut small on chain/ring topologies (a bridge chain cuts exactly at
+chunk boundaries) and what makes the cut set — and with it the conservative
+lookahead, the minimum propagation delay over cut segments — a deterministic
+function of the spec alone.  Every cut segment must have a positive
+propagation delay: that delay *is* the fabric's lookahead, and both sync
+modes (the strict batch bound and the relaxed window length) depend on it
+being non-zero.
 """
 
 from __future__ import annotations
@@ -103,12 +115,17 @@ class PartitionPlan:
         lookahead_ns: the conservative-synchronization lookahead — the
             minimum propagation delay over the cut segments, in nanoseconds
             (``None`` when the shards are fully independent).
+        sync: the fabric synchronization mode the run was compiled with
+            (``"strict"`` or ``"relaxed"``).
+        workers: worker threads for relaxed windows (0 = sequential).
     """
 
     n_shards: int
     assignments: Dict[str, int]
     cut_segments: Tuple[str, ...] = ()
     lookahead_ns: Optional[int] = None
+    sync: str = "strict"
+    workers: int = 0
 
 
 def plan_partition(
@@ -132,8 +149,10 @@ def plan_partition(
     """
     if isinstance(partition, PartitionSpec):
         requested, explicit = partition.shards, dict(partition.assignments)
+        sync, workers = partition.sync, partition.workers
     else:
         requested, explicit = int(partition), {}
+        sync, workers = "strict", 0
     if requested < 1:
         raise ValueError("a partition needs at least one shard")
     shards = min(requested, len(spec.segments)) if spec.segments else 1
@@ -157,7 +176,12 @@ def plan_partition(
     if shards <= 1:
         names = [item.name for group in (spec.segments, spec.hosts, spec.devices)
                  for item in group]
-        return PartitionPlan(n_shards=1, assignments={name: 0 for name in names})
+        return PartitionPlan(
+            n_shards=1,
+            assignments={name: 0 for name in names},
+            sync=sync,
+            workers=workers,
+        )
 
     weights = {segment.name: 1 for segment in spec.segments}
     for host in spec.hosts:
@@ -171,18 +195,23 @@ def plan_partition(
     consumed = 0.0
     shard = 0
     remaining = len(spec.segments)
+    chunk_size = 0
     for segment in spec.segments:
-        # Advance to the next shard once this one has its fair share, but
-        # never leave later shards without segments.
-        if (
-            shard < shards - 1
-            and consumed >= total * (shard + 1) / shards
-            and remaining >= shards - shard - 1
-        ):
-            shard += 1
+        # Advance to the next shard once this one has its fair share — and
+        # *always* advance when exactly one segment per still-empty shard
+        # remains, so no shard is ever left without a segment (the clamp
+        # above guarantees there are enough segments to go around).
+        if shard < shards - 1 and chunk_size > 0:
+            if remaining <= shards - shard - 1 or (
+                consumed >= total * (shard + 1) / shards
+                and remaining > shards - shard - 1
+            ):
+                shard += 1
+                chunk_size = 0
         assignments[segment.name] = explicit.get(segment.name, shard)
         consumed += weights[segment.name]
         remaining -= 1
+        chunk_size += 1
     for host in spec.hosts:
         assignments[host.name] = explicit.get(host.name, assignments[host.segment])
     for device in spec.devices:
@@ -218,6 +247,8 @@ def plan_partition(
         assignments=assignments,
         cut_segments=tuple(cut),
         lookahead_ns=lookahead_ns,
+        sync=sync,
+        workers=workers,
     )
 
 
@@ -242,6 +273,11 @@ class ScenarioRun:
     def n_shards(self) -> int:
         """Shard engines this run executes on (1 = single engine)."""
         return getattr(self.network.sim, "n_shards", 1)
+
+    @property
+    def sync(self) -> str:
+        """The fabric synchronization mode (``"strict"`` for single engine)."""
+        return getattr(self.network.sim, "sync", "strict")
 
     # -- accessors ----------------------------------------------------------
 
@@ -395,6 +431,8 @@ def compile_spec(
     cost_model: Optional[CostModel] = None,
     trace_sinks=None,
     shards: Union[int, PartitionSpec] = 1,
+    sync: Optional[str] = None,
+    workers: Optional[int] = None,
 ) -> ScenarioRun:
     """Compile ``spec`` into a live :class:`ScenarioRun`.
 
@@ -406,11 +444,24 @@ def compile_spec(
     With ``shards`` > 1 (or an explicit :class:`PartitionSpec`) the same
     sequence is replayed onto a :class:`~repro.sim.fabric.ShardedSimulator`:
     the partitioner places every component on a shard engine and the
-    resulting run is bit-identical — same traces, same counters, same
-    timestamps — to the single-engine compile (see
-    :mod:`repro.sim.fabric` for the determinism argument).
+    resulting strict run is bit-identical — same traces, same counters, same
+    timestamps — to the single-engine compile (see :mod:`repro.sim.fabric`
+    for the determinism argument).  ``sync="relaxed"`` (directly or via
+    :attr:`PartitionSpec.sync`; the explicit argument wins) switches the
+    fabric to concurrent lookahead windows under the canonical-merge
+    contract, optionally on ``workers`` threads.  Construction always runs
+    strictly — the mode only affects dispatch.
     """
     plan = plan_partition(spec, shards)
+    if sync is not None:
+        if sync not in ShardedSimulator.SYNC_MODES:
+            raise ValueError(
+                f"unknown sync mode {sync!r}; expected one of "
+                f"{ShardedSimulator.SYNC_MODES}"
+            )
+        plan.sync = sync
+    if workers is not None:
+        plan.workers = workers
     if plan.n_shards > 1:
         engine = ShardedSimulator(
             seed=seed,
@@ -418,6 +469,8 @@ def compile_spec(
             trace_sinks=trace_sinks,
             placement=plan.assignments,
             lookahead_ns=plan.lookahead_ns,
+            sync=plan.sync,
+            workers=plan.workers,
         )
         builder = NetworkBuilder(seed=seed, cost_model=cost_model, engine=engine)
     else:

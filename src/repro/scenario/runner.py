@@ -25,6 +25,8 @@ def run_scenario(
     trace_sinks=None,
     params: Optional[Mapping[str, object]] = None,
     shards: Union[int, PartitionSpec] = 1,
+    sync: Optional[str] = None,
+    workers: Optional[int] = None,
 ) -> ScenarioRun:
     """Compile a scenario into a live network ready for measurement.
 
@@ -39,9 +41,17 @@ def run_scenario(
         params: factory parameters when ``scenario`` is a name (matrix-axis
             values such as ``{"n_bridges": 5}``).
         shards: shard the compiled network across this many cooperating
-            engines (or per an explicit :class:`PartitionSpec`).  Results are
-            bit-identical to the single-engine run; large topologies execute
-            faster on the fabric's batched per-shard event rings.
+            engines (or per an explicit :class:`PartitionSpec`).  Strict
+            results are bit-identical to the single-engine run; large
+            topologies execute faster on the fabric's batched per-shard
+            event rings.
+        sync: fabric synchronization mode — ``"strict"`` (default) or
+            ``"relaxed"`` (concurrent lookahead windows, canonical-merge
+            equivalent to strict; see :mod:`repro.sim.relaxed`).  Overrides
+            :attr:`PartitionSpec.sync` when both are given; ignored for
+            single-engine runs.
+        workers: worker threads for relaxed windows (``None`` keeps the
+            partition's setting; ``0`` = sequential).
 
     Returns:
         The compiled :class:`ScenarioRun`; the caller decides how far to run
@@ -55,7 +65,7 @@ def run_scenario(
         spec = scenario
     return compile_spec(
         spec, seed=seed, cost_model=cost_model, trace_sinks=trace_sinks,
-        shards=shards,
+        shards=shards, sync=sync, workers=workers,
     )
 
 
@@ -68,17 +78,19 @@ def run_matrix(
     trace_sinks=None,
     base_params: Optional[Mapping[str, object]] = None,
     shards: Union[int, PartitionSpec] = 1,
+    sync: Optional[str] = None,
+    workers: Optional[int] = None,
 ) -> Iterator[ScenarioRun]:
     """Compile and yield one :class:`ScenarioRun` per matrix point.
 
     Expansion order is deterministic (see
     :func:`~repro.scenario.registry.expand_matrix`); each run is compiled
     lazily, so a large sweep only holds one live network at a time.  The
-    ``shards`` knob applies to every point (the partitioner clamps it for
-    points with fewer segments).
+    ``shards`` and ``sync``/``workers`` knobs apply to every point (the
+    partitioner clamps the shard count for points with fewer segments).
     """
     for spec in expand_matrix(name, axes, base_params=base_params):
         yield compile_spec(
             spec, seed=seed, cost_model=cost_model, trace_sinks=trace_sinks,
-            shards=shards,
+            shards=shards, sync=sync, workers=workers,
         )

@@ -43,6 +43,13 @@ class Simulator:
             :class:`~repro.sim.trace.RingBufferSink` for very long runs).
     """
 
+    #: Whether this engine is executing under the fabric's relaxed sync mode.
+    #: Always ``False`` for the single engine; :class:`~repro.sim.shard.
+    #: EngineShard` toggles its instance attribute during relaxed dispatches.
+    #: Components (the LAN segment in particular) branch on this to pick
+    #: between the classic event path and the relaxed express/mailbox paths.
+    relaxed = False
+
     def __init__(
         self, seed: int = 0, trace_sinks: Optional[Iterable[TraceSink]] = None
     ) -> None:

@@ -19,13 +19,24 @@ derived from inter-shard :attr:`Segment.propagation_delay` (recorded as
 strictly in the shard's future, which is what makes batches non-trivial and
 the fabric deadlock-free.
 
-**Determinism guarantee.**  Shard queues share one event-sequence counter
-and the coordinator dispatches in the exact global ``(time_ns, sequence)``
-order, so a sharded run executes the very same callback sequence as the
-single :class:`~repro.sim.engine.Simulator` — every trace record, counter and
-component statistic is bit-identical.  Per-shard trace streams carry a shared
-emission sequence (:attr:`TraceRecord.seq`); :class:`FabricTrace` merges them
-back into single-engine emission order by that key, deterministically.
+**Determinism guarantee (strict mode).**  Shard queues share one
+event-sequence counter and the coordinator dispatches in the exact global
+``(time_ns, sequence)`` order, so a sharded run executes the very same
+callback sequence as the single :class:`~repro.sim.engine.Simulator` — every
+trace record, counter and component statistic is bit-identical.  Per-shard
+trace streams carry a shared emission sequence (:attr:`TraceRecord.seq`);
+:class:`FabricTrace` merges them back into single-engine emission order by
+that key, deterministically.
+
+**Relaxed mode (canonical-merge equivalence).**  With ``sync="relaxed"`` the
+fabric instead advances shards concurrently through conservative lookahead
+windows (see :mod:`repro.sim.relaxed` for the model and
+:meth:`FabricTrace.canonical_records` for the merge): the global emission
+order is given up, and correctness is redefined as *canonical-merge
+equivalence* — per-shard streams merged by the canonical ``(time, shard_id,
+source, shard_seq)`` key must be identical to the strict engine's, as must
+all counters and component statistics.  Strict stays the default; relaxed is
+the throughput mode for large fan-out topologies.
 """
 
 from __future__ import annotations
@@ -36,9 +47,10 @@ from typing import Callable, Dict, Iterable, Iterator, List, Mapping, Optional, 
 
 from repro.exceptions import SimulationError
 from repro.sim.clock import Clock, seconds_to_ns
-from repro.sim.events import Event
+from repro.sim.events import Event, validate_schedule_time
 from repro.sim.random_source import RandomSource
-from repro.sim.shard import EngineShard, ShardTraceRecorder
+from repro.sim.relaxed import RelaxedExecutor, SYNC_MODES, active_shard
+from repro.sim.shard import EngineShard, ShardQueue, ShardTraceRecorder
 from repro.sim.trace import (
     CountingSink,
     TraceRecord,
@@ -72,6 +84,9 @@ class FabricTrace:
         self._shared_sinks = shared_sinks
         self._enabled = True
         self._disabled_categories: set = set()
+        # Canonical-merge view: set by the fabric when it runs relaxed, where
+        # the global emission seq is no longer an execution order.
+        self._canonical = False
         for recorder in recorders:
             recorder._sync_all = self.sync_counters
 
@@ -161,13 +176,18 @@ class FabricTrace:
     # ------------------------------------------------------------------
 
     def merged_records(self) -> List[TraceRecord]:
-        """Every retained record, merged into emission order by ``seq``.
+        """Every retained record, in the fabric's defined merge order.
 
-        Per-shard streams are already seq-ascending, so this is a k-way merge;
-        the result is bit-identical to the single engine's record list.  When
-        shared sinks are installed (e.g. one bounded ring buffer for all
+        Under strict sync the merge key is the shared emission ``seq``:
+        per-shard streams are already seq-ascending, so this is a k-way merge
+        and the result is bit-identical to the single engine's record list.
+        When shared sinks are installed (e.g. one bounded ring buffer for all
         shards) the first queryable sink already holds the merged stream.
+        Under relaxed sync the defined order is the canonical merge
+        (:meth:`canonical_records`).
         """
+        if self._canonical:
+            return self.canonical_records()
         for sink in self._shared_sinks:
             if hasattr(sink, "filter"):
                 return list(sink)  # type: ignore[arg-type]
@@ -176,6 +196,34 @@ class FabricTrace:
         if len(live) == 1:
             return list(live[0])
         return list(heapq.merge(*live, key=lambda record: record.seq))
+
+    def canonical_records(self) -> List[TraceRecord]:
+        """Every retained record, merged into the canonical order.
+
+        The canonical merge key is ``(time, shard_id, source, shard_seq)``,
+        where ``shard_seq`` is the record's position in its shard's stream —
+        stable under both the strict shared counter and relaxed out-of-order
+        windows.  Within one source the stream order is causal and fully
+        preserved; *across* sources the key only orders records that differ
+        in time or shard, because two same-instant records of independent
+        sources carry no causal order (their state effects commute — which
+        is precisely the freedom relaxed windows exploit), so the tie falls
+        back to the source name rather than to an execution accident.
+
+        This order is the relaxed mode's correctness contract: it is
+        computable from any fabric run (strict or relaxed), and a relaxed
+        run's canonical records are identical to the strict engine's —
+        proven catalog-wide by the test suite.
+        """
+        decorated = []
+        for recorder in self._recorders:
+            index = recorder.shard_index
+            decorated.extend(
+                (record.time, index, record.source, position, record)
+                for position, record in enumerate(recorder.records_list())
+            )
+        decorated.sort(key=lambda item: item[:4])
+        return [item[4] for item in decorated]
 
     def __len__(self) -> int:
         """Total records captured (live, O(pairs))."""
@@ -227,9 +275,19 @@ class ShardedSimulator:
             Unknown names fall back to shard 0.
         lookahead_ns: minimum cross-shard handoff latency (derived from
             inter-shard segment propagation delays by the partitioner);
-            recorded for introspection and validated positive by the
-            partitioner.
+            recorded for introspection, validated positive by the
+            partitioner, and the conservative window length in relaxed mode.
+        sync: ``"strict"`` (default) dispatches in the exact global
+            ``(time_ns, sequence)`` order — bit-identical to the single
+            engine; ``"relaxed"`` advances shards concurrently through
+            lookahead windows under the canonical-merge contract (see
+            :mod:`repro.sim.relaxed`).
+        workers: worker threads for relaxed windows (``0`` = run windows
+            inline on the calling thread — the benchmarked pick on GIL
+            builds).  Ignored under strict sync.
     """
+
+    SYNC_MODES = SYNC_MODES
 
     def __init__(
         self,
@@ -238,6 +296,8 @@ class ShardedSimulator:
         trace_sinks: Optional[Iterable[TraceSink]] = None,
         placement: Optional[Mapping[str, int]] = None,
         lookahead_ns: Optional[int] = None,
+        sync: str = "strict",
+        workers: int = 0,
     ) -> None:
         if shards < 1:
             raise SimulationError("a sharded simulator needs at least one shard")
@@ -265,6 +325,17 @@ class ShardedSimulator:
         self._tops: List[Optional[tuple]] = [None] * shards
         self._running = False
         self._auto_station_ids: Dict[int, int] = {}
+        self._sync = "strict"
+        # The control ring: under relaxed sync, facade-scheduled work
+        # (measurement drivers, experiment scripts) runs here at window
+        # barriers with every shard clock synchronized — such callbacks may
+        # touch components on any shard, which mid-window shard rings must
+        # never do.  Under strict sync the facade schedules on shard 0.
+        self._control = ShardQueue(self._event_counter)
+        self._control_dispatched = 0
+        self._relaxed = RelaxedExecutor(self, workers=workers)
+        if sync != "strict":
+            self.set_sync(sync, workers=workers)
 
     def auto_station_id(self, base: int) -> int:
         """Allocate the next automatic station id in the ``base`` namespace.
@@ -276,6 +347,102 @@ class ShardedSimulator:
         next_id = self._auto_station_ids.get(base, base)
         self._auto_station_ids[base] = next_id + 1
         return next_id
+
+    # ------------------------------------------------------------------
+    # Synchronization mode
+    # ------------------------------------------------------------------
+
+    @property
+    def sync(self) -> str:
+        """The active synchronization mode: ``"strict"`` or ``"relaxed"``."""
+        return self._sync
+
+    @property
+    def relaxed(self) -> bool:
+        """Whether relaxed sync is active (Simulator-compatible attribute).
+
+        Components built directly against the facade (segments included)
+        consult this exactly like :attr:`Simulator.relaxed`; their callbacks
+        run at control barriers, where the classic paths are safe.
+        """
+        return self._sync == "relaxed"
+
+    @property
+    def relaxed_workers(self) -> int:
+        """Worker threads used for relaxed windows (0 = sequential)."""
+        return self._relaxed.workers
+
+    def set_sync(self, sync: str, workers: Optional[int] = None) -> None:
+        """Switch the execution mode between runs.
+
+        Modes may be switched freely while the fabric is idle — a common
+        pattern is a strict warm-up followed by a relaxed measurement phase.
+        Relaxed mode requires the default per-shard record buffers (caller
+        sinks observe records in execution order, which relaxed mode does not
+        define), so it refuses fabrics built with ``trace_sinks``.
+
+        Pending facade work across a switch: relaxed -> strict migrates the
+        control ring onto shard 0 (order-preserving).  The reverse cannot be
+        migrated — facade events scheduled under strict sync are
+        indistinguishable from component events on shard 0's ring — so such
+        events still fire inside shard 0's windows after a switch.  Schedule
+        driver callbacks *after* switching to relaxed (the usual phase
+        pattern drains between phases anyway); a leftover strict-scheduled
+        driver callback that touches other shards' components would read
+        their mid-window private clocks.
+        """
+        if sync not in self.SYNC_MODES:
+            raise SimulationError(
+                f"unknown sync mode {sync!r}; expected one of {self.SYNC_MODES}"
+            )
+        if self._running:
+            raise SimulationError("cannot switch sync modes during a run")
+        if sync == "relaxed" and self.trace._shared_sinks:
+            raise SimulationError(
+                "relaxed sync requires the default per-shard trace buffers; "
+                "this fabric was built with shared trace_sinks"
+            )
+        if sync == "strict" and self._sync == "relaxed" and self._control:
+            self._migrate_control_to_shard0()
+        self._sync = sync
+        self.trace._canonical = sync == "relaxed"
+        if workers is not None:
+            self._relaxed.set_workers(workers)
+
+    def _migrate_control_to_shard0(self) -> None:
+        """Move pending control-ring events onto shard 0 (relaxed -> strict).
+
+        Entries keep their original shared-counter sequence numbers, so the
+        merged buckets are re-sorted to restore the append-order-equals-seq
+        invariant the strict dispatcher relies on.
+        """
+        control = self._control
+        target = self._shards[0]._queue
+        for time_ns, bucket in control._buckets.items():
+            destination = target._buckets.get(time_ns)
+            if destination is None:
+                target._buckets[time_ns] = list(bucket)
+                heapq.heappush(target._times, time_ns)
+            else:
+                destination.extend(bucket)
+                destination.sort(key=lambda entry: entry[0])
+            for entry in bucket:
+                if entry[2] is not None:
+                    entry[2]._queue = target
+        target._live += control._live
+        target._dead += control._dead
+        control._buckets.clear()
+        control._times.clear()
+        control._live = 0
+        control._dead = 0
+
+    @property
+    def relaxed_stats(self) -> dict:
+        """Window/mailbox counters from the last relaxed dispatch."""
+        return {
+            "windows": self._relaxed.windows,
+            "mail_flushed": self._relaxed.mail_flushed,
+        }
 
     # ------------------------------------------------------------------
     # Shards and placement
@@ -328,56 +495,115 @@ class ShardedSimulator:
 
     @property
     def now(self) -> float:
-        """Current simulated time in seconds."""
+        """Current simulated time in seconds.
+
+        Relaxed sync has no single global present mid-run: each shard sits
+        at its own point inside the lookahead window.  The facade answers
+        with *the asking context's* time — the executing shard's private
+        clock when called from inside a window (e.g. a measurement callback
+        fired by a component), the shared clock otherwise (drivers between
+        runs, control barriers).  Under strict sync the shared clock is the
+        global present and is always used.
+        """
+        if self._sync == "relaxed":
+            shard = active_shard()
+            if shard is not None:
+                return shard.clock._now_s
         return self.clock._now_s
 
     @property
     def now_ns(self) -> int:
-        """Current simulated time in nanoseconds."""
+        """Current simulated time in nanoseconds (see :attr:`now`)."""
+        if self._sync == "relaxed":
+            shard = active_shard()
+            if shard is not None:
+                return shard.clock._now_ns
         return self.clock._now_ns
 
     @property
     def events_dispatched(self) -> int:
-        """Total events dispatched across all shards."""
-        return sum(shard._dispatched for shard in self._shards)
+        """Total events dispatched across all shards and the control ring."""
+        return (
+            sum(shard._dispatched for shard in self._shards)
+            + self._control_dispatched
+        )
 
     @property
     def pending_events(self) -> int:
-        """Live events waiting across all shards."""
-        return sum(len(shard._queue) for shard in self._shards)
+        """Live events waiting across all shards and the control ring."""
+        return sum(len(shard._queue) for shard in self._shards) + len(
+            self._control
+        )
 
     @property
     def cancelled_events_discarded(self) -> int:
-        """Cancelled events physically dropped across all shard rings."""
-        return sum(shard._queue.cancelled_discarded for shard in self._shards)
+        """Cancelled events physically dropped across all event rings."""
+        return (
+            sum(shard._queue.cancelled_discarded for shard in self._shards)
+            + self._control.cancelled_discarded
+        )
 
     # ------------------------------------------------------------------
-    # Scheduling (facade: lands on the control shard)
+    # Scheduling (facade)
+    #
+    # Strict sync: facade work lands on shard 0 and participates in the
+    # exact global order.  Relaxed sync: facade work lands on the control
+    # ring and runs at window barriers with every shard clock synchronized,
+    # because a driver callback may synchronously touch components on any
+    # shard — which a mid-window shard event must never do.
     # ------------------------------------------------------------------
 
     def schedule(self, delay_seconds, callback, label: str = "") -> Event:
-        """Schedule ``callback`` after ``delay_seconds`` (control shard)."""
+        """Schedule ``callback`` after ``delay_seconds`` (facade)."""
+        if self._sync == "relaxed":
+            return self._control.push(
+                self.clock.now_ns + seconds_to_ns(delay_seconds), callback, label
+            )
         return self._shards[0].schedule(delay_seconds, callback, label)
 
     def schedule_at(self, when_seconds, callback, label: str = "") -> Event:
-        """Schedule ``callback`` at an absolute time (control shard)."""
+        """Schedule ``callback`` at an absolute time (facade)."""
+        if self._sync == "relaxed":
+            when_ns = seconds_to_ns(when_seconds)
+            if when_ns < self.clock.now_ns:
+                validate_schedule_time(self.clock.now_ns, when_ns)
+            return self._control.push(when_ns, callback, label)
         return self._shards[0].schedule_at(when_seconds, callback, label)
 
     def schedule_at_ns(self, when_ns, callback, label: str = "") -> Event:
-        """Schedule ``callback`` at ``when_ns`` (control shard)."""
+        """Schedule ``callback`` at ``when_ns`` (facade)."""
+        if self._sync == "relaxed":
+            if when_ns < self.clock.now_ns:
+                validate_schedule_time(self.clock.now_ns, when_ns)
+            return self._control.push(when_ns, callback, label)
         return self._shards[0].schedule_at_ns(when_ns, callback, label)
 
     def call_soon(self, callback, label: str = "") -> Event:
-        """Schedule ``callback`` at the current time (control shard)."""
+        """Schedule ``callback`` at the current time (facade)."""
+        if self._sync == "relaxed":
+            return self._control.push(self.clock.now_ns, callback, label)
         return self._shards[0].call_soon(callback, label)
 
     def schedule_fire(self, when_seconds, callback, label: str = "") -> None:
-        """Fire-and-forget scheduling at an absolute time (control shard).
+        """Fire-and-forget scheduling at an absolute time (facade).
 
         Components constructed directly against the facade (e.g. a monitoring
-        NIC built with ``run.sim``) resolve here; their work runs on shard 0.
+        NIC built with ``run.sim``) resolve here.
         """
+        if self._sync == "relaxed":
+            self._control.push_fire(seconds_to_ns(when_seconds), callback)
+            return
         self._shards[0].schedule_fire(when_seconds, callback, label)
+
+    def _relaxed_push_fire(self, when_ns: int, callback) -> None:
+        """Barrier-context push targeting the facade: the control ring.
+
+        A facade-homed component (a monitoring NIC built against ``run.sim``)
+        receiving cut-segment deliveries under relaxed sync gets its work at
+        a control barrier, where every shard clock is synchronized — the
+        facade has no ring of its own.
+        """
+        self._control.push_fire(when_ns, callback)
 
     # ------------------------------------------------------------------
     # Cross-shard bookkeeping
@@ -404,7 +630,14 @@ class ShardedSimulator:
     # ------------------------------------------------------------------
 
     def _dispatch(self, until_ns: int, max_events: Optional[int] = None) -> int:
-        """Dispatch events in global (time, sequence) order up to ``until_ns``."""
+        """Dispatch events up to ``until_ns`` under the active sync mode.
+
+        Strict mode runs the exact global ``(time, sequence)`` order below;
+        relaxed mode hands the run to the :class:`RelaxedExecutor`'s
+        conservative window loop.
+        """
+        if self._sync == "relaxed":
+            return self._relaxed.dispatch(until_ns, max_events)
         shards = self._shards
         tops = self._tops
         for shard in shards:
@@ -502,6 +735,10 @@ class ShardedSimulator:
             shard._dispatched = 0
             shard.cursor_ns = 0
             shard.cross_pushes = 0
+            shard.outbox.clear()
+            shard._own_clock.reset()
+        self._control.clear()
+        self._control_dispatched = 0
         self._tops = [None] * len(self._shards)
         self.clock.reset()
         self.trace.clear()

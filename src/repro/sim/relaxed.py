@@ -1,0 +1,304 @@
+"""Relaxed execution of the sharded fabric: canonical-merge mode.
+
+The strict :class:`~repro.sim.fabric.ShardedSimulator` dispatches in the
+exact global ``(time_ns, sequence)`` order, which makes sharded runs
+bit-identical to the single engine — at the price of a coordinator pass and a
+batch-limit comparison on every event.  *Relaxed* mode trades that total
+order for throughput while keeping a provable correctness contract:
+
+**Execution model (conservative windows).**  Let ``T`` be the globally
+earliest pending event time and ``L`` the fabric lookahead (the minimum
+propagation delay over cut segments, computed by the partitioner).  Every
+event in the window ``[T, T + L)`` can be dispatched without inter-shard
+coordination: a cross-shard effect of an event at time ``t`` materializes no
+earlier than ``t + L`` — the classic Chandy–Misra–Bryant clock-plus-lookahead
+bound.  The executor repeatedly computes the window, lets every shard drain
+its own ring up to the window end (sequentially, or on one worker thread per
+shard), and then flushes the cross-shard *mailboxes* at the barrier.  When
+the shards share no cut segment (``lookahead_ns is None``) the window is the
+whole run horizon and every shard free-runs.
+
+**Mailboxes.**  During a window a shard never touches another shard's state.
+Cross-shard interactions — a station transmitting on a cut segment homed
+elsewhere, and a cut segment scheduling its per-shard delivery runs — are
+appended to the *sending* shard's outbox (single-writer, so no locks).  At
+the window barrier the coordinator merges all outboxes in the canonical
+``(time_ns, sender_shard, position)`` order and applies them: transmits
+replay through the segment at their recorded times, event pushes land on the
+target rings.  Thread interleaving therefore cannot influence any simulation
+state: relaxed runs are deterministic with and without worker threads.
+
+**Correctness contract (canonical-merge equivalence).**  Relaxed mode does
+not preserve the global emission order of trace records.  Instead, per-shard
+trace streams are merged by the canonical key ``(time, shard_id, source,
+shard_seq)`` — see :meth:`~repro.sim.fabric.FabricTrace.canonical_records`
+for why same-instant ties of independent sources fall back to the source
+name — and the contract is that the canonically merged records, all live
+counters and every component statistic are identical to the strict
+engine's.  The test suite proves this catalog-wide at ``shards=1,2,4``.
+
+**Worker threads.**  ``workers > 0`` dispatches each window's shards on a
+persistent thread pool.  On a free-threaded CPython build this parallelizes
+the windows across cores; on a GIL build threads only add synchronization
+overhead, so the benchmarked pick (see ``bench_sharded_fabric.py``) is the
+sequential executor, whose win comes from the lean per-shard window loop and
+the segment express lanes (:meth:`~repro.lan.segment.Segment._express_pump`).
+Either way the mailbox discipline keeps results identical.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import List, Optional
+
+from repro.exceptions import SimulationError
+from repro.sim.clock import NANOSECONDS_PER_SECOND
+
+#: The fabric's synchronization modes — the single source of truth consumed
+#: by :class:`~repro.sim.fabric.ShardedSimulator` and the scenario layer's
+#: :class:`~repro.scenario.spec.PartitionSpec`.
+SYNC_MODES = ("strict", "relaxed")
+
+#: Thread-local "which shard is executing on this thread" marker.  Set by
+#: :meth:`EngineShard._run_window` for the duration of a relaxed window; the
+#: segment layer reads it to route cross-shard interactions into the correct
+#: outbox (and to recognize the window context at all — outside a relaxed
+#: window the classic direct paths are single-threaded and safe).
+_ACTIVE = threading.local()
+
+
+def active_shard():
+    """The shard whose relaxed window is executing on this thread, if any."""
+    return getattr(_ACTIVE, "shard", None)
+
+
+def _set_active_shard(shard) -> None:
+    _ACTIVE.shard = shard
+
+
+class RelaxedExecutor:
+    """Drives a :class:`ShardedSimulator`'s shards through relaxed windows.
+
+    Args:
+        fabric: the owning :class:`~repro.sim.fabric.ShardedSimulator`.
+        workers: worker threads for window execution; ``0`` (the default)
+            runs every window inline on the calling thread.
+    """
+
+    def __init__(self, fabric, workers: int = 0) -> None:
+        if workers < 0:
+            raise SimulationError("relaxed workers cannot be negative")
+        self.fabric = fabric
+        self.workers = workers
+        self._pool: Optional[ThreadPoolExecutor] = None
+        #: Windows executed by the last dispatch (diagnostics/benchmarks).
+        self.windows = 0
+        #: Mailbox entries flushed by the last dispatch.
+        self.mail_flushed = 0
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+
+    def dispatch(self, until_ns: int, max_events: Optional[int] = None) -> int:
+        """Run every pending event with ``time_ns <= until_ns`` (relaxed).
+
+        With ``max_events`` the executor degrades to sequential windows so
+        the budget is consumed in canonical shard order; budgeted stepping is
+        a debugging affordance, not the hot path.
+        """
+        fabric = self.fabric
+        shards = fabric._shards
+        lookahead = fabric.lookahead_ns
+        shared_clock = fabric.clock
+        self._ensure_pool()
+        for shard in shards:
+            shard._enter_relaxed(shared_clock, until_ns)
+        self.windows = 0
+        self.mail_flushed = 0
+        control = fabric._control
+        dispatched = 0
+        try:
+            while True:
+                t_min = None
+                for shard in shards:
+                    key = shard._queue.top_key()
+                    if key is not None and (t_min is None or key[0] < t_min):
+                        t_min = key[0]
+                control_key = control.top_key()
+                control_t = None if control_key is None else control_key[0]
+                budget = None if max_events is None else max_events - dispatched
+                if budget is not None and budget <= 0:
+                    break
+                if control_t is not None and control_t <= until_ns and (
+                    t_min is None or control_t <= t_min
+                ):
+                    # No shard event strictly before the next control event:
+                    # run the control barrier.  Every shard clock is set to
+                    # the control time first, because driver callbacks may
+                    # synchronously touch components on any shard.
+                    dispatched += self._run_control(control_t, budget)
+                    self._flush_mail(shards)
+                    continue
+                if t_min is None or t_min > until_ns:
+                    break
+                if lookahead is None:
+                    window_end = until_ns
+                else:
+                    window_end = t_min + lookahead - 1
+                    if window_end > until_ns:
+                        window_end = until_ns
+                if control_t is not None and window_end >= control_t:
+                    # Stop the window just short of pending control work.
+                    window_end = control_t - 1
+                # Express pumps may legally run past the window end (their
+                # chains are segment-local) but never past the run horizon
+                # or a pending control event, whose callback may observe or
+                # mutate anything.
+                pump_bound = until_ns
+                if control_t is not None and control_t - 1 < pump_bound:
+                    pump_bound = control_t - 1
+                for shard in shards:
+                    shard._until_ns = pump_bound
+                self.windows += 1
+                if self._pool is not None and budget is None:
+                    dispatched += self._run_window_threaded(shards, window_end)
+                else:
+                    for shard in shards:
+                        remaining = (
+                            None if budget is None else budget - dispatched
+                        )
+                        if remaining is not None and remaining <= 0:
+                            break
+                        dispatched += shard._run_window(window_end, remaining)
+                self._flush_mail(shards)
+                if max_events is not None and dispatched >= max_events:
+                    break
+        finally:
+            top_ns = shared_clock._now_ns
+            for shard in shards:
+                if shard.cursor_ns > top_ns:
+                    top_ns = shard.cursor_ns
+                shard._exit_relaxed(shared_clock)
+            if top_ns > shared_clock._now_ns:
+                shared_clock._now_ns = top_ns
+                shared_clock._now_s = top_ns / NANOSECONDS_PER_SECOND
+        return dispatched
+
+    def _run_control(self, time_ns: int, budget: Optional[int]) -> int:
+        """Run every control-ring event at ``time_ns`` (a global barrier).
+
+        All shard clocks (and the shared clock) are synchronized to the
+        control time so a driver callback sees a globally consistent present
+        no matter which shard's components it drives — exactly the view the
+        strict engine would give it.
+        """
+        fabric = self.fabric
+        control = fabric._control
+        seconds = time_ns / NANOSECONDS_PER_SECOND
+        for shard in fabric._shards:
+            clock = shard.clock
+            clock._now_ns = time_ns
+            clock._now_s = seconds
+            if time_ns > shard.cursor_ns:
+                shard.cursor_ns = time_ns
+        shared = fabric.clock
+        shared._now_ns = time_ns
+        shared._now_s = seconds
+        n = 0
+        while True:
+            if budget is not None and n >= budget:
+                break
+            key = control.top_key()
+            if key is None or key[0] != time_ns:
+                break
+            entry = control.pop()
+            entry[1]()
+            n += 1
+        fabric._control_dispatched += n
+        return n
+
+    def _run_window_threaded(self, shards, window_end: int) -> int:
+        pool = self._pool
+        futures = [
+            pool.submit(shard._run_window, window_end)
+            for shard in shards
+            if shard._queue.top_key() is not None
+        ]
+        return sum(future.result() for future in futures)
+
+    # ------------------------------------------------------------------
+    # Barrier: canonical mailbox flush
+    # ------------------------------------------------------------------
+
+    def _flush_mail(self, shards) -> int:
+        """Apply every outbox entry in ``(time, sender shard, position)`` order.
+
+        Entry shapes (appended by the segment layer during windows):
+
+        * ``("push", when_ns, target_shard, callback)`` — schedule a
+          fire-and-forget event on another shard's ring (cut-segment
+          delivery runs);
+        * ``("tx", when_ns, segment, sender_nic, frame)`` — a transmit on a
+          cut segment, replayed through
+          :meth:`Segment._apply_relaxed_transmit` at its recorded time.
+
+        The sort key makes the merge independent of thread scheduling, which
+        is what keeps threaded relaxed runs deterministic.
+        """
+        entries = []
+        for shard in shards:
+            outbox = shard.outbox
+            if outbox:
+                index = shard.index
+                entries.extend(
+                    (entry[1], index, position, entry)
+                    for position, entry in enumerate(outbox)
+                )
+                outbox.clear()
+        if not entries:
+            return 0
+        entries.sort(key=lambda item: (item[0], item[1], item[2]))
+        for when_ns, _, _, entry in entries:
+            kind = entry[0]
+            if kind == "push":
+                # The target may be an EngineShard ring or the fabric facade
+                # itself (a facade-homed monitoring NIC on a cut segment);
+                # _relaxed_push_fire resolves to the right ring.
+                entry[2]._relaxed_push_fire(when_ns, entry[3])
+            else:
+                entry[2]._apply_relaxed_transmit(when_ns, entry[3], entry[4])
+        self.mail_flushed += len(entries)
+        return len(entries)
+
+    # ------------------------------------------------------------------
+    # Worker pool lifecycle
+    # ------------------------------------------------------------------
+
+    def set_workers(self, workers: int) -> None:
+        """Resize the worker pool (``0`` returns to sequential windows)."""
+        if workers < 0:
+            raise SimulationError("relaxed workers cannot be negative")
+        if workers == self.workers and (workers == 0) == (self._pool is None):
+            return
+        self.close()
+        self.workers = workers
+
+    def _ensure_pool(self) -> None:
+        if self.workers > 0 and self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.workers, thread_name_prefix="relaxed-shard"
+            )
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter teardown
+        try:
+            self.close()
+        except Exception:
+            pass

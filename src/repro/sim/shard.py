@@ -10,7 +10,7 @@
 CPU queues, timers — runs on a shard unchanged.
 
 Three shared pieces of state make the fabric *bit-deterministic* relative to
-the single engine:
+the single engine when it runs in strict mode:
 
 * one **event-sequence counter** shared by every shard queue, so
   ``(time_ns, sequence)`` stays a global total order exactly as in the single
@@ -23,6 +23,16 @@ the single engine:
   (:attr:`~repro.sim.trace.TraceRecord.seq`), which is the deterministic
   merge key that interleaves per-shard trace streams back into the exact
   single-engine emission order.
+
+**Emission-seq ordering invariant.**  Because the emission counter is shared
+and monotone, every *per-shard* stream is seq-ascending in both execution
+modes.  Strict mode additionally makes the seq a global emission order (the
+``FabricTrace`` merge key).  Relaxed mode (:mod:`repro.sim.relaxed`) gives
+that up — shards execute windows out of global order, so only the per-shard
+monotonicity survives — and the canonical merge key becomes ``(time,
+shard_id, position-in-stream)``; :meth:`EngineShard._run_window` is the
+relaxed drain loop, which swaps in a **private per-shard clock** so shards
+can sit at different simulated times inside one lookahead window.
 
 The queue is a *bucketed event ring* rather than one binary heap: events at
 the same nanosecond live in one FIFO bucket (append order equals sequence
@@ -41,6 +51,7 @@ from typing import Callable, Iterator, List, Optional
 from repro.sim.clock import Clock, NANOSECONDS_PER_SECOND, seconds_to_ns
 from repro.sim.events import Event, validate_schedule_time
 from repro.sim.random_source import RandomSource
+from repro.sim.relaxed import _set_active_shard
 from repro.sim.trace import (
     CountingSink,
     DetailSource,
@@ -373,6 +384,15 @@ class EngineShard:
         self._dispatched = 0
         self.cursor_ns = 0
         self.cross_pushes = 0
+        # Relaxed-mode state: the shard's private clock (swapped in for the
+        # duration of a relaxed dispatch so shards can sit at different
+        # simulated times), its cross-shard outbox (single-writer mailbox,
+        # flushed at window barriers), the active run's horizon (read by the
+        # segment express lane) and the mode flag components test.
+        self._own_clock = Clock()
+        self.outbox: list = []
+        self._until_ns = 0
+        self.relaxed = False
         # Hot-path aliases into the queue (its containers are mutated in
         # place, never reassigned, so the aliases stay valid across clear()).
         self._q_buckets = self._queue._buckets
@@ -589,6 +609,91 @@ class EngineShard:
                     bucket.clear()
                 else:
                     del bucket[:index]
+        self._dispatched += n
+        return n
+
+    # ------------------------------------------------------------------
+    # Relaxed (canonical-merge) execution — see repro.sim.relaxed
+    # ------------------------------------------------------------------
+
+    def _enter_relaxed(self, shared_clock: Clock, until_ns: int) -> None:
+        """Swap in the shard's private clock for a relaxed dispatch."""
+        clock = self._own_clock
+        clock._now_ns = shared_clock._now_ns
+        clock._now_s = shared_clock._now_s
+        self.clock = clock
+        self.trace._clock = clock
+        self._until_ns = until_ns
+        self.relaxed = True
+
+    def _exit_relaxed(self, shared_clock: Clock) -> None:
+        """Restore the fabric-shared clock after a relaxed dispatch."""
+        self.clock = shared_clock
+        self.trace._clock = shared_clock
+        self.relaxed = False
+
+    def _relaxed_push_fire(self, when_ns: int, callback) -> None:
+        """Barrier-context fire-and-forget push onto this shard's ring."""
+        self._queue.push_fire(when_ns, callback)
+
+    def _run_window(self, window_end_ns: int, budget: Optional[int] = None) -> int:
+        """Run every pending event with ``time_ns <= window_end_ns``.
+
+        The relaxed counterpart of :meth:`_run_batch`: no batch-limit
+        comparisons and no live cross-push bookkeeping — within a
+        conservative window this shard's events cannot interact with any
+        other shard except through the outbox, so the loop is a plain
+        time-ordered drain of the bucketed ring against the shard's private
+        clock.  The clock is set (not merely advanced) per bucket, because
+        barrier-flushed mailbox entries may legitimately schedule below the
+        shard's furthest point; record timestamps stay exact either way and
+        the canonical merge re-sorts the streams by time.
+        """
+        _set_active_shard(self)
+        queue = self._queue
+        times = queue._times
+        buckets = queue._buckets
+        clock = self.clock
+        n = 0
+        try:
+            while times:
+                t = times[0]
+                bucket = buckets[t]
+                if not bucket:
+                    heapq.heappop(times)
+                    del buckets[t]
+                    continue
+                if t > window_end_ns:
+                    break
+                clock._now_ns = t
+                clock._now_s = t / NANOSECONDS_PER_SECOND
+                index = 0
+                before = n
+                while index < len(bucket):
+                    sequence, callback, event = bucket[index]
+                    index += 1
+                    if event is not None:
+                        if event.cancelled:
+                            queue.cancelled_discarded += 1
+                            queue._dead -= 1
+                            continue
+                        event._queue = None
+                    callback()
+                    n += 1
+                    if budget is not None and n >= budget:
+                        break
+                if n > before:
+                    queue._live -= n - before
+                    if t > self.cursor_ns:
+                        self.cursor_ns = t
+                if index == len(bucket):
+                    bucket.clear()
+                else:
+                    del bucket[:index]
+                if budget is not None and n >= budget:
+                    break
+        finally:
+            _set_active_shard(None)
         self._dispatched += n
         return n
 

@@ -21,6 +21,16 @@ fixed-function LAN switches:
   with the native VLAN id* — the classic native-mismatch hazard real
   switches guard with ``vlan dot1q tag native``) are dropped and counted.
 
+The **native-VLAN discipline invariant**: classification happens entirely at
+ingress (untagged-on-access -> port VLAN, untagged-on-trunk -> native VLAN,
+tagged-with-native-id -> drop), so by the time a frame reaches learning or
+forwarding it has exactly one VLAN identity, and egress tagging is a pure
+function of (frame VLAN, egress port config).  Learning tables are keyed by
+that single identity, which is why per-VLAN isolation survives any mix of
+access, tagged-trunk and native-trunk paths — and why results are identical
+under the single engine and both sharded execution modes (the switchlet
+never consults ordering beyond its own port's frame sequence).
+
 Like the plain learning switchlet it replaces the dumb bridge's
 ``"bridge.switch"`` registration and uses its ``"bridge.send_out"`` /
 ``"bridge.ports"`` access points, so it slots into the same incremental

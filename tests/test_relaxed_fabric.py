@@ -1,0 +1,635 @@
+"""Relaxed (canonical-merge) execution of the sharded fabric.
+
+The correctness contract under test: a relaxed run's canonically merged
+trace records — per-shard streams merged by ``(time, shard_id, source,
+shard_seq)`` — plus every live counter and component statistic are identical
+to the strict engine's, across the whole scenario catalog, with and without
+worker threads, and reproducibly across repeated runs in one process.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ethernet.frame import EthernetFrame
+from repro.exceptions import SimulationError, TopologyError
+from repro.lan.topology import NetworkBuilder
+from repro.measurement.ping import PingRunner
+from repro.scenario import run_scenario
+from repro.scenario.compile import plan_partition
+from repro.scenario.registry import get_scenario, list_scenarios
+from repro.scenario.spec import (
+    DeviceSpec,
+    HostSpec,
+    PartitionSpec,
+    PortSpec,
+    ScenarioSpec,
+    SegmentSpec,
+    SwitchletSpec,
+)
+from repro.sim.fabric import ShardedSimulator
+from repro.sim.trace import RingBufferSink
+
+
+# ---------------------------------------------------------------------------
+# Helpers
+# ---------------------------------------------------------------------------
+
+
+def _drive(name, shards, sync="strict", workers=0):
+    """Compile, warm up and (when possible) ping across a catalog scenario."""
+    params = {"n_bridges": 2} if name in ("ring", "chain") else None
+    run = run_scenario(
+        name, params=params, shards=shards, sync=sync, workers=workers
+    )
+    run.warm_up()
+    hosts = run.hosts
+    if len(hosts) >= 2:
+        PingRunner(
+            run.sim, hosts[0], hosts[1].ip, payload_size=96, count=2, interval=0.05
+        ).run(start_time=run.sim.now)
+    return run
+
+
+def _canonical(run):
+    trace = run.sim.trace
+    if hasattr(trace, "canonical_records"):
+        return trace.canonical_records()
+    return list(trace)
+
+
+def _observables(run):
+    counters = dict(run.sim.trace.counters.by_category_source)
+    host_stats = {host.name: host.statistics() for host in run.hosts}
+    segment_stats = {
+        name: (segment.frames_carried, segment.bytes_carried)
+        for name, segment in run.network.segments.items()
+    }
+    return counters, host_stats, segment_stats, run.sim.now
+
+
+def _assert_equivalent(reference, candidate, context=""):
+    assert _canonical(candidate) == _canonical(reference), context
+    assert _observables(candidate) == _observables(reference), context
+
+
+# ---------------------------------------------------------------------------
+# The headline: catalog-wide canonical-merge equivalence
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("name", sorted(entry.name for entry in list_scenarios()))
+@pytest.mark.parametrize("shards", [1, 2, 4])
+def test_catalog_relaxed_is_canonical_merge_identical(name, shards):
+    """Relaxed runs equal strict runs under the canonical merge, catalog-wide."""
+    reference = _drive(name, shards, sync="strict")
+    candidate = _drive(name, shards, sync="relaxed")
+    assert candidate.sync == ("relaxed" if candidate.n_shards > 1 else "strict")
+    _assert_equivalent(reference, candidate, (name, shards))
+
+
+@pytest.mark.parametrize("name", ["ring", "vlan/trunk"])
+def test_threaded_relaxed_equals_sequential(name):
+    """Worker threads change nothing: the mailbox barrier is the only coupling."""
+    sequential = _drive(name, 4, sync="relaxed")
+    threaded = _drive(name, 4, sync="relaxed", workers=4)
+    _assert_equivalent(sequential, threaded, name)
+
+
+@pytest.mark.parametrize("shards", [2, 4])
+def test_relaxed_repeated_runs_are_deterministic(shards):
+    """Two relaxed runs in one process produce identical canonical traces."""
+    first = _drive("ring", shards, sync="relaxed")
+    second = _drive("ring", shards, sync="relaxed")
+    _assert_equivalent(first, second, shards)
+    threaded_first = _drive("ring", shards, sync="relaxed", workers=shards)
+    threaded_second = _drive("ring", shards, sync="relaxed", workers=shards)
+    _assert_equivalent(threaded_first, threaded_second, shards)
+
+
+# ---------------------------------------------------------------------------
+# Cross-shard stress: chain with hosts on every segment
+# ---------------------------------------------------------------------------
+
+
+def _populated_chain_spec(n_bridges=5):
+    """A learning-bridge chain with a host on *every* segment.
+
+    Neighbouring hosts ping across every bridge, so frames cross every cut
+    segment in both directions — cross-shard traffic dominates the run.
+    """
+    segments = tuple(SegmentSpec(f"seg{i}") for i in range(n_bridges + 1))
+    hosts = tuple(HostSpec(f"h{i}", f"seg{i}") for i in range(n_bridges + 1))
+    devices = tuple(
+        DeviceSpec(
+            f"bridge{i + 1}",
+            kind="active-node",
+            ports=(PortSpec("eth0", f"seg{i}"), PortSpec("eth1", f"seg{i + 1}")),
+            switchlets=(
+                SwitchletSpec("dumb-bridge"),
+                SwitchletSpec("learning-bridge"),
+            ),
+        )
+        for i in range(n_bridges)
+    )
+    return ScenarioSpec(
+        name="chain/populated",
+        description="bridge chain with per-segment hosts (cross-shard stress)",
+        segments=segments,
+        hosts=hosts,
+        devices=devices,
+    )
+
+
+def _drive_populated_chain(shards, sync, workers=0):
+    run = run_scenario(
+        _populated_chain_spec(), shards=shards, sync=sync, workers=workers
+    )
+    run.warm_up()
+    hosts = run.hosts
+    # Every neighbouring pair pings across its bridge; staggered starts keep
+    # several flights crossing different cuts at once.
+    for index in range(len(hosts) - 1):
+        PingRunner(
+            run.sim,
+            hosts[index],
+            hosts[index + 1].ip,
+            payload_size=64,
+            count=2,
+            interval=0.02,
+        ).run(start_time=run.sim.now + 0.001 * index)
+    return run
+
+
+@pytest.mark.parametrize("shards", [2, 4])
+def test_cross_shard_dominated_chain_is_equivalent(shards):
+    reference = _drive_populated_chain(shards, "strict")
+    candidate = _drive_populated_chain(shards, "relaxed")
+    assert reference.partition.cut_segments  # the stress premise holds
+    assert any(
+        segment.cross_shard_frames
+        for segment in reference.network.segments.values()
+    )
+    _assert_equivalent(reference, candidate, shards)
+
+
+def test_cross_shard_dominated_chain_threaded():
+    sequential = _drive_populated_chain(4, "relaxed")
+    threaded = _drive_populated_chain(4, "relaxed", workers=4)
+    _assert_equivalent(sequential, threaded)
+
+
+# ---------------------------------------------------------------------------
+# The express lane (inline-safe handlers)
+# ---------------------------------------------------------------------------
+
+
+def _build_blast(segments, shards, sync, frames):
+    """The wire-speed workload: raw ping-pong pairs, bridge ports down."""
+    run = run_scenario(
+        "ring",
+        params={"n_bridges": segments - 1, "hosts_per_segment": 2},
+        shards=shards,
+        sync=sync,
+    )
+    run.warm_up()
+    for device in run.devices:
+        for nic in device.interfaces.values():
+            nic.set_up(False)
+    states = []
+    for segment_spec in run.spec.segments:
+        left = run.host(f"{segment_spec.name}h1")
+        right = run.host(f"{segment_spec.name}h2")
+        forward = EthernetFrame(
+            destination=right.mac, source=left.mac, ethertype=0x88B5,
+            payload=b"\x00" * 64,
+        )
+        backward = EthernetFrame(
+            destination=left.mac, source=right.mac, ethertype=0x88B5,
+            payload=b"\x00" * 64,
+        )
+        state = [frames]
+        states.append(state)
+
+        def bounce(nic, reply, state=state):
+            def handler(_nic, _frame):
+                state[0] -= 1
+                if state[0] > 0:
+                    nic.send(reply)
+
+            return handler
+
+        # inline_safe only on the relaxed side: the strict engine ignores it,
+        # which is exactly what makes the comparison meaningful.
+        inline = sync == "relaxed"
+        left.nic.set_handler(bounce(left.nic, forward), inline_safe=inline)
+        right.nic.set_handler(bounce(right.nic, backward), inline_safe=inline)
+    seeds = [
+        run.host(f"{segment_spec.name}h1") for segment_spec in run.spec.segments
+    ]
+    forwards = [
+        EthernetFrame(
+            destination=run.host(f"{s.name}h2").mac,
+            source=run.host(f"{s.name}h1").mac,
+            ethertype=0x88B5,
+            payload=b"\x00" * 64,
+        )
+        for s in run.spec.segments
+    ]
+    return run, states, seeds, forwards
+
+
+def _blast(run, states, seeds, forwards, frames, horizon=None):
+    for state in states:
+        state[0] = frames
+    sim = run.sim
+    for host, frame in zip(seeds, forwards):
+        host.nic.send(frame)
+    sim.run_until(horizon if horizon is not None else sim.now + frames * 40e-6)
+
+
+def test_express_lane_blast_is_equivalent():
+    frames = 30
+    strict_run, s_states, s_seeds, s_fwd = _build_blast(8, 4, "strict", frames)
+    relaxed_run, r_states, r_seeds, r_fwd = _build_blast(8, 4, "relaxed", frames)
+    # The express precondition: shard-local segments with only inline-safe /
+    # downed receivers.
+    assert any(
+        segment._express for segment in relaxed_run.network.segments.values()
+    )
+    _blast(strict_run, s_states, s_seeds, s_fwd, frames)
+    _blast(relaxed_run, r_states, r_seeds, r_fwd, frames)
+    assert all(state[0] <= 0 for state in r_states)
+    _assert_equivalent(strict_run, relaxed_run)
+
+
+def test_express_lane_horizon_straddling_resumes_exactly():
+    """Cutting a run mid-cascade and resuming matches strict at every stop."""
+    frames = 20
+    strict_run, s_states, s_seeds, s_fwd = _build_blast(6, 3, "strict", frames)
+    relaxed_run, r_states, r_seeds, r_fwd = _build_blast(6, 3, "relaxed", frames)
+    # Stop mid-exchange: the horizon lands inside every pair's ping-pong.
+    mid = strict_run.sim.now + frames * 40e-6 / 3
+    end = strict_run.sim.now + frames * 40e-6
+    _blast(strict_run, s_states, s_seeds, s_fwd, frames, horizon=mid)
+    _blast(relaxed_run, r_states, r_seeds, r_fwd, frames, horizon=mid)
+    assert dict(strict_run.sim.trace.counters.by_category_source) == dict(
+        relaxed_run.sim.trace.counters.by_category_source
+    )
+    strict_run.sim.run_until(end)
+    relaxed_run.sim.run_until(end)
+    assert all(state[0] <= 0 for state in r_states)
+    _assert_equivalent(strict_run, relaxed_run)
+
+
+def test_express_pump_stops_at_control_barriers():
+    """A driver callback mid-blast observes exactly the strict engine's state.
+
+    Regression: the pump used to run whole cascades to the dispatch horizon,
+    past pending control-ring events, so a facade-scheduled observer saw
+    future traffic.
+    """
+    frames = 30
+    observations = {}
+
+    def drive(sync):
+        run, states, seeds, forwards = _build_blast(6, 3, sync, frames)
+        seg = run.segment("seg0")
+        sim = run.sim
+        at = sim.now + 0.0001  # mid-blast (the exchange takes ~0.3 ms)
+        sim.schedule_at(
+            at, lambda: observations.setdefault(sync, seg.frames_carried)
+        )
+        _blast(run, states, seeds, forwards, frames)
+        return run
+
+    strict_run = drive("strict")
+    relaxed_run = drive("relaxed")
+    assert observations["relaxed"] == observations["strict"]
+    assert 0 < observations["strict"] < strict_run.segment("seg0").frames_carried
+    _assert_equivalent(strict_run, relaxed_run)
+
+
+def test_express_pump_respects_horizon_with_future_control_event():
+    """A control event beyond the horizon must not extend express cascades.
+
+    Regression: the pump bound was control_t - 1 unclamped, so a pending
+    driver timeout far in the future let cascades overrun run_until().
+    """
+    frames = 30
+
+    def drive(sync):
+        run, states, seeds, forwards = _build_blast(6, 3, sync, frames)
+        run.sim.schedule(5.0, lambda: None)  # a far-future driver timeout
+        # The 64-byte exchange cycles every ~10.6 us; land inside it.
+        mid = run.sim.now + frames * 40e-6 / 8
+        _blast(run, states, seeds, forwards, frames, horizon=mid)
+        return run, states
+
+    strict_run, strict_states = drive("strict")
+    relaxed_run, relaxed_states = drive("relaxed")
+    assert [s[0] for s in relaxed_states] == [s[0] for s in strict_states]
+    assert any(s[0] > 0 for s in relaxed_states)  # genuinely cut mid-exchange
+    assert relaxed_run.sim.now == strict_run.sim.now
+    assert dict(relaxed_run.sim.trace.counters.by_category_source) == dict(
+        strict_run.sim.trace.counters.by_category_source
+    )
+
+
+def test_cut_segment_stats_survive_horizon_cut():
+    """cross_shard_frames on express cut segments match strict mid-run."""
+    frames = 20
+    strict_run, s_states, s_seeds, s_fwd = _build_blast(6, 3, "strict", frames)
+    relaxed_run, r_states, r_seeds, r_fwd = _build_blast(6, 3, "relaxed", frames)
+    mid = strict_run.sim.now + frames * 40e-6 / 3
+    _blast(strict_run, s_states, s_seeds, s_fwd, frames, horizon=mid)
+    _blast(relaxed_run, r_states, r_seeds, r_fwd, frames, horizon=mid)
+    strict_stats = {
+        name: (seg.frames_carried, seg.cross_shard_frames)
+        for name, seg in strict_run.network.segments.items()
+    }
+    relaxed_stats = {
+        name: (seg.frames_carried, seg.cross_shard_frames)
+        for name, seg in relaxed_run.network.segments.items()
+    }
+    assert relaxed_stats == strict_stats
+    assert any(cross for _, cross in strict_stats.values())
+
+
+def test_facade_homed_segment_works_in_both_modes():
+    """A segment built directly against the fabric facade still transmits."""
+    from repro.ethernet.mac import MacAddress
+    from repro.lan.nic import NetworkInterface
+    from repro.lan.segment import Segment
+
+    for sync in ("strict", "relaxed"):
+        fabric = ShardedSimulator(shards=2, sync=sync)
+        segment = Segment(fabric, "facade-lan")
+        a = NetworkInterface(fabric, "a", MacAddress.from_string("02:00:00:aa:00:01"))
+        b = NetworkInterface(fabric, "b", MacAddress.from_string("02:00:00:aa:00:02"))
+        a.attach(segment)
+        b.attach(segment)
+        got = []
+        b.set_handler(lambda nic, frame: got.append(frame))
+        a.send(
+            EthernetFrame(
+                destination=b.mac, source=a.mac, ethertype=0x88B5, payload=b"hi"
+            )
+        )
+        fabric.run_until(0.01)
+        assert len(got) == 1, sync
+
+
+def test_facade_homed_nic_on_cut_segment_relaxed():
+    """A monitoring NIC built against ``run.sim`` works on a relaxed cut segment."""
+    from repro.ethernet.mac import MacAddress
+    from repro.lan.nic import NetworkInterface
+
+    def drive(sync):
+        run = run_scenario(
+            "ring", params={"n_bridges": 3, "hosts_per_segment": 1},
+            shards=2, sync=sync,
+        )
+        cut_name = (run.partition.cut_segments or ("seg1",))[0]
+        monitor = NetworkInterface(
+            run.sim, "monitor.eth0", MacAddress.from_string("02:00:00:ff:00:01")
+        )
+        monitor.set_promiscuous(True)
+        monitor.attach(run.segment(cut_name))
+        run.warm_up()
+        return run, monitor
+
+    strict_run, strict_monitor = drive("strict")
+    relaxed_run, relaxed_monitor = drive("relaxed")
+    assert strict_monitor.frames_received > 0
+    assert relaxed_monitor.statistics() == strict_monitor.statistics()
+    assert dict(relaxed_run.sim.trace.counters.by_category_source) == dict(
+        strict_run.sim.trace.counters.by_category_source
+    )
+
+
+def test_express_refresh_follows_handler_and_link_state():
+    run = run_scenario(
+        "ring",
+        params={"n_bridges": 3, "hosts_per_segment": 2},
+        shards=2,
+        sync="relaxed",
+    )
+    run.warm_up()
+    segment = run.segment("seg0")
+    assert not segment._express  # bridge demux handlers are not inline-safe
+    for device in run.devices:
+        for nic in device.interfaces.values():
+            nic.set_up(False)
+    host = run.host("seg0h1")
+    other = run.host("seg0h2")
+    host.nic.set_handler(lambda n, f: None, inline_safe=True)
+    other.nic.set_handler(lambda n, f: None, inline_safe=True)
+    assert segment._express
+    # Bringing a bridge port back up revokes the lane.
+    bridge_nic = next(iter(run.device("bridge1").interfaces.values()))
+    if bridge_nic.segment is segment:
+        bridge_nic.set_up(True)
+        assert not segment._express
+    # An unsafe handler revokes it too.
+    host.nic.set_handler(lambda n, f: None)
+    assert not segment._express
+
+
+# ---------------------------------------------------------------------------
+# Facade semantics under relaxed sync
+# ---------------------------------------------------------------------------
+
+
+class TestRelaxedFacade:
+    def _fabric(self, shards=3, **kwargs):
+        return ShardedSimulator(shards=shards, sync="relaxed", **kwargs)
+
+    def test_run_until_advances_clock_and_drains(self):
+        fabric = self._fabric()
+        fired = []
+        for index, shard in enumerate(fabric.shards):
+            shard.schedule(0.001 * (index + 1), lambda i=index: fired.append(i))
+        dispatched = fabric.run_until(0.01)
+        assert dispatched == 3
+        assert sorted(fired) == [0, 1, 2]
+        assert fabric.now == 0.01
+        assert fabric.pending_events == 0
+
+    def test_run_drains_and_clock_reaches_last_event(self):
+        fabric = self._fabric()
+        fabric.shards[2].schedule(0.5, lambda: None)
+        fabric.shards[0].schedule(0.25, lambda: None)
+        assert fabric.run() == 2
+        assert fabric.now == 0.5
+
+    def test_max_events_budget_and_step(self):
+        fabric = self._fabric()
+        for shard in fabric.shards:
+            shard.schedule(0.001, lambda: None)
+            shard.schedule(0.002, lambda: None)
+        assert fabric.run(max_events=4) == 4
+        assert fabric.pending_events == 2
+        assert fabric.step() is True
+        assert fabric.run() == 1
+        assert fabric.step() is False
+
+    def test_relaxed_stats_and_mode_report(self):
+        fabric = self._fabric()
+        fabric.shards[0].schedule(0.001, lambda: None)
+        fabric.run_until(0.01)
+        assert fabric.sync == "relaxed"
+        assert fabric.relaxed_stats["windows"] >= 1
+        assert all(not shard.outbox for shard in fabric.shards)
+        assert all(not shard.relaxed for shard in fabric.shards)
+
+    def test_reset_clears_relaxed_state(self):
+        fabric = self._fabric()
+        fabric.shards[1].schedule(0.75, lambda: None)
+        fabric.run()
+        fabric.reset()
+        assert fabric.now == 0.0
+        assert fabric.pending_events == 0
+        assert len(fabric.trace) == 0
+
+    def test_facade_now_is_context_local_during_windows(self):
+        """Measurement callbacks fired mid-window read their shard's present.
+
+        Regression: ping RTTs are computed from ``facade.now`` inside a
+        reply handler running in component context; a stale shared clock
+        made every relaxed RTT zero.
+        """
+        run = run_scenario("pair/active-bridge", shards=2, sync="relaxed")
+        run.warm_up()
+        relaxed = PingRunner(
+            run.sim, run.hosts[0], run.hosts[1].ip, payload_size=512, count=3,
+            interval=0.1,
+        ).run(start_time=run.sim.now)
+        twin = run_scenario("pair/active-bridge", shards=2)
+        twin.warm_up()
+        strict = PingRunner(
+            twin.sim, twin.hosts[0], twin.hosts[1].ip, payload_size=512,
+            count=3, interval=0.1,
+        ).run(start_time=twin.sim.now)
+        assert relaxed.received == 3
+        assert min(relaxed.rtts) > 0
+        assert relaxed.rtts == strict.rtts
+        assert relaxed.bridge_forwards == strict.bridge_forwards
+
+    def test_canonical_records_available_in_strict_mode_too(self):
+        fabric = ShardedSimulator(shards=2)
+        fabric.shards[0].schedule(0.001, lambda: fabric.shards[0].trace.emit("a", "x"))
+        fabric.shards[1].schedule(0.001, lambda: fabric.shards[1].trace.emit("b", "x"))
+        fabric.run()
+        canonical = fabric.trace.canonical_records()
+        assert [record.source for record in canonical] == ["a", "b"]
+
+
+# ---------------------------------------------------------------------------
+# Mode validation and plumbing
+# ---------------------------------------------------------------------------
+
+
+class TestSyncPlumbing:
+    def test_partition_spec_rejects_unknown_sync(self):
+        with pytest.raises(ValueError):
+            PartitionSpec(shards=2, sync="optimistic")
+        with pytest.raises(ValueError):
+            PartitionSpec(shards=2, workers=-1)
+
+    def test_fabric_rejects_unknown_sync(self):
+        with pytest.raises(SimulationError):
+            ShardedSimulator(shards=2, sync="bogus")
+
+    def test_relaxed_refuses_shared_sinks(self):
+        fabric = ShardedSimulator(shards=2, trace_sinks=[RingBufferSink(16)])
+        with pytest.raises(SimulationError):
+            fabric.set_sync("relaxed")
+
+    def test_run_scenario_sync_overrides_partition_spec(self):
+        run = run_scenario(
+            "chain",
+            params={"n_bridges": 3},
+            shards=PartitionSpec(shards=2, sync="relaxed"),
+            sync="strict",
+        )
+        assert run.sync == "strict"
+        assert run.partition.sync == "strict"
+
+    def test_compile_rejects_unknown_sync(self):
+        with pytest.raises(ValueError):
+            run_scenario("chain", params={"n_bridges": 3}, shards=2, sync="nope")
+
+    def test_mode_switch_mid_experiment(self):
+        """Strict warm-up then relaxed measurement — the headline pattern."""
+        run = run_scenario(
+            "ring", params={"n_bridges": 3, "hosts_per_segment": 1}, shards=2
+        )
+        run.warm_up()
+        assert run.sync == "strict"
+        run.sim.set_sync("relaxed")
+        run.sim.run_for(2.0)
+        run.sim.set_sync("strict")
+        run.sim.run_for(2.0)
+        # Compare against an all-strict twin.
+        twin = run_scenario(
+            "ring", params={"n_bridges": 3, "hosts_per_segment": 1}, shards=2
+        )
+        twin.warm_up()
+        twin.sim.run_for(4.0)
+        assert run.sim.trace.canonical_records() == twin.sim.trace.canonical_records()
+
+
+# ---------------------------------------------------------------------------
+# Partitioner force-advance and the widened IP allocator
+# ---------------------------------------------------------------------------
+
+
+class TestPartitionerAndAddressing:
+    def test_every_shard_gets_a_segment(self):
+        spec = get_scenario("ring")  # 3 bridges -> 4 segments
+        plan = plan_partition(spec, 4)
+        segment_shards = [
+            plan.assignments[segment.name] for segment in spec.segments
+        ]
+        assert segment_shards == [0, 1, 2, 3]
+        assert plan.lookahead_ns is not None
+
+    def test_large_ring_balances_across_shards(self):
+        spec = get_scenario("ring", n_bridges=255, hosts_per_segment=2)
+        plan = plan_partition(spec, 4)
+        from collections import Counter
+
+        sizes = Counter(
+            plan.assignments[segment.name] for segment in spec.segments
+        )
+        assert set(sizes) == {0, 1, 2, 3}
+        assert max(sizes.values()) - min(sizes.values()) <= 2
+
+    def test_ip_allocation_rolls_into_next_subnet(self):
+        builder = NetworkBuilder()
+        addresses = [str(builder.allocate_ip()) for _ in range(300)]
+        assert addresses[0] == "10.0.0.1"
+        assert addresses[253] == "10.0.0.254"
+        assert addresses[254] == "10.0.1.1"
+        assert addresses[299] == "10.0.1.46"
+        assert len(set(addresses)) == 300
+
+    def test_ip_allocation_exhaustion_still_raises(self):
+        builder = NetworkBuilder(subnet_prefix="10.0.254")
+        for _ in range(254):
+            builder.allocate_ip()
+        with pytest.raises(TopologyError):
+            builder.allocate_ip()
+
+    def test_256_lan_ring_compiles_with_hosts(self):
+        run = run_scenario(
+            "ring",
+            params={"n_bridges": 255, "hosts_per_segment": 2},
+            shards=4,
+            sync="relaxed",
+        )
+        assert run.n_shards == 4
+        assert len(run.spec.hosts) == 512
+        ips = {str(host.ip) for host in run.hosts}
+        assert len(ips) == 512

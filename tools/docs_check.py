@@ -1,0 +1,96 @@
+"""CI documentation check: the docs pages must track the living system.
+
+Two coverage contracts, both cheap and exact:
+
+* every scenario registered in :mod:`repro.scenario.registry` must be named
+  in ``docs/scenario-catalog.md``;
+* every BENCH metric *family* tracked anywhere in ``BENCH_trace.json`` (a
+  metric name as collected by ``benchmarks/perf_gate.py``, with its
+  ``@size`` suffix stripped) must be named in ``docs/benchmarks.md``.
+
+Run from the repository root::
+
+    PYTHONPATH=src python tools/docs_check.py
+
+Exits non-zero listing everything missing, so adding a scenario or a gated
+metric without documenting it fails CI.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+
+from perf_gate import collect_metrics  # noqa: E402
+
+from repro.scenario.registry import list_scenarios  # noqa: E402
+
+CATALOG_PAGE = REPO_ROOT / "docs" / "scenario-catalog.md"
+BENCHMARKS_PAGE = REPO_ROOT / "docs" / "benchmarks.md"
+RESULTS_PATH = REPO_ROOT / "BENCH_trace.json"
+
+
+def metric_families(history: list) -> set:
+    """Every tracked metric name with its ``@size`` segment removed.
+
+    ``fabric/shards=4/relaxed@256x600 records/s`` ->
+    ``fabric/shards=4/relaxed records/s``; names without a size pass
+    through unchanged.
+    """
+    families = set()
+    for entry in history:
+        for name in collect_metrics(entry):
+            if "@" in name:
+                head, _, tail = name.partition("@")
+                suffix = tail.partition(" ")[2]
+                families.add(f"{head} {suffix}".strip())
+            else:
+                families.add(name)
+    return families
+
+
+def main() -> int:
+    failures = []
+
+    catalog_text = CATALOG_PAGE.read_text() if CATALOG_PAGE.exists() else ""
+    for entry in list_scenarios():
+        if f"`{entry.name}`" not in catalog_text:
+            failures.append(
+                f"scenario {entry.name!r} is registered but missing from "
+                f"{CATALOG_PAGE.relative_to(REPO_ROOT)}"
+            )
+
+    bench_text = BENCHMARKS_PAGE.read_text() if BENCHMARKS_PAGE.exists() else ""
+    try:
+        history = json.loads(RESULTS_PATH.read_text())
+    except (OSError, ValueError) as exc:
+        print(f"docs check: cannot read {RESULTS_PATH}: {exc}")
+        return 1
+    for family in sorted(metric_families(history)):
+        if family not in bench_text:
+            failures.append(
+                f"metric family {family!r} is tracked in BENCH_trace.json but "
+                f"missing from {BENCHMARKS_PAGE.relative_to(REPO_ROOT)}"
+            )
+
+    if failures:
+        print(f"docs check: {len(failures)} problem(s):")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    scenarios = len(list_scenarios())
+    families = len(metric_families(history))
+    print(
+        f"docs check: OK — {scenarios} scenarios and {families} metric "
+        "families all documented"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
