@@ -1,0 +1,213 @@
+"""Failover benchmark: spanning-tree reconvergence on the closed bridge ring.
+
+Drives the ``ring/failover`` catalog scenario — a physical loop of active
+bridges running the IEEE 802.1D spanning tree with the standard 2/20/15 s
+timers — through a complete failure episode: warm-up to a converged tree, a
+scripted ``link-down`` on a forwarding segment (the :mod:`repro.faults`
+subsystem), a ping train crossing the outage, and the reconvergence measured
+externally by the :class:`~repro.measurement.convergence.ConvergenceProbe`:
+
+* **detection time** — max-age expiry on the bridges that lose the root's
+  hellos (~``max_age`` after the failure);
+* **reconvergence time** — the blocked port walking listening → learning →
+  forwarding (two forward delays more), after which traffic reroutes the
+  long way around the ring;
+* **frames lost** — everything the dead segment swallowed meanwhile.
+
+Each engine configuration (single engine, strict shards, relaxed shards)
+replays the *same* fault timeline; the benchmark asserts the live counters
+and the convergence report are identical across configurations before
+reporting — the fault subsystem's engine-mode-invariance contract, enforced
+at benchmark time exactly as the sharded-fabric sweeps do.
+
+The committed ``BENCH_trace.json`` entry records the simulated convergence
+figures plus each configuration's trace-records-per-CPU-second execution
+rate; ``perf_gate.py`` tracks the ``failover/*`` records/s metrics against
+their previous occurrences (the convergence times are *results*, pinned by
+tests, not throughput — they are recorded but not gated).
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_failover.py [--bridges N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import platform
+import time
+from pathlib import Path
+
+from repro.measurement.convergence import ConvergenceProbe
+from repro.measurement.ping import PingRunner
+from repro.scenario import run_scenario
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULTS_PATH = REPO_ROOT / "BENCH_trace.json"
+
+#: Engine configurations measured: (sync, shards).
+CONFIGS = (("strict", 1), ("strict", 4), ("relaxed", 4))
+
+#: Standard 802.1D timers — the paper's timescales.
+TIMERS = {"hello_time": 2.0, "max_age": 20.0, "forward_delay": 15.0}
+
+#: When the scripted link failure fires — 5 s after the tree is ready
+#: (ready_time is 35 s with the standard timers), so the ping train records
+#: a healthy pre-fault baseline before the outage.
+FAIL_AT = 40.0
+
+#: Ping cadence across the outage (one echo per quarter second).
+PING_INTERVAL = 0.25
+
+
+def config_key(sync: str, shards: int) -> str:
+    return f"shards={shards}" if sync == "strict" else f"shards={shards}/{sync}"
+
+
+#: Episode repetitions per configuration; the fastest CPU time is kept, the
+#: same hygiene as ``bench_sharded_fabric.wire_blast`` — a single ~0.1 s
+#: sample would hand the 20 % perf gate to scheduler noise.
+PASSES = 3
+
+
+def run_episode(bridges: int, shards: int, sync: str) -> dict:
+    """One full failure episode on one engine configuration."""
+    run = run_scenario(
+        "ring/failover",
+        params={"n_bridges": bridges, "fail_at": FAIL_AT, "recover_at": 0.0,
+                **TIMERS},
+        shards=shards,
+        sync=sync if shards > 1 else None,
+    )
+    # Ride through warm-up, outage, detection (max_age) and both forward
+    # delays, plus settle margin.
+    horizon = FAIL_AT + TIMERS["max_age"] + 2 * TIMERS["forward_delay"] + 5.0
+    count = int((horizon - run.ready_time) / PING_INTERVAL) - 4
+    gc.collect()
+    gc.disable()
+    cpu_start = time.process_time()
+    wall_start = time.perf_counter()
+    run.warm_up()
+    probe = ConvergenceProbe(run.sim, network=run.network, fault_time=FAIL_AT)
+    probe.start()
+    ping = PingRunner(
+        run.sim, run.host("left"), run.host("right").ip,
+        payload_size=64, count=count, interval=PING_INTERVAL, identifier=0xFA11,
+    )
+    ping.start(run.sim.now + 0.01)
+    run.sim.run_until(horizon)
+    cpu_elapsed = time.process_time() - cpu_start
+    wall_elapsed = time.perf_counter() - wall_start
+    gc.enable()
+    report = probe.report()
+    records = len(run.sim.trace)
+    return {
+        "shards": shards,
+        "sync": sync if shards > 1 else "single",
+        "records": records,
+        "seconds_cpu": round(cpu_elapsed, 3),
+        "seconds_wall": round(wall_elapsed, 3),
+        "records_per_second": round(records / cpu_elapsed) if cpu_elapsed else 0,
+        "events_dispatched": run.sim.events_dispatched,
+        "convergence": report.summary(),
+        "ping": {"sent": ping.result.sent, "received": ping.result.received},
+        "counters": dict(run.sim.trace.counters.by_category_source),
+    }
+
+
+def best_episode(bridges: int, shards: int, sync: str) -> dict:
+    """Run the episode ``PASSES`` times; keep the fastest CPU-time sample.
+
+    Every pass must reproduce the same counters and convergence report —
+    the episode is fully deterministic — so only the timing varies.
+    """
+    best = None
+    for _ in range(PASSES):
+        sample = run_episode(bridges, shards, sync)
+        if best is None:
+            best = sample
+        else:
+            assert sample["counters"] == best["counters"], "episode not deterministic"
+            assert sample["convergence"] == best["convergence"]
+            if sample["records_per_second"] > best["records_per_second"]:
+                sample["counters"] = best["counters"]
+                best = sample
+    return best
+
+
+def run_sweep(bridges: int) -> dict:
+    results = {}
+    baseline_counters = None
+    baseline_convergence = None
+    for sync, shards in CONFIGS:
+        result = best_episode(bridges, shards, sync)
+        counters = result.pop("counters")
+        if baseline_counters is None:
+            baseline_counters = counters
+            baseline_convergence = result["convergence"]
+        else:
+            # Same timeline, same episode, every engine mode: the fault
+            # subsystem's invariance contract, asserted before reporting.
+            assert counters == baseline_counters, (
+                f"{sync} shards={shards} diverged from the single engine"
+            )
+            assert result["convergence"] == baseline_convergence, (
+                f"{sync} shards={shards} convergence report diverged"
+            )
+        key = config_key(sync, shards)
+        results[key] = result
+        conv = result["convergence"]
+        print(
+            f"{bridges}-bridge ring {key}: detection {conv['detection_s']:.1f}s, "
+            f"reconvergence {conv['reconvergence_s']:.1f}s, "
+            f"{conv['frames_lost']} frames lost; "
+            f"{result['records']} records in {result['seconds_cpu']:.2f} cpu-s "
+            f"= {result['records_per_second']:,} records/s"
+        )
+    return {
+        "bridges": bridges,
+        "fail_at": FAIL_AT,
+        "timers": TIMERS,
+        "detection_s": baseline_convergence["detection_s"],
+        "reconvergence_s": baseline_convergence["reconvergence_s"],
+        "frames_lost": baseline_convergence["frames_lost"],
+        "configs": results,
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--bridges", type=int, default=8,
+        help="ring size (bridges = LAN segments in the loop)",
+    )
+    parser.add_argument(
+        "--no-append", action="store_true",
+        help="print results without touching BENCH_trace.json",
+    )
+    args = parser.parse_args()
+    if args.bridges < 3:
+        parser.error("--bridges must be at least 3")
+
+    entry = {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "python": platform.python_version(),
+        "failover": run_sweep(args.bridges),
+    }
+    if args.no_append:
+        return
+    history = []
+    if RESULTS_PATH.exists():
+        try:
+            history = json.loads(RESULTS_PATH.read_text())
+        except ValueError:
+            history = []
+    history.append(entry)
+    RESULTS_PATH.write_text(json.dumps(history, indent=2) + "\n")
+    print(f"results appended to {RESULTS_PATH}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+"""Wall-clock relaxed speedup: sequential windows vs worker threads.
+
+The relaxed executor is deterministic with or without worker threads; on GIL
+builds the threads only add synchronization overhead, so the standard
+sharded-fabric benchmark reports CPU-time rates and picks the sequential
+window executor.  On a **free-threaded** (PEP 703 / ``3.13t``) interpreter
+the same worker-per-shard code can actually run windows in parallel — and
+the honest metric there is *wall clock*, not CPU time.
+
+This benchmark measures exactly that: the wire-speed ring blast (same
+workload as ``bench_sharded_fabric.py``) under relaxed sync with ``workers=0``
+versus ``workers=shards``, reporting wall seconds and the threaded-over-
+sequential wall speedup, plus whether the GIL was actually disabled.  It is
+run by the allow-failure free-threaded CI lane (see ``ci.yml``), prints a
+summary, and never touches ``BENCH_trace.json`` — free-threaded builds are
+not the gated configuration yet (the ROADMAP's "true thread parallelism"
+item tracks promoting them once 3.13t runners are stable).
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_freethreaded_wall.py [--segments N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import sys
+import sysconfig
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from bench_sharded_fabric import build, wire_blast  # noqa: E402
+
+
+def gil_status() -> str:
+    """A human-readable account of this interpreter's GIL situation."""
+    if not sysconfig.get_config_var("Py_GIL_DISABLED"):
+        return "GIL build (threads cannot scale wall clock)"
+    enabled = getattr(sys, "_is_gil_enabled", lambda: True)()
+    return (
+        "free-threaded build, GIL re-enabled at runtime"
+        if enabled
+        else "free-threaded build, GIL disabled"
+    )
+
+
+def measure(segments: int, shards: int, frames: int, workers: int) -> dict:
+    run, compile_s, warm_s = build(segments, shards, "relaxed", workers)
+    for device in run.devices:
+        for nic in device.interfaces.values():
+            nic.set_up(False)
+    blast = wire_blast(run, frames, inline_safe=True)
+    counters = dict(run.sim.trace.counters.by_category_source)
+    del run
+    gc.collect()
+    return {"blast": blast, "counters": counters}
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--segments", type=int, default=64)
+    parser.add_argument("--shards", type=int, default=4)
+    parser.add_argument("--frames", type=int, default=400)
+    args = parser.parse_args()
+
+    print(f"interpreter: Python {sys.version.split()[0]} — {gil_status()}")
+    t0 = time.perf_counter()
+    sequential = measure(args.segments, args.shards, args.frames, workers=0)
+    threaded = measure(args.segments, args.shards, args.frames, args.shards)
+    assert sequential["counters"] == threaded["counters"], (
+        "threaded relaxed run diverged from the sequential executor"
+    )
+    seq_wall = sequential["blast"]["seconds_wall"]
+    thr_wall = threaded["blast"]["seconds_wall"]
+    speedup = seq_wall / thr_wall if thr_wall else float("nan")
+    print(
+        f"{args.segments}-LAN ring, shards={args.shards}, relaxed: "
+        f"sequential {seq_wall:.3f}s wall, "
+        f"threaded {thr_wall:.3f}s wall -> {speedup:.2f}x wall speedup "
+        f"({time.perf_counter() - t0:.1f}s total, results counter-identical)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -12,7 +12,11 @@ Uses :func:`repro.scenario.run_matrix` for three sweeps the ROADMAP calls for:
 * **large-ring shard-count sweep** — the 256-LAN host-populated ring warmed
   up (compile + spanning-tree convergence) on the single engine, the strict
   fabric and the relaxed fabric at increasing shard counts: the
-  engine-scaling view at a size where partitioning actually matters.
+  engine-scaling view at a size where partitioning actually matters;
+* **VLAN fan-out vs. trunk utilization** — the ``vlan/trunk`` scenario with
+  a growing number of VLANs, one concurrent cross-switch ping flow per VLAN:
+  every flow shares the single 802.1Q trunk, so trunk frame counts and
+  utilization grow linearly with the fan-out while per-VLAN isolation holds.
 
 The study emits one markdown report (default ``benchmarks/scaling_study.md``)
 that CI uploads as a build artifact, and prints it to stdout.  Pass
@@ -106,6 +110,60 @@ def chain_latency_sweep(depths, shards: int) -> list:
     return rows
 
 
+def vlan_fanout_sweep(fanouts, shards: int) -> list:
+    """One row per VLAN count: trunk load under concurrent per-VLAN flows."""
+    rows = []
+    for run in run_matrix(
+        "vlan/trunk", {"n_vlans": list(fanouts)},
+        base_params={"hosts_per_vlan": 1}, shards=shards,
+    ):
+        run.warm_up()
+        n_vlans = run.spec.params["n_vlans"]
+        # One cross-switch flow per VLAN, derived from the spec itself (each
+        # HostSpec carries its VLAN; declaration order is switch-major, so
+        # the first and last member of a VLAN sit on different switches).
+        members: dict = {}
+        for host in run.spec.hosts:
+            members.setdefault(host.vlan, []).append(host.name)
+        trunk = run.network.segment("trunk")
+        frames_before = trunk.frames_carried
+        bytes_before = trunk.bytes_carried
+        start = run.sim.now + 0.01
+        count, interval = 10, 0.05
+        runners = []
+        for index, vlan in enumerate(sorted(members)):
+            near, far = members[vlan][0], members[vlan][-1]
+            runner = PingRunner(
+                run.sim,
+                run.host(near),
+                run.host(far).ip,
+                payload_size=256,
+                count=count,
+                interval=interval,
+                identifier=0x6000 + index,
+            )
+            runner.start(start)
+            runners.append(runner)
+        window = count * interval + 0.5
+        run.sim.run_until(start + window)
+        frames = trunk.frames_carried - frames_before
+        trunk_bits = (trunk.bytes_carried - bytes_before) * 8.0
+        received = sum(runner.result.received for runner in runners)
+        sent = sum(runner.result.sent for runner in runners)
+        assert received == sent, "VLAN flows lost frames mid-sweep"
+        rows.append(
+            {
+                "n_vlans": n_vlans,
+                "flows": len(runners),
+                "trunk_frames": frames,
+                "trunk_mbps": trunk_bits / window / 1e6,
+                "trunk_utilization": trunk_bits / (trunk.bandwidth_bps * window),
+                "echoes": received,
+            }
+        )
+    return rows
+
+
 def large_ring_sweep(segments: int) -> list:
     """Warm the 256-LAN host-populated ring up under each engine config."""
     rows = []
@@ -142,7 +200,7 @@ def large_ring_sweep(segments: int) -> list:
     return rows
 
 
-def render_markdown(ring_rows, chain_rows, large_rows, shards: int) -> str:
+def render_markdown(ring_rows, chain_rows, vlan_rows, large_rows, shards: int) -> str:
     lines = [
         "# Scaling study",
         "",
@@ -180,6 +238,25 @@ def render_markdown(ring_rows, chain_rows, large_rows, shards: int) -> str:
             f"{row[f'rtt_ms_{payload}B']:.3f}" for payload in CHAIN_PAYLOADS
         )
         lines.append(f"| {row['n_bridges']} | {row['segments']} | {cells} |")
+    if vlan_rows:
+        lines += [
+            "",
+            "## VLAN fan-out vs. trunk utilization",
+            "",
+            "One concurrent cross-switch ping flow per VLAN; every flow",
+            "shares the single 802.1Q trunk, so trunk load grows linearly",
+            "with the fan-out while per-VLAN isolation holds (no flow loses",
+            "a frame).",
+            "",
+            "| VLANs | flows | trunk frames | trunk Mb/s | trunk util | echoes |",
+            "|---:|---:|---:|---:|---:|---:|",
+        ]
+        for row in vlan_rows:
+            lines.append(
+                f"| {row['n_vlans']} | {row['flows']} | {row['trunk_frames']} "
+                f"| {row['trunk_mbps']:.3f} | {row['trunk_utilization']:.5f} "
+                f"| {row['echoes']} |"
+            )
     if large_rows:
         lines += [
             "",
@@ -219,6 +296,10 @@ def main() -> None:
         help="run every matrix point on the sharded fabric",
     )
     parser.add_argument(
+        "--vlan-fanouts", type=int, nargs="+", default=[1, 2, 4, 8],
+        help="VLAN counts for the trunk-utilization sweep",
+    )
+    parser.add_argument(
         "--large-ring", type=int, default=256,
         help="LAN count for the engine-configuration sweep (0 disables it)",
     )
@@ -230,10 +311,13 @@ def main() -> None:
 
     ring_rows = ring_convergence_sweep(args.ring_lengths, args.shards)
     chain_rows = chain_latency_sweep(args.chain_depths, args.shards)
+    vlan_rows = vlan_fanout_sweep(args.vlan_fanouts, args.shards)
     large_rows = (
         large_ring_sweep(args.large_ring) if args.large_ring else []
     )
-    report = render_markdown(ring_rows, chain_rows, large_rows, args.shards)
+    report = render_markdown(
+        ring_rows, chain_rows, vlan_rows, large_rows, args.shards
+    )
     args.output.write_text(report)
     print(report)
     print(f"report written to {args.output}")

@@ -1,0 +1,101 @@
+"""Link failover: kill the root bridge's uplink mid-ping, watch STP heal it.
+
+A closed ring of active bridges runs the IEEE 802.1D spanning tree — a
+physical loop, so exactly one port is blocked.  At a scripted instant the
+:mod:`repro.faults` timeline cuts the segment carrying the traffic (the
+root's uplink toward the measurement hosts), a ping train keeps running
+through the outage, and the :class:`~repro.measurement.ConvergenceProbe`
+reports the episode the paper's Section 7.5 narrative is about:
+
+* echoes flow, then black-hole the moment the link dies,
+* ``max_age`` later the downstream bridges notice the root's hellos stopped,
+* the blocked port walks listening -> learning -> forwarding
+  (2 x forward delay), and the pings come back — the long way around.
+
+Timers are compressed (hello 0.5 s, max-age 2.5 s, forward delay 1 s) so the
+whole episode takes seconds; swap in the standard 2/20/15 s to reproduce the
+paper's timescales (as ``benchmarks/bench_failover.py`` does).
+
+Run with:  python examples/link_failover.py
+"""
+
+from __future__ import annotations
+
+from repro.measurement import ConvergenceProbe
+from repro.measurement.ping import PingRunner
+from repro.scenario import run_scenario
+
+FAIL_AT = 5.0
+RECOVER_AT = 14.0
+TIMERS = {"hello_time": 0.5, "max_age": 2.5, "forward_delay": 1.0}
+
+
+def port_states(run) -> str:
+    cells = []
+    for device in run.devices:
+        snapshot = device.func.lookup("stp.ieee").snapshot()
+        for port, state in sorted(snapshot["port_states"].items()):
+            if state != "forwarding":
+                cells.append(f"{device.name}.{port}={state}")
+    return ", ".join(cells) or "every port forwarding"
+
+
+def main() -> None:
+    print("compiling scenario 'ring/failover' (5 bridges in a physical loop)")
+    run = run_scenario(
+        "ring/failover",
+        params={"n_bridges": 5, "fail_at": FAIL_AT, "recover_at": RECOVER_AT,
+                **TIMERS},
+    )
+    run.warm_up()
+    print(f"  converged at t={run.sim.now:.1f}s; non-forwarding: {port_states(run)}")
+    print(f"  timeline: {[event.describe() for event in run.faults.events]}")
+
+    probe = ConvergenceProbe(run.sim, network=run.network, fault_time=FAIL_AT)
+    probe.start()
+
+    left, right = run.host("left"), run.host("right")
+    received_before = {"n": 0}
+    runner = PingRunner(
+        run.sim, left, right.ip, payload_size=64, count=40, interval=0.25,
+        identifier=0xF0,
+    )
+    runner.start(run.sim.now + 0.01)
+
+    print(f"\npinging {left.name} -> {right.name} every 250 ms through the outage...")
+    checkpoints = (FAIL_AT - 0.1, FAIL_AT + 2.0, FAIL_AT + 5.0)
+    for checkpoint in checkpoints:
+        run.sim.run_until(checkpoint)
+        delta = runner.result.received - received_before["n"]
+        received_before["n"] = runner.result.received
+        print(
+            f"  t={run.sim.now:5.1f}s  replies so far {runner.result.received:2d}"
+            f" (+{delta})  non-forwarding: {port_states(run)}"
+        )
+    # Read the failover episode *before* the scripted recovery: the link-up
+    # at RECOVER_AT triggers its own (re-blocking) transitions, which belong
+    # to a second episode, not to this reconvergence figure.
+    run.sim.run_until(RECOVER_AT - 0.1)
+    report = probe.report()
+    run.sim.run_until(run.ready_time + 40 * 0.25 + 2.0)
+    print(
+        f"  t={run.sim.now:5.1f}s  replies so far {runner.result.received:2d}"
+        f"  non-forwarding after recovery: {port_states(run)}"
+    )
+    print("\nConvergenceProbe report:")
+    print(f"  fault at            : t={report.fault_time:.1f}s (link-down seg1)")
+    print(f"  detection time      : {report.detection_s:.2f}s  (max-age expiry)")
+    print(f"  reconvergence time  : {report.reconvergence_s:.2f}s  (+2 x forward delay)")
+    print(f"  port transitions    : {report.transitions}")
+    print(f"  frames lost         : {report.frames_lost} on the dead segment")
+    print(f"  forwarding restored : t={report.forwarding_restored_at:.1f}s")
+    loss = runner.result.loss_fraction
+    print(
+        f"\nping train: {runner.result.received}/{runner.result.sent} replies "
+        f"({loss:.0%} lost to the outage); RTT mean {runner.result.mean_rtt_ms():.2f} ms"
+    )
+    print("the ring healed itself: traffic now takes the long way around.")
+
+
+if __name__ == "__main__":
+    main()

@@ -58,6 +58,7 @@ class NetworkInterface:
         self.frames_dropped = 0
         self.bytes_sent = 0
         self.bytes_received = 0
+        self.link_transitions = 0
 
     # ------------------------------------------------------------------
     # Wiring
@@ -115,11 +116,22 @@ class NetworkInterface:
     def set_up(self, up: bool) -> None:
         """Administratively enable/disable the interface.
 
-        A downed interface neither sends nor receives; the spanning-tree
-        benchmarks use this to simulate link failures.  Toggling refreshes
-        the segment's express-lane eligibility (a downed receiver never runs
-        a handler, so it does not hold a segment off the express lane).
+        A downed interface neither sends nor receives; the fault subsystem's
+        ``port-down``/``port-up``/``node-crash`` events and the spanning-tree
+        benchmarks drive link failures through here.  Each actual state
+        change emits one ``nic.link`` record (the
+        :class:`~repro.measurement.convergence.ConvergenceProbe` failure
+        signal) and bumps :attr:`link_transitions`.  Toggling refreshes the
+        segment's express-lane eligibility (a downed receiver never runs a
+        handler, so it does not hold a segment off the express lane — and a
+        remote port going down can *grant* a cut segment the lane).
         """
+        up = bool(up)
+        if up != self.up:
+            self.link_transitions += 1
+            trace = self._trace
+            if trace.wants("nic.link"):
+                trace.emit(self.name, "nic.link", {"up": up})
         self.up = up
         segment = self.segment
         if segment is not None:
@@ -196,6 +208,7 @@ class NetworkInterface:
             "frames_dropped": self.frames_dropped,
             "bytes_sent": self.bytes_sent,
             "bytes_received": self.bytes_received,
+            "link_transitions": self.link_transitions,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

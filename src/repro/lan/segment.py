@@ -31,6 +31,25 @@ single lock on the frame path.  A shard-local segment whose up receivers are
 all inline-safe takes the *express lane* (:meth:`Segment._express_pump`):
 the whole service → delivery → reply chain runs inline at exact strict-engine
 timestamps, skipping the event ring entirely.
+
+**Fault hooks.**  The fault subsystem (:mod:`repro.faults`) drives three
+dynamic knobs, all mutated only from driver/control context — the single
+engine's queue, strict shard 0, or relaxed control barriers — so mid-window
+shard threads only ever *read* them:
+
+* :meth:`set_link` — whole-segment failure (cable cut): a downed segment
+  drops at the sender (no carrier), drains its transmit queue, and vetoes
+  the express lane; frames whose delivery event was already on the wire at
+  the instant of failure still arrive (the failure happens "behind" them).
+* :meth:`set_fault_model` — a seeded loss/corruption model consulted once
+  per serviced frame; judged frames occupy the wire exactly as delivered
+  ones (``_busy_until`` chains are unchanged) but are counted in
+  :attr:`frames_lost` / :attr:`frames_corrupted` instead of delivered.
+  An active model vetoes the express lane — eligibility is re-evaluated on
+  every model change, exactly as on every port up/down.
+* :meth:`set_degrade` — scales bandwidth down and/or adds propagation delay
+  (never below the compiled values, so the fabric's cut-segment lookahead
+  stays conservative).
 """
 
 from __future__ import annotations
@@ -108,10 +127,20 @@ class Segment:
         # declared inline-safe.  Refreshed on attach/detach/set_up/
         # set_handler; see _express_pump for the contract.
         self._express = False
+        # Fault state (repro.faults): link status, the loss/corruption model
+        # consulted per serviced frame, and the nominal wire characteristics
+        # set_degrade() scales from.  Only mutated from driver/control
+        # context; see the module docstring's fault-hooks contract.
+        self._link_up = True
+        self._fault_model = None
+        self._nominal_bandwidth_bps = self.bandwidth_bps
+        self._nominal_propagation_delay = self.propagation_delay
         # Statistics
         self.frames_carried = 0
         self.bytes_carried = 0
         self.cross_shard_frames = 0
+        self.frames_lost = 0
+        self.frames_corrupted = 0
 
     # ------------------------------------------------------------------
     # Attachment
@@ -182,7 +211,18 @@ class Segment:
         This is exactly what lets the wire-speed sweeps express-run every
         segment of the ring once the bridge ports are down, cut segments
         included.
+
+        Fault state vetoes the lane: a downed link never delivers and an
+        active loss model draws from a stochastic stream the pump does not
+        replicate, so both force the classic event path.  Every fault
+        mutation (:meth:`set_link`, :meth:`set_fault_model`) and every port
+        up/down re-runs this refresh, which is what makes mid-run fall-back
+        and re-expression deterministic.
         """
+        model = self._fault_model
+        if not self._link_up or (model is not None and model.active):
+            self._express = False
+            return
         home = self.sim
         self._express = all(
             (
@@ -193,6 +233,111 @@ class Segment:
             and (interface.home_sim is home or not interface.up)
             for interface in self._interfaces
         )
+
+    # ------------------------------------------------------------------
+    # Fault hooks (repro.faults) — driver/control context only
+    # ------------------------------------------------------------------
+
+    @property
+    def link_up(self) -> bool:
+        """Whether the segment's medium is currently operational."""
+        return self._link_up
+
+    def set_link(self, up: bool) -> None:
+        """Fail or restore the whole segment (cable cut / splice).
+
+        Failing the link drops everything still queued for the medium at the
+        instant of failure (counted in :attr:`frames_lost`, one
+        ``segment.drop`` record each) and makes every later transmit drop at
+        the sender until the link is restored.  Frames whose delivery event
+        already left the wire keep arriving — the in-flight window is
+        sub-propagation-delay and the cut happens behind them.
+
+        Must run in driver/control context (fault timelines schedule through
+        the simulator facade, which guarantees it); mid-window shard code
+        only reads the flag.
+        """
+        up = bool(up)
+        if up == self._link_up:
+            return
+        self._link_up = up
+        trace = self._trace
+        if trace.wants("segment.link"):
+            trace.emit(self.name, "segment.link", {"up": up})
+        if not up:
+            pending = self._pending
+            while pending:
+                sender, frame = pending.popleft()
+                self._count_drop(sender, frame, "link-down")
+        self._refresh_express()
+
+    def set_fault_model(self, model) -> None:
+        """Attach (or with ``None`` detach) a per-frame loss/corruption model.
+
+        The model is duck-typed — ``active`` plus ``judge(frame)`` returning
+        ``None``/``"loss"``/``"corrupt"`` — and is consulted exactly once per
+        serviced frame, in segment service order (see
+        :class:`repro.faults.models.FrameLossModel` for the determinism
+        argument).  Attaching an active model revokes the express lane;
+        detaching re-evaluates eligibility.
+        """
+        self._fault_model = model
+        trace = self._trace
+        if trace.wants("segment.fault_model"):
+            trace.emit(
+                self.name,
+                "segment.fault_model",
+                {"model": repr(model) if model is not None else "none"},
+            )
+        self._refresh_express()
+
+    def set_degrade(
+        self, bandwidth_scale: float = 1.0, extra_delay: float = 0.0
+    ) -> None:
+        """Degrade the wire: scale bandwidth down, add propagation delay.
+
+        Both knobs move relative to the segment's *nominal* (construction
+        time) characteristics, so repeated calls do not compound and the
+        neutral arguments restore the segment exactly.  Bandwidth can only
+        shrink and delay only grow: the partitioner derived the fabric's
+        conservative lookahead from the nominal propagation delays, and a
+        shorter delay on a cut segment would break that bound.
+        """
+        if not 0.0 < bandwidth_scale <= 1.0:
+            raise TopologyError(
+                f"degrade bandwidth_scale {bandwidth_scale} outside (0, 1]"
+            )
+        if extra_delay < 0:
+            raise TopologyError(f"degrade extra_delay {extra_delay} is negative")
+        self.bandwidth_bps = self._nominal_bandwidth_bps * bandwidth_scale
+        self.propagation_delay = self._nominal_propagation_delay + extra_delay
+        trace = self._trace
+        if trace.wants("segment.degrade"):
+            trace.emit(
+                self.name,
+                "segment.degrade",
+                {"bandwidth_scale": bandwidth_scale, "extra_delay": extra_delay},
+            )
+
+    def _emit_drop(self, trace, sender: "NetworkInterface",
+                   frame: EthernetFrame, reason: str) -> None:
+        """Emit one ``segment.drop`` record onto ``trace`` (no counting)."""
+        if trace.wants("segment.drop"):
+            trace.emit(
+                self.name,
+                "segment.drop",
+                lambda: {
+                    "sender": sender.name,
+                    "reason": reason,
+                    "frame": frame.describe(),
+                },
+            )
+
+    def _count_drop(self, sender: "NetworkInterface", frame: EthernetFrame,
+                    reason: str) -> None:
+        """Count one lost frame and emit its ``segment.drop`` record (home stream)."""
+        self.frames_lost += 1
+        self._emit_drop(self._trace, sender, frame, reason)
 
     # ------------------------------------------------------------------
     # Transmission
@@ -213,6 +358,30 @@ class Segment:
                 f"interface {sender.name} transmitted on {self.name} "
                 "without being attached"
             )
+        if not self._link_up:
+            # No carrier: the frame is lost at the sender.  The drop record
+            # belongs to the sending context's stream (mirroring the enqueue
+            # record below); on a cut segment under relaxed sync the counter
+            # increment is routed through the outbox — another shard's thread
+            # must not mutate this segment mid-window.
+            trace = self._trace
+            if self._delivery_runs is not None:
+                sim = self.sim
+                if sim.relaxed:
+                    caller = active_shard()
+                    if caller is not None:
+                        self._emit_drop(caller.trace, sender, frame, "link-down")
+                        caller.outbox.append(
+                            ("drop", caller.clock._now_ns, self)
+                        )
+                        return
+                else:
+                    active = sim.fabric._active
+                    if active is not None:
+                        trace = active.trace
+            self.frames_lost += 1
+            self._emit_drop(trace, sender, frame, "link-down")
+            return
         trace = self._trace
         if self._delivery_runs is not None:
             # Cut segment: the enqueue record belongs to the *sending*
@@ -284,6 +453,17 @@ class Segment:
         if not self._pending:
             self._in_service = False
             return
+        if not self._link_up:
+            # The medium died while frames were queued: everything still
+            # waiting is lost.  (set_link drains the queue at the instant of
+            # failure; this path catches frames replayed into a dead segment
+            # by a pre-failure service event.)
+            pending = self._pending
+            while pending:
+                sender, frame = pending.popleft()
+                self._count_drop(sender, frame, "link-down")
+            self._in_service = False
+            return
         sim = self.sim
         if self._express and sim.relaxed and active_shard() is not None:
             # Relaxed express lane: run the segment's whole causal chain
@@ -302,6 +482,22 @@ class Segment:
         # Wire occupancy, consistent with serialization_delay(): the frame
         # plus preamble/SFD/inter-frame gap, not just header+payload+FCS.
         self.bytes_carried += frame.wire_length
+
+        model = self._fault_model
+        if model is not None and model.active:
+            verdict = model.judge(frame)
+            if verdict is not None:
+                # The frame occupies the wire exactly as a delivered one
+                # (the _busy_until chain above already advanced) but never
+                # reaches a receiver: lost outright, or corrupted and
+                # discarded by every NIC's FCS check.
+                if verdict == "corrupt":
+                    self.frames_corrupted += 1
+                    self._emit_drop(self._trace, sender, frame, "corrupt")
+                else:
+                    self._count_drop(sender, frame, "loss")
+                self._schedule(finish, self._service_next, label=self._next_label)
+                return
 
         runs = self._delivery_runs
         if runs is None:

@@ -11,9 +11,12 @@ This package contains the workloads and probes the paper's evaluation uses:
   cost-model ceilings;
 * :mod:`~repro.measurement.agility` — the function-agility experiment
   (Section 7.5);
+* :mod:`~repro.measurement.convergence` — detection/reconvergence/loss
+  reporting around scripted faults (:mod:`repro.faults`);
 * :mod:`~repro.measurement.stats` — summary statistics helpers.
 """
 
+from repro.measurement.convergence import ConvergenceProbe, ConvergenceReport
 from repro.measurement.ping import PingRunner, PingResult, ping_sweep
 from repro.measurement.ttcp import TtcpSession, TtcpResult, ttcp_sweep
 from repro.measurement.framerate import CounterRateProbe, FrameRateProbe, FrameRateSample
@@ -42,6 +45,8 @@ __all__ = [
     "FrameRateSample",
     "AgilityProbe",
     "AgilityResult",
+    "ConvergenceProbe",
+    "ConvergenceReport",
     "PairSetup",
     "RingSetup",
     "build_direct_pair",

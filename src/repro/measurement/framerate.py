@@ -42,8 +42,15 @@ class FrameRateSample:
 
     @property
     def frames_per_second(self) -> float:
-        """The realized forwarding rate."""
-        if self.elapsed <= 0:
+        """The realized forwarding rate.
+
+        Total for degenerate windows: a zero-length or zero-delivery
+        interval (every frame lost to an outage) reports ``0.0``, and a
+        negative frame delta (the trace or a station counter was reset
+        mid-window) saturates at ``0.0`` instead of reporting a negative
+        rate.
+        """
+        if self.elapsed <= 0 or self.frames <= 0:
             return 0.0
         return self.frames / self.elapsed
 
@@ -63,10 +70,15 @@ class FrameRateProbe:
         self._start_time = self.sim.now
 
     def stop(self) -> FrameRateSample:
-        """Snapshot again and return the interval's sample."""
+        """Snapshot again and return the interval's sample.
+
+        Robust to outage windows: a station that forwarded nothing (or whose
+        counter was reset mid-window) yields a zero-rate sample rather than
+        a division surprise downstream.
+        """
         if self._start_count is None or self._start_time is None:
             raise RuntimeError("FrameRateProbe.stop() called before start()")
-        frames = _transmitted_count(self.station) - self._start_count
+        frames = max(0, _transmitted_count(self.station) - self._start_count)
         elapsed = self.sim.now - self._start_time
         return FrameRateSample(frames=frames, elapsed=elapsed)
 
@@ -101,10 +113,18 @@ class CounterRateProbe:
         self._start_time = self.sim.now
 
     def stop(self) -> FrameRateSample:
-        """Read the counter delta and return the interval's sample."""
+        """Read the counter delta and return the interval's sample.
+
+        Robust to zero-delivery windows during an outage: no matching
+        records (or a trace cleared mid-window, which rewinds the live
+        counters) yields a zero-rate sample — never a negative count or a
+        division error.
+        """
         if self._window is None or self._start_time is None:
             raise RuntimeError("CounterRateProbe.stop() called before start()")
-        frames = self._window.count(category=self.category, source=self.source)
+        frames = max(
+            0, self._window.count(category=self.category, source=self.source)
+        )
         elapsed = self.sim.now - self._start_time
         return FrameRateSample(frames=frames, elapsed=elapsed)
 

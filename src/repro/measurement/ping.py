@@ -51,11 +51,16 @@ class PingResult:
         return 1.0 - self.received / self.sent
 
     def summary(self) -> Dict[str, float]:
-        """Summary statistics of the RTT sample (seconds)."""
+        """Summary statistics of the RTT sample (seconds).
+
+        Total for zero-delivery trials: a train that lost every echo (the
+        link was down) summarizes to all-zero statistics rather than
+        raising on the empty sample.
+        """
         return summarize(self.rtts)
 
     def mean_rtt_ms(self) -> float:
-        """Mean round-trip time in milliseconds."""
+        """Mean round-trip time in milliseconds (``0.0`` when nothing came back)."""
         return self.summary()["mean"] * 1000.0
 
 

@@ -9,6 +9,8 @@ functions in :mod:`repro.measurement.setups` are thin wrappers over this
 package.
 """
 
+from repro.faults.spec import FaultSpec
+from repro.faults.timeline import FaultTimeline
 from repro.scenario.spec import (
     BASIC_WARMUP,
     SPANNING_TREE_WARMUP,
@@ -45,6 +47,8 @@ from repro.scenario import catalog as _catalog  # noqa: F401
 __all__ = [
     "BASIC_WARMUP",
     "SPANNING_TREE_WARMUP",
+    "FaultSpec",
+    "FaultTimeline",
     "SegmentSpec",
     "HostSpec",
     "PortSpec",

@@ -12,7 +12,8 @@ from __future__ import annotations
 
 from typing import Tuple
 
-from repro.lan.segment import DEFAULT_BANDWIDTH_BPS
+from repro.faults.spec import FaultSpec
+from repro.lan.segment import DEFAULT_BANDWIDTH_BPS, DEFAULT_PROPAGATION_DELAY
 from repro.scenario.registry import register_scenario
 from repro.scenario.spec import (
     BASIC_WARMUP,
@@ -217,6 +218,172 @@ def ring(
         hosts=hosts,
         devices=devices,
         ready_time=SPANNING_TREE_WARMUP,
+    )
+
+
+@register_scenario(
+    "ring/failover",
+    description="closed ring of STP bridges with a scheduled link failure and failover",
+    axes=("n_bridges", "fail_at", "recover_at", "failed_segment", "forward_delay"),
+)
+def ring_failover(
+    n_bridges: int = 4,
+    fail_at: float = 45.0,
+    recover_at: float = 0.0,
+    failed_segment: str = "",
+    hosts_per_segment: int = 0,
+    hello_time: float = 2.0,
+    max_age: float = 20.0,
+    forward_delay: float = 15.0,
+    bandwidth_bps: float = DEFAULT_BANDWIDTH_BPS,
+) -> ScenarioSpec:
+    """A *closed* loop of active bridges running the IEEE spanning tree.
+
+    Unlike the (chain-shaped) ``ring`` scenario, bridge ``i`` joins segment
+    ``i`` to segment ``(i+1) mod n`` — a genuine physical loop, so the
+    spanning tree must block one port, and killing a forwarding segment at
+    ``fail_at`` forces a real failover: max-age expiry detects the failure
+    and the blocked port walks listening → learning → forwarding the other
+    way around the ring.  ``recover_at`` (0 = never) restores the link.
+    Two measurement hosts sit on segment 0 and the diametrically opposite
+    segment, so traffic crosses the failed link before the outage and the
+    long way around after reconvergence.  The 802.1D timers are parameters:
+    the standard 2/20/15 s reproduce the paper's timescales, compressed
+    values run whole failover episodes in seconds of simulated time.
+    """
+    if n_bridges < 3:
+        raise ValueError("a failover ring needs at least three bridges")
+    if fail_at < 0 or recover_at < 0:
+        raise ValueError("fault times cannot be negative")
+    # Per-segment propagation delays are staggered by one nanosecond: on a
+    # *physical loop* of zero-jitter hello timers, the root's BPDUs race both
+    # ways around the ring and would otherwise collide at the antipodal
+    # bridge at the exact same nanosecond on two different ports — a
+    # same-instant, order-sensitive tie the fabric's canonical-merge contract
+    # deliberately does not order (commuting effects only).  Unequal cable
+    # lengths are also simply the physical truth.
+    segments = tuple(
+        SegmentSpec(
+            f"seg{index}",
+            bandwidth_bps=bandwidth_bps,
+            propagation_delay=DEFAULT_PROPAGATION_DELAY + index * 1e-9,
+        )
+        for index in range(n_bridges)
+    )
+    far = n_bridges // 2
+    hosts = [HostSpec("left", "seg0"), HostSpec("right", f"seg{far}")]
+    hosts.extend(
+        HostSpec(f"seg{index}h{host + 1}", f"seg{index}")
+        for index in range(n_bridges)
+        for host in range(hosts_per_segment)
+    )
+    stack = (
+        SwitchletSpec("dumb-bridge"),
+        # 802.1D shortens MAC aging to forward_delay while the topology
+        # changes (the TCN mechanism); modeling that as the steady aging
+        # time is what lets the data path re-route instead of black-holing
+        # on stale pre-failure entries until the 300 s default expires.
+        SwitchletSpec("learning-bridge", {"aging_time": forward_delay}),
+        SwitchletSpec(
+            "spanning-tree",
+            {
+                "autostart": True,
+                "hello_time": hello_time,
+                "max_age": max_age,
+                "forward_delay": forward_delay,
+            },
+        ),
+    )
+    devices = tuple(
+        DeviceSpec(
+            f"bridge{index + 1}",
+            kind="active-node",
+            ports=(
+                PortSpec("eth0", f"seg{index}"),
+                PortSpec("eth1", f"seg{(index + 1) % n_bridges}"),
+            ),
+            switchlets=stack,
+        )
+        for index in range(n_bridges)
+    )
+    # Default to failing seg1 (on the short path between the hosts); at the
+    # minimum ring size the far host itself sits on seg1, so fall back to the
+    # other transit segment — failing a *host's own* LAN can never reroute,
+    # so it is rejected outright rather than silently measuring a black hole.
+    failed = failed_segment or ("seg1" if far != 1 else "seg2")
+    if failed in ("seg0", f"seg{far}"):
+        raise ValueError(
+            f"failed_segment {failed!r} carries a measurement host; failover "
+            "needs the hosts alive on their own LANs"
+        )
+    faults = [FaultSpec("link-down", fail_at, failed)]
+    if recover_at:
+        if recover_at <= fail_at:
+            raise ValueError("recover_at must be after fail_at")
+        faults.append(FaultSpec("link-up", recover_at, failed))
+    return ScenarioSpec(
+        name="ring/failover",
+        label="ring-failover",
+        description="closed STP bridge ring with scripted link failure",
+        segments=segments,
+        hosts=tuple(hosts),
+        devices=devices,
+        faults=tuple(faults),
+        # listening -> learning -> forwarding plus a hello round of margin.
+        ready_time=2.0 * forward_delay + 2.0 * hello_time + 1.0,
+    )
+
+
+@register_scenario(
+    "pair/lossy",
+    description="bridged host pair with a seeded frame-loss/corruption model on the first LAN",
+    axes=("loss_rate", "corrupt_rate", "loss_at", "clear_at"),
+)
+def lossy_pair(
+    loss_rate: float = 0.1,
+    corrupt_rate: float = 0.0,
+    loss_at: float = 0.05,
+    clear_at: float = 0.0,
+    bandwidth_bps: float = DEFAULT_BANDWIDTH_BPS,
+) -> ScenarioSpec:
+    """Two LANs joined by a learning active bridge, with ``lan1`` turning
+    lossy at ``loss_at``: every serviced frame is dropped with probability
+    ``loss_rate`` (or corrupted — discarded by the receivers' FCS check —
+    with ``corrupt_rate``) from a seeded per-segment random stream.
+    ``clear_at`` (0 = never) detaches the model again.  The loss axes are
+    ordinary matrix parameters, so loss-rate sweeps expand like topology
+    sweeps."""
+    if loss_at < 0 or clear_at < 0:
+        raise ValueError("fault times cannot be negative")
+    faults = [
+        FaultSpec(
+            "frame-loss", loss_at, "lan1", rate=loss_rate,
+            corrupt_rate=corrupt_rate,
+        )
+    ]
+    if clear_at:
+        if clear_at <= loss_at:
+            raise ValueError("clear_at must be after loss_at")
+        faults.append(FaultSpec("frame-loss", clear_at, "lan1", rate=0.0))
+    return ScenarioSpec(
+        name="pair/lossy",
+        label="lossy",
+        description="host pair over a degraded LAN: seeded loss/corruption",
+        segments=_pair_segments(2, bandwidth_bps),
+        hosts=(HostSpec("host1", "lan1"), HostSpec("host2", "lan2")),
+        devices=(
+            DeviceSpec(
+                "bridge",
+                kind="active-node",
+                ports=(PortSpec("eth0", "lan1"), PortSpec("eth1", "lan2")),
+                switchlets=(
+                    SwitchletSpec("dumb-bridge"),
+                    SwitchletSpec("learning-bridge"),
+                ),
+            ),
+        ),
+        faults=tuple(faults),
+        ready_time=BASIC_WARMUP,
     )
 
 

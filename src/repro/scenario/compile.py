@@ -31,6 +31,7 @@ from repro.baselines.c_repeater import BufferedRepeater
 from repro.baselines.static_bridge import StaticLearningBridge
 from repro.core.node import ActiveNode
 from repro.costs.model import CostModel
+from repro.faults.timeline import FaultTimeline
 from repro.lan.host import Host
 from repro.lan.segment import Segment
 from repro.lan.topology import Network, NetworkBuilder
@@ -262,12 +263,15 @@ class ScenarioRun:
         ready_time: simulated time after which the data path is forwarding.
         partition: the partition plan the run was compiled with (``None``
             for single-engine runs).
+        faults: the installed :class:`~repro.faults.timeline.FaultTimeline`
+            (``None`` when the scenario schedules no faults).
     """
 
     spec: ScenarioSpec
     network: Network
     ready_time: float
     partition: Optional[PartitionPlan] = None
+    faults: Optional[FaultTimeline] = None
 
     @property
     def n_shards(self) -> int:
@@ -433,6 +437,7 @@ def compile_spec(
     shards: Union[int, PartitionSpec] = 1,
     sync: Optional[str] = None,
     workers: Optional[int] = None,
+    faults=None,
 ) -> ScenarioRun:
     """Compile ``spec`` into a live :class:`ScenarioRun`.
 
@@ -451,6 +456,13 @@ def compile_spec(
     fabric to concurrent lookahead windows under the canonical-merge
     contract, optionally on ``workers`` threads.  Construction always runs
     strictly — the mode only affects dispatch.
+
+    ``faults`` extends the spec's own fault timeline with additional
+    :class:`~repro.faults.spec.FaultSpec` events; the combined timeline is
+    installed on the simulator control path *before any event has been
+    dispatched*, which is what keeps one timeline bit-identical across the
+    single engine, strict shards and relaxed execution (see
+    :mod:`repro.faults.timeline`).
     """
     plan = plan_partition(spec, shards)
     if sync is not None:
@@ -492,6 +504,12 @@ def compile_spec(
     network = builder.build()
     for device in spec.devices:
         builder.register_station(device.name, _instantiate_device(network, device))
+    fault_events = tuple(spec.faults) + tuple(faults or ())
+    timeline = None
+    if fault_events:
+        timeline = FaultTimeline(seed=seed).extend(fault_events)
+        timeline.install(network)
     return ScenarioRun(
-        spec=spec, network=network, ready_time=spec.ready_time, partition=plan
+        spec=spec, network=network, ready_time=spec.ready_time, partition=plan,
+        faults=timeline,
     )

@@ -27,6 +27,7 @@ def run_scenario(
     shards: Union[int, PartitionSpec] = 1,
     sync: Optional[str] = None,
     workers: Optional[int] = None,
+    faults=None,
 ) -> ScenarioRun:
     """Compile a scenario into a live network ready for measurement.
 
@@ -52,6 +53,11 @@ def run_scenario(
             single-engine runs.
         workers: worker threads for relaxed windows (``None`` keeps the
             partition's setting; ``0`` = sequential).
+        faults: extra :class:`~repro.faults.spec.FaultSpec` events appended
+            to the scenario's own fault timeline (scripted link/port
+            failures, loss models — see :mod:`repro.faults`); the combined
+            timeline is installed at compile time on the simulator control
+            path, identically under every engine configuration.
 
     Returns:
         The compiled :class:`ScenarioRun`; the caller decides how far to run
@@ -65,7 +71,7 @@ def run_scenario(
         spec = scenario
     return compile_spec(
         spec, seed=seed, cost_model=cost_model, trace_sinks=trace_sinks,
-        shards=shards, sync=sync, workers=workers,
+        shards=shards, sync=sync, workers=workers, faults=faults,
     )
 
 
@@ -80,6 +86,7 @@ def run_matrix(
     shards: Union[int, PartitionSpec] = 1,
     sync: Optional[str] = None,
     workers: Optional[int] = None,
+    faults=None,
 ) -> Iterator[ScenarioRun]:
     """Compile and yield one :class:`ScenarioRun` per matrix point.
 
@@ -92,5 +99,5 @@ def run_matrix(
     for spec in expand_matrix(name, axes, base_params=base_params):
         yield compile_spec(
             spec, seed=seed, cost_model=cost_model, trace_sinks=trace_sinks,
-            shards=shards, sync=sync, workers=workers,
+            shards=shards, sync=sync, workers=workers, faults=faults,
         )

@@ -242,7 +242,11 @@ class RelaxedExecutor:
           delivery runs);
         * ``("tx", when_ns, segment, sender_nic, frame)`` — a transmit on a
           cut segment, replayed through
-          :meth:`Segment._apply_relaxed_transmit` at its recorded time.
+          :meth:`Segment._apply_relaxed_transmit` at its recorded time;
+        * ``("drop", when_ns, segment)`` — one sender-side frame loss on a
+          failed cut segment (``frames_lost`` bookkeeping deferred to the
+          barrier; the drop record was already emitted on the sender's
+          stream at send time).
 
         The sort key makes the merge independent of thread scheduling, which
         is what keeps threaded relaxed runs deterministic.
@@ -267,6 +271,8 @@ class RelaxedExecutor:
                 # itself (a facade-homed monitoring NIC on a cut segment);
                 # _relaxed_push_fire resolves to the right ring.
                 entry[2]._relaxed_push_fire(when_ns, entry[3])
+            elif kind == "drop":
+                entry[2].frames_lost += 1
             else:
                 entry[2]._apply_relaxed_transmit(when_ns, entry[3], entry[4])
         self.mail_flushed += len(entries)

@@ -164,6 +164,9 @@ def spanning_tree_package(
     environment: Optional[Mapping[str, object]] = None,
     autostart: bool = True,
     buggy: bool = False,
+    hello_time: Optional[float] = None,
+    max_age: Optional[float] = None,
+    forward_delay: Optional[float] = None,
 ) -> SwitchletPackage:
     """The third switchlet: the IEEE 802.1D spanning tree.
 
@@ -173,21 +176,49 @@ def spanning_tree_package(
             "loaded but idle" state, ready for the control switchlet).
         buggy: ship the deliberately faulty implementation used by the
             fallback experiment.
+        hello_time / max_age / forward_delay: override the standard 802.1D
+            timers (2 s / 20 s / 15 s).  Failure detection rides on
+            ``max_age`` expiry and failover on the two ``forward_delay``
+            transitions, so the failover scenarios compress these to run
+            whole reconvergence episodes in seconds of simulated time.
     """
+    timer_args = ""
+    if hello_time is not None:
+        timer_args += f", hello_time={float(hello_time)!r}"
+    if max_age is not None:
+        timer_args += f", max_age={float(max_age)!r}"
+    if forward_delay is not None:
+        timer_args += f", forward_delay={float(forward_delay)!r}"
     if buggy:
         components = stp_module.PACKAGED_COMPONENTS_BUGGY
-        registration = stp_module.REGISTRATION_SOURCE_BUGGY_DORMANT
-        if autostart:
-            registration = registration + "\n_app.start(listen=True)\n"
+        dormant = stp_module.REGISTRATION_SOURCE_BUGGY_DORMANT
+        app_class = "BuggySpanningTreeApp"
         name = "spanning-tree-802.1d-buggy"
         description = "deliberately faulty 802.1D spanning tree (fallback experiment)"
     else:
         components = stp_module.PACKAGED_COMPONENTS
-        registration = (
-            stp_module.REGISTRATION_SOURCE if autostart else stp_module.REGISTRATION_SOURCE_DORMANT
-        )
+        dormant = stp_module.REGISTRATION_SOURCE_DORMANT
+        app_class = "SpanningTreeApp"
         name = "spanning-tree-802.1d"
         description = "IEEE 802.1D spanning tree switchlet"
+    if timer_args:
+        # The dormant constants construct the app with default timers;
+        # rewrite just the constructor call so the registration contract
+        # (registry key, environment arguments) stays spelled in one place.
+        registration = dormant.replace(
+            "Safethread)", f"Safethread{timer_args})"
+        )
+        if autostart:
+            registration = registration + "\n_app.start(listen=True)\n"
+    elif not buggy:
+        # Byte-exact legacy sources for the default-timer packages.
+        registration = (
+            stp_module.REGISTRATION_SOURCE if autostart else dormant
+        )
+    else:
+        registration = dormant
+        if autostart:
+            registration = registration + "\n_app.start(listen=True)\n"
     return build_package(
         name=name,
         components=components,

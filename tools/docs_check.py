@@ -1,12 +1,15 @@
 """CI documentation check: the docs pages must track the living system.
 
-Two coverage contracts, both cheap and exact:
+Three coverage contracts, all cheap and exact:
 
 * every scenario registered in :mod:`repro.scenario.registry` must be named
   in ``docs/scenario-catalog.md``;
 * every BENCH metric *family* tracked anywhere in ``BENCH_trace.json`` (a
   metric name as collected by ``benchmarks/perf_gate.py``, with its
-  ``@size`` suffix stripped) must be named in ``docs/benchmarks.md``.
+  ``@size`` suffix stripped) must be named in ``docs/benchmarks.md``;
+* every fault kind in :data:`repro.faults.FAULT_KINDS` must be named in
+  ``docs/architecture.md`` — adding a dynamics event without documenting
+  its semantics fails CI exactly like an undocumented scenario.
 
 Run from the repository root::
 
@@ -28,10 +31,12 @@ sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
 
 from perf_gate import collect_metrics  # noqa: E402
 
+from repro.faults import FAULT_KINDS  # noqa: E402
 from repro.scenario.registry import list_scenarios  # noqa: E402
 
 CATALOG_PAGE = REPO_ROOT / "docs" / "scenario-catalog.md"
 BENCHMARKS_PAGE = REPO_ROOT / "docs" / "benchmarks.md"
+ARCHITECTURE_PAGE = REPO_ROOT / "docs" / "architecture.md"
 RESULTS_PATH = REPO_ROOT / "BENCH_trace.json"
 
 
@@ -78,6 +83,16 @@ def main() -> int:
                 f"missing from {BENCHMARKS_PAGE.relative_to(REPO_ROOT)}"
             )
 
+    architecture_text = (
+        ARCHITECTURE_PAGE.read_text() if ARCHITECTURE_PAGE.exists() else ""
+    )
+    for kind in FAULT_KINDS:
+        if f"`{kind}`" not in architecture_text:
+            failures.append(
+                f"fault kind {kind!r} exists in repro.faults.FAULT_KINDS but "
+                f"is missing from {ARCHITECTURE_PAGE.relative_to(REPO_ROOT)}"
+            )
+
     if failures:
         print(f"docs check: {len(failures)} problem(s):")
         for failure in failures:
@@ -86,8 +101,8 @@ def main() -> int:
     scenarios = len(list_scenarios())
     families = len(metric_families(history))
     print(
-        f"docs check: OK — {scenarios} scenarios and {families} metric "
-        "families all documented"
+        f"docs check: OK — {scenarios} scenarios, {families} metric "
+        f"families and {len(FAULT_KINDS)} fault kinds all documented"
     )
     return 0
 
