@@ -14,6 +14,13 @@ externally by the :class:`~repro.measurement.convergence.ConvergenceProbe`:
   long way around the ring;
 * **frames lost** — everything the dead segment swallowed meanwhile.
 
+The episode runs *under offered load*: every ring segment carries a local
+host pair exchanging pings throughout (see ``LOCAL_HOSTS``), because the
+paper's failover story is about traffic that keeps flowing — and because a
+control-plane-only episode measures nothing but the conservative
+scheduler's worst case (one long cross-shard BPDU/echo chain with empty
+windows).
+
 Each engine configuration (single engine, strict shards, relaxed shards)
 replays the *same* fault timeline; the benchmark asserts the live counters
 and the convergence report are identical across configurations before
@@ -22,9 +29,11 @@ at benchmark time exactly as the sharded-fabric sweeps do.
 
 The committed ``BENCH_trace.json`` entry records the simulated convergence
 figures plus each configuration's trace-records-per-CPU-second execution
-rate; ``perf_gate.py`` tracks the ``failover/*`` records/s metrics against
-their previous occurrences (the convergence times are *results*, pinned by
-tests, not throughput — they are recorded but not gated).
+rate and the ``relaxed_speedup`` headline ratio (median of per-round
+relaxed/strict pairings); ``perf_gate.py`` tracks the ``failover/*``
+records/s metrics and the ratio against their previous occurrences, and
+holds the ratio at the >= 1.0 floor (the convergence times are *results*,
+pinned by tests, not throughput — they are recorded but not gated).
 
 Run directly::
 
@@ -61,6 +70,18 @@ FAIL_AT = 40.0
 #: Ping cadence across the outage (one echo per quarter second).
 PING_INTERVAL = 0.25
 
+#: Offered load riding the episode: every ring segment carries one local
+#: host pair exchanging pings for the whole run.  The paper measures
+#: failover on a *loaded* network — reconvergence matters because traffic
+#: is flowing — and a control-plane-only episode (hellos plus one echo
+#: train) degenerates into the conservative scheduler's worst case: long
+#: cross-shard causal chains with nothing else in each window.  The local
+#: pairs give every shard wire service to batch between BPDU hops, which
+#: is the traffic mix the express/batched machinery exists for.
+LOCAL_HOSTS = 2
+LOCAL_INTERVAL = 0.5
+LOCAL_PAYLOAD = 512
+
 
 def config_key(sync: str, shards: int) -> str:
     return f"shards={shards}" if sync == "strict" else f"shards={shards}/{sync}"
@@ -68,8 +89,12 @@ def config_key(sync: str, shards: int) -> str:
 
 #: Episode repetitions per configuration; the fastest CPU time is kept, the
 #: same hygiene as ``bench_sharded_fabric.wire_blast`` — a single ~0.1 s
-#: sample would hand the 20 % perf gate to scheduler noise.
-PASSES = 3
+#: sample would hand the 20 % perf gate to scheduler noise.  Passes are
+#: *interleaved* across configurations (round-robin, not per-config blocks)
+#: so CPU frequency drift over the run hits every configuration equally —
+#: the relaxed-over-strict ratio floor would otherwise be at the mercy of
+#: which configuration happened to run during a fast window.
+PASSES = 7
 
 
 def run_episode(bridges: int, shards: int, sync: str) -> dict:
@@ -77,7 +102,7 @@ def run_episode(bridges: int, shards: int, sync: str) -> dict:
     run = run_scenario(
         "ring/failover",
         params={"n_bridges": bridges, "fail_at": FAIL_AT, "recover_at": 0.0,
-                **TIMERS},
+                "hosts_per_segment": LOCAL_HOSTS, **TIMERS},
         shards=shards,
         sync=sync if shards > 1 else None,
     )
@@ -85,10 +110,24 @@ def run_episode(bridges: int, shards: int, sync: str) -> dict:
     # delays, plus settle margin.
     horizon = FAIL_AT + TIMERS["max_age"] + 2 * TIMERS["forward_delay"] + 5.0
     count = int((horizon - run.ready_time) / PING_INTERVAL) - 4
+    local_count = int((horizon - 2.0) / LOCAL_INTERVAL)
     gc.collect()
     gc.disable()
     cpu_start = time.process_time()
     wall_start = time.perf_counter()
+    # Background load from t=1s: pre-convergence the non-forwarding bridge
+    # ports drop the local exchanges (listening/learning states), so the
+    # pairs season the warm-up too without ever flooding the open loop.
+    load = [
+        PingRunner(
+            run.sim, run.host(f"seg{index}h1"), run.host(f"seg{index}h2").ip,
+            payload_size=LOCAL_PAYLOAD, count=local_count,
+            interval=LOCAL_INTERVAL, identifier=0xB000 + index,
+        )
+        for index in range(bridges)
+    ]
+    for runner in load:
+        runner.start(1.0)
     run.warm_up()
     probe = ConvergenceProbe(run.sim, network=run.network, fault_time=FAIL_AT)
     probe.start()
@@ -113,51 +152,48 @@ def run_episode(bridges: int, shards: int, sync: str) -> dict:
         "events_dispatched": run.sim.events_dispatched,
         "convergence": report.summary(),
         "ping": {"sent": ping.result.sent, "received": ping.result.received},
+        "load": {
+            "pairs": len(load),
+            "sent": sum(runner.result.sent for runner in load),
+            "received": sum(runner.result.received for runner in load),
+        },
         "counters": dict(run.sim.trace.counters.by_category_source),
     }
 
 
-def best_episode(bridges: int, shards: int, sync: str) -> dict:
-    """Run the episode ``PASSES`` times; keep the fastest CPU-time sample.
-
-    Every pass must reproduce the same counters and convergence report —
-    the episode is fully deterministic — so only the timing varies.
-    """
-    best = None
-    for _ in range(PASSES):
-        sample = run_episode(bridges, shards, sync)
-        if best is None:
-            best = sample
-        else:
-            assert sample["counters"] == best["counters"], "episode not deterministic"
-            assert sample["convergence"] == best["convergence"]
-            if sample["records_per_second"] > best["records_per_second"]:
-                sample["counters"] = best["counters"]
-                best = sample
-    return best
-
-
 def run_sweep(bridges: int) -> dict:
-    results = {}
+    # Round-robin the passes (see PASSES) and keep each configuration's
+    # fastest sample; every pass of every configuration must reproduce the
+    # same counters and convergence report — the episode is deterministic,
+    # only the timing varies.
+    results: dict = {}
+    round_rates: dict = {}
     baseline_counters = None
     baseline_convergence = None
+    for _ in range(PASSES):
+        for sync, shards in CONFIGS:
+            sample = run_episode(bridges, shards, sync)
+            counters = sample.pop("counters")
+            if baseline_counters is None:
+                baseline_counters = counters
+                baseline_convergence = sample["convergence"]
+            else:
+                # Same timeline, same episode, every engine mode: the fault
+                # subsystem's invariance contract, asserted before reporting.
+                assert counters == baseline_counters, (
+                    f"{sync} shards={shards} diverged from the single engine"
+                )
+                assert sample["convergence"] == baseline_convergence, (
+                    f"{sync} shards={shards} convergence report diverged"
+                )
+            key = config_key(sync, shards)
+            round_rates.setdefault(key, []).append(sample["records_per_second"])
+            best = results.get(key)
+            if best is None or sample["records_per_second"] > best["records_per_second"]:
+                results[key] = sample
     for sync, shards in CONFIGS:
-        result = best_episode(bridges, shards, sync)
-        counters = result.pop("counters")
-        if baseline_counters is None:
-            baseline_counters = counters
-            baseline_convergence = result["convergence"]
-        else:
-            # Same timeline, same episode, every engine mode: the fault
-            # subsystem's invariance contract, asserted before reporting.
-            assert counters == baseline_counters, (
-                f"{sync} shards={shards} diverged from the single engine"
-            )
-            assert result["convergence"] == baseline_convergence, (
-                f"{sync} shards={shards} convergence report diverged"
-            )
         key = config_key(sync, shards)
-        results[key] = result
+        result = results[key]
         conv = result["convergence"]
         print(
             f"{bridges}-bridge ring {key}: detection {conv['detection_s']:.1f}s, "
@@ -166,15 +202,42 @@ def run_sweep(bridges: int) -> dict:
             f"{result['records']} records in {result['seconds_cpu']:.2f} cpu-s "
             f"= {result['records_per_second']:,} records/s"
         )
-    return {
+    sweep = {
         "bridges": bridges,
         "fail_at": FAIL_AT,
         "timers": TIMERS,
+        "local_hosts": LOCAL_HOSTS,
+        "local_interval": LOCAL_INTERVAL,
         "detection_s": baseline_convergence["detection_s"],
         "reconvergence_s": baseline_convergence["reconvergence_s"],
         "frames_lost": baseline_convergence["frames_lost"],
         "configs": results,
     }
+    # Headline ratio, mirroring bench_sharded_fabric: relaxed over strict
+    # records/s at the same shard count.  perf_gate holds this at >= 1.0 —
+    # the express/batched-service machinery must pay for its windows.
+    # The ratio pairs samples *per round* (adjacent in time, so CPU
+    # frequency drift hits both sides of each ratio equally) and takes the
+    # median across rounds: the ratio of per-config bests would compare
+    # samples from different frequency windows and swing wildly on
+    # frequency-scaled machines.
+    for sync, shards in CONFIGS:
+        if sync != "relaxed":
+            continue
+        strict_rates = round_rates.get(config_key("strict", shards))
+        relaxed_rates = round_rates[config_key(sync, shards)]
+        if strict_rates:
+            ratios = sorted(
+                relaxed / strict
+                for relaxed, strict in zip(relaxed_rates, strict_rates)
+            )
+            ratio = ratios[len(ratios) // 2]
+            sweep["relaxed_speedup"] = round(ratio, 2)
+            print(
+                f"{bridges}-bridge ring: relaxed is {ratio:.2f}x strict "
+                f"records/s at shards={shards} (median of per-round ratios)"
+            )
+    return sweep
 
 
 def main() -> None:

@@ -11,6 +11,16 @@ sharded-fabric frames/records per second per engine configuration (strict
 and relaxed sync, 64- and 256-LAN rings), or the relaxed-over-strict speedup
 ratio — regresses by more than the threshold (default 20 %).
 
+On top of the regression pairing, the gate holds **absolute ratio floors**:
+relaxed must deliver at least 1.0x the strict records/s at the same shard
+count (the express/batched machinery must pay for its windows on every
+committed workload, failover included) and at least 2.0x on the 256-LAN
+wire-speed ring.  Floors compare two configurations *within one entry* —
+same run, same machine — so they hold across hardware generations where
+absolute rates cannot; each floor passes when the best of its two newest
+occurrences meets it, so one noisy sample cannot fail a floor the committed
+baseline demonstrably clears (see :func:`check_floors`).
+
 Run after the benchmarks::
 
     PYTHONPATH=src python benchmarks/bench_trace_overhead.py --frames 20000 --skip-bounded
@@ -35,6 +45,59 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 RESULTS_PATH = REPO_ROOT / "BENCH_trace.json"
+
+#: Relaxed-over-strict records/s floors per workload family (the entry key
+#: the workload records under).  Ratios are taken within a single entry.
+RATIO_FLOORS = {
+    "sharded_fabric": 1.0,
+    "sharded_fabric_256": 2.0,
+    "failover": 1.0,
+}
+
+
+def collect_floors(entry: dict) -> dict:
+    """Floor-checked ratios in one entry: {name: (ratio, floor)}.
+
+    Reads each workload's own ``relaxed_speedup`` field — the benchmark is
+    responsible for sound pairing (bench_failover medians per-round ratios
+    so both sides of every ratio share a CPU frequency window; the fabric
+    sweeps ratio best-of-passes from isolated subprocesses) — and the gate
+    holds the result at the family's floor.
+    """
+    floors = {}
+    for family, floor in RATIO_FLOORS.items():
+        workload = entry.get(family)
+        if not isinstance(workload, dict):
+            continue
+        speedup = workload.get("relaxed_speedup")
+        if speedup is not None:
+            floors[f"floor/{family} relaxed-over-strict"] = (float(speedup), floor)
+    return floors
+
+
+def check_floors(history: list) -> list:
+    """Return [(name, ratio, floor, ok)] per floor family.
+
+    A floor passes when the **best of the two newest occurrences** meets it.
+    The ratio is a point estimate from a ~1-second paired sweep, so any
+    single sample carries a few percent of scheduler/frequency noise; with
+    the committed baseline entry and CI's fresh run both in the history, a
+    genuine regression shows up in both while an unlucky sample does not.
+    Sustained drift is additionally caught by the regression pairing, which
+    tracks each workload's ``relaxed_speedup`` (and every records/s metric)
+    against its previous occurrence at the default 20 % threshold.
+    """
+    occurrences: dict = {}
+    for entry in history:
+        for name, (ratio, floor) in collect_floors(entry).items():
+            occurrences.setdefault(name, []).append((ratio, floor))
+    rows = []
+    for name in sorted(occurrences):
+        newest_two = occurrences[name][-2:]
+        floor = newest_two[-1][1]
+        best = max(ratio for ratio, _ in newest_two)
+        rows.append((name, best, floor, best >= floor))
+    return rows
 
 
 def collect_metrics(entry: dict) -> dict:
@@ -75,13 +138,22 @@ def collect_metrics(entry: dict) -> dict:
     # Failover episodes (``bench_failover.py``): only the execution
     # throughput is gated — the simulated convergence figures recorded next
     # to it are *results*, pinned by the test suite, not performance.
+    # The size key carries the offered load when present (``8b/2h`` = 8
+    # bridges, 2 local hosts per segment) so a loaded episode never ratios
+    # against an unloaded baseline.
     failover = entry.get("failover")
     if isinstance(failover, dict):
         size = f"{failover.get('bridges', '?')}b"
+        local_hosts = failover.get("local_hosts")
+        if local_hosts:
+            size = f"{size}/{local_hosts}h"
         for config, result in (failover.get("configs") or {}).items():
             rate = result.get("records_per_second")
             if rate is not None:
                 metrics[f"failover/{config}@{size} records/s"] = float(rate)
+        speedup = failover.get("relaxed_speedup")
+        if speedup is not None:
+            metrics[f"failover/relaxed-speedup@{size} x"] = float(speedup)
     return metrics
 
 
@@ -170,27 +242,40 @@ def main(argv=None) -> int:
         return 0
 
     rows = compare(history, args.threshold)
-    if not rows:
+    floor_rows = check_floors(history)
+    if not rows and not floor_rows:
         print("perf gate: no metric has both a fresh and a baseline value; passing")
         return 0
 
-    width = max(len(name) for name, *_ in rows)
     failed = []
-    print(
-        f"perf gate: newest value of each metric vs its previous occurrence "
-        f"({len(history)} entries), threshold -{args.threshold:.0%}"
-    )
-    for name, base, new, ratio, ok in rows:
-        marker = "ok  " if ok else "FAIL"
-        print(f"  {marker} {name:<{width}}  {base:>12,.0f} -> {new:>12,.0f}  ({ratio:6.2%})")
-        if not ok:
-            failed.append(name)
+    if rows:
+        width = max(len(name) for name, *_ in rows)
+        print(
+            f"perf gate: newest value of each metric vs its previous occurrence "
+            f"({len(history)} entries), threshold -{args.threshold:.0%}"
+        )
+        for name, base, new, ratio, ok in rows:
+            marker = "ok  " if ok else "FAIL"
+            print(f"  {marker} {name:<{width}}  {base:>12,.0f} -> {new:>12,.0f}  ({ratio:6.2%})")
+            if not ok:
+                failed.append(name)
+    if floor_rows:
+        width = max(len(name) for name, *_ in floor_rows)
+        print(
+            "perf gate: relaxed-over-strict ratio floors "
+            "(best of the two newest occurrences per workload)"
+        )
+        for name, ratio, floor, ok in floor_rows:
+            marker = "ok  " if ok else "FAIL"
+            print(f"  {marker} {name:<{width}}  {ratio:5.2f}x (floor {floor:.1f}x)")
+            if not ok:
+                failed.append(name)
     if failed:
-        print(f"perf gate: {len(failed)} metric(s) regressed more than {args.threshold:.0%}:")
+        print(f"perf gate: {len(failed)} metric(s) regressed or under floor:")
         for name in failed:
             print(f"  - {name}")
         return 1
-    print(f"perf gate: all {len(rows)} metrics within threshold")
+    print(f"perf gate: all {len(rows) + len(floor_rows)} checks passed")
     return 0
 
 

@@ -77,7 +77,11 @@ class StaticLearningBridge:
         nic = NetworkInterface(self.sim, f"{self.name}.{name}", mac)
         nic.attach(segment)
         nic.set_promiscuous(True)
-        nic.set_handler(lambda _nic, frame, port=name: self._receive(port, frame))
+        # segment_local: forwarding rides the CPU queue (see _receive).
+        nic.set_handler(
+            lambda _nic, frame, port=name: self._receive(port, frame),
+            segment_local=True,
+        )
         self.interfaces[name] = nic
         return nic
 

@@ -104,7 +104,17 @@ class ActiveNode:
             mac = MacAddress.locally_administered(self.sim.auto_station_id(_AUTO_MAC_BASE))
         nic = NetworkInterface(self.sim, f"{self.name}.{name}", mac)
         nic.attach(segment)
-        nic.set_handler(lambda _nic, frame, port=name: self._receive(port, frame))
+        # segment_local: every reaction of the node — switchlet dispatch and
+        # any frame a switchlet sends — rides the CPU queue (see _receive /
+        # _transmit), never the wire synchronously.  That holds for any
+        # loaded switchlet by construction (switchlets reach the wire only
+        # through unixnet writes, which charge the CPU queue); a switchlet
+        # declaring SEGMENT_LOCAL_SAFE = False revokes it (see
+        # scenario.compile._instantiate_device).
+        nic.set_handler(
+            lambda _nic, frame, port=name: self._receive(port, frame),
+            segment_local=True,
+        )
         self.interfaces[name] = nic
         self.unixnet.add_interface(name, mac, nic.set_promiscuous)
         return nic

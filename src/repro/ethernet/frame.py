@@ -37,6 +37,12 @@ WIRE_OVERHEAD = 8 + 12
 #: The 802.1Q tag inserted after the source address: TPID (2) + TCI (2).
 VLAN_TAG_LENGTH = 4
 
+#: The smallest possible wire occupancy of any frame (minimum frame plus
+#: preamble, SFD and inter-frame gap) — a hard lower bound on serialization
+#: time that the sharded fabric's partitioner folds into its cut-segment
+#: lookahead.
+MIN_WIRE_LENGTH = HEADER_LENGTH + MIN_PAYLOAD + FCS_LENGTH + WIRE_OVERHEAD
+
 
 @dataclass(frozen=True)
 class VlanTag:

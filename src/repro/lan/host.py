@@ -48,7 +48,9 @@ class Host:
         self.nic = NetworkInterface(sim, f"{name}.eth0", mac)
         self.cpu = CpuQueue(sim, f"{name}.cpu")
         self.stack = HostStack(name=name, mac=mac, ip=ip, send_frame=self._stack_send)
-        self.nic.set_handler(self._nic_receive)
+        # segment_local: the stack path defers every reaction through the
+        # CPU queue (see _nic_receive); raw listeners are observation taps.
+        self.nic.set_handler(self._nic_receive, segment_local=True)
         self._raw_listeners: list[Callable[[EthernetFrame], None]] = []
 
     # ------------------------------------------------------------------

@@ -52,6 +52,7 @@ class NetworkInterface:
         self.up = True
         self._handler: Optional[FrameHandler] = None
         self._inline_safe = False
+        self._segment_local = False
         # Statistics
         self.frames_sent = 0
         self.frames_received = 0
@@ -89,22 +90,49 @@ class NetworkInterface:
         self.segment = None
 
     def set_handler(
-        self, handler: Optional[FrameHandler], inline_safe: bool = False
+        self,
+        handler: Optional[FrameHandler],
+        inline_safe: bool = False,
+        segment_local: bool = False,
     ) -> None:
         """Install the owner's receive handler (called for every accepted frame).
 
+        Two express-lane safety declarations qualify the handler under the
+        fabric's relaxed sync mode (see :meth:`Segment._refresh_express`):
+
         ``inline_safe=True`` declares the handler *reactive-only*: it runs
         synchronously, touches only this NIC / its owner's local state, and
-        any frames it sends go back onto the same segment.  Under the
-        fabric's relaxed sync mode a segment whose up receivers are all
-        inline-safe (or handler-less) runs its causal chain on the express
-        lane (:meth:`Segment._express_pump`) instead of the event ring.
-        Handlers that schedule events, touch multi-segment stations (bridge
-        demultiplexers) or race with timer-driven senders on the same
-        segment must keep the default.
+        any frames it sends go back onto the same segment.  A segment whose
+        up receivers are all inline-safe (or handler-less) runs its whole
+        causal chain on the inline express lane
+        (:meth:`Segment._express_pump`) instead of the event ring.
+
+        ``segment_local=True`` declares the handler *deferred*: from delivery
+        context it only updates its owner's local state and schedules
+        follow-on work through the owning engine (a CPU queue, a timer) —
+        its reactions never escape the segment synchronously.  That is the
+        natural shape of every station whose forwarding path rides a
+        :class:`~repro.costs.cpu.CpuQueue` (hosts, active nodes, the baseline
+        bridges and repeaters — the catalog protocols declare it
+        automatically), and it admits the segment to the *deferred* express
+        drain (:meth:`Segment._express_drain`): service bookkeeping runs
+        batched at transmit time while deliveries stay on the event ring at
+        their exact strict-engine timestamps.
+
+        Handlers that synchronously drive *other* segments from delivery
+        context, or that sample wire-side counters mid-flight, must keep
+        both defaults.
         """
         self._handler = handler
         self._inline_safe = bool(inline_safe) and handler is not None
+        self._segment_local = bool(segment_local) and handler is not None
+        segment = self.segment
+        if segment is not None:
+            segment._refresh_express()
+
+    def declare_segment_local(self, segment_local: bool) -> None:
+        """Flip the ``segment_local`` declaration without touching the handler."""
+        self._segment_local = bool(segment_local) and self._handler is not None
         segment = self.segment
         if segment is not None:
             segment._refresh_express()

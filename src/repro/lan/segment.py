@@ -27,10 +27,21 @@ window barrier and replayed in canonical ``(time, shard, position)`` order
 (:meth:`Segment._apply_relaxed_transmit`), and delivery runs are staged in
 the sending shard's outbox instead of being pushed into other shards' rings
 mid-window — that is what makes cross-shard handoff thread-safe without a
-single lock on the frame path.  A shard-local segment whose up receivers are
-all inline-safe takes the *express lane* (:meth:`Segment._express_pump`):
-the whole service → delivery → reply chain runs inline at exact strict-engine
-timestamps, skipping the event ring entirely.
+single lock on the frame path.  Shard-local segments additionally get an
+*express lane* with two strengths (see :meth:`Segment._refresh_express` for
+the eligibility rules):
+
+* **inline** (:meth:`Segment._express_pump`) — every up receiver is inert or
+  declared ``inline_safe``: the whole service → delivery → reply chain runs
+  inline at exact strict-engine timestamps, skipping the event ring
+  entirely;
+* **deferred** (:meth:`Segment._express_drain`) — every up receiver is inert
+  or declared ``segment_local`` (its reactions ride a CPU queue or timer,
+  never the wire synchronously): wire *service* is batched at transmit time
+  — one clock fetch and one arithmetic chain per backlog instead of one
+  service event per frame — while deliveries stay on the event ring at their
+  exact strict-engine timestamps, so handlers still execute in global shard
+  time order.
 
 **Fault hooks.**  The fault subsystem (:mod:`repro.faults`) drives three
 dynamic knobs, all mutated only from driver/control context — the single
@@ -72,6 +83,14 @@ DEFAULT_BANDWIDTH_BPS = 100_000_000
 
 #: A few microseconds of propagation/repeater latency per segment.
 DEFAULT_PROPAGATION_DELAY = 2e-6
+
+#: Express-lane modes (``Segment._express``).  Kept as ints so the hot-path
+#: gate stays one truthiness check.
+EXPRESS_OFF = 0
+EXPRESS_INLINE = 1
+EXPRESS_DEFERRED = 2
+
+_EXPRESS_MODE_NAMES = ("off", "inline", "deferred")
 
 
 class Segment:
@@ -121,12 +140,22 @@ class Segment:
         # on this segment's own engine (the common, unsharded case); else a
         # list of (engine, [interfaces]) runs in attach order.
         self._delivery_runs: Optional[List[tuple]] = None
-        # Express-lane eligibility (relaxed mode only): the whole causal
-        # service -> delivery -> reply chain of this segment may run inline
-        # when the segment is shard-local and every up receiver is inert or
-        # declared inline-safe.  Refreshed on attach/detach/set_up/
-        # set_handler; see _express_pump for the contract.
-        self._express = False
+        # Express-lane eligibility (relaxed mode only): EXPRESS_INLINE runs
+        # the whole causal service -> delivery -> reply chain inline when the
+        # segment is shard-local and every up receiver is inert or declared
+        # inline-safe; EXPRESS_DEFERRED batches wire service at transmit time
+        # (deliveries stay on the ring) when every up receiver is inert or
+        # declared segment-local.  Refreshed on attach/detach/set_up/
+        # set_handler and every fault hook; see _express_pump and
+        # _express_drain for the contracts.
+        self._express = EXPRESS_OFF
+        # Deferred-express bookkeeping: frames whose service was batched but
+        # whose delivery has not fired yet.  Entries are
+        # [pop_ns, prior_busy, sender, frame, live] lists shared with the
+        # scheduled delivery callback; set_link(False) kills the not-yet-
+        # on-the-wire suffix and rolls the busy chain back (classic drop
+        # semantics without per-frame service events).
+        self._express_inflight: Deque[list] = deque()
         # Fault state (repro.faults): link status, the loss/corruption model
         # consulted per serviced frame, and the nominal wire characteristics
         # set_degrade() scales from.  Only mutated from driver/control
@@ -141,6 +170,11 @@ class Segment:
         self.cross_shard_frames = 0
         self.frames_lost = 0
         self.frames_corrupted = 0
+        # Precompiled per-frame service pipeline (see _refresh_pipeline):
+        # _service_next dispatches through this cached bound method so the
+        # per-frame loop pays zero topology/fault conditionals on plain
+        # segments.
+        self._serve_frame = self._serve_frame_plain
 
     # ------------------------------------------------------------------
     # Attachment
@@ -200,39 +234,93 @@ class Segment:
     def _refresh_express(self) -> None:
         """Recompute express-lane eligibility (the relaxed-mode fast path).
 
-        A segment is *express-eligible* when its whole causal chain is
-        provably home-driven: every administratively-up interface either has
-        no handler (a pure counter/trace endpoint) or carries one its owner
-        declared inline-safe via :meth:`NetworkInterface.set_handler`, and
-        every interface homed on another shard is down.  Down interfaces
-        never run handlers or send, so they do not veto — a downed remote
-        bridge port cannot inject cross-shard traffic, and its drop counting
-        is routed through the outbox (thread-safely, on its own shard).
-        This is exactly what lets the wire-speed sweeps express-run every
-        segment of the ring once the bridge ports are down, cut segments
-        included.
+        Two lane strengths, decided per refresh (strongest first):
 
-        Fault state vetoes the lane: a downed link never delivers and an
-        active loss model draws from a stochastic stream the pump does not
-        replicate, so both force the classic event path.  Every fault
-        mutation (:meth:`set_link`, :meth:`set_fault_model`) and every port
-        up/down re-runs this refresh, which is what makes mid-run fall-back
+        * **inline** (:data:`EXPRESS_INLINE`): the whole causal chain is
+          provably home-driven — every administratively-up interface either
+          has no handler (a pure counter/trace endpoint) or carries one its
+          owner declared ``inline_safe`` via
+          :meth:`NetworkInterface.set_handler`, and every interface homed on
+          another shard is down.  Down interfaces never run handlers or
+          send, so they do not veto — a downed remote bridge port cannot
+          inject cross-shard traffic, and its drop counting is routed
+          through the outbox (thread-safely, on its own shard).  This is
+          exactly what lets the wire-speed sweeps express-run every segment
+          of the ring once the bridge ports are down, cut segments included.
+
+        * **deferred** (:data:`EXPRESS_DEFERRED`): the segment is strictly
+          shard-local (no delivery runs at all) and every up interface is
+          inert, ``inline_safe`` or ``segment_local`` — its handlers never
+          transmit onto *other* segments synchronously from delivery
+          context; reactions ride CPU queues or timers.  The drain never
+          executes handlers inline (deliveries stay on the ring at exact
+          strict timestamps), so this covers every catalog protocol whose
+          forwarding path rides a :class:`~repro.costs.cpu.CpuQueue`:
+          learning/static/VLAN bridges, repeaters, hosts and their ping
+          responders — the control-heavy topologies (``ring/failover``) the
+          inline rule used to veto.
+
+        Fault state vetoes both lanes: a downed link never delivers and an
+        active loss model draws from a stochastic stream at service order
+        and service *time*, which the batched drain would stamp differently.
+        Every fault mutation (:meth:`set_link`, :meth:`set_fault_model`) and
+        every port up/down re-runs this refresh — and re-selects the
+        precompiled service pipeline — which is what makes mid-run fall-back
         and re-expression deterministic.
         """
+        self._refresh_pipeline()
         model = self._fault_model
         if not self._link_up or (model is not None and model.active):
-            self._express = False
+            self._express = EXPRESS_OFF
             return
         home = self.sim
-        self._express = all(
-            (
-                (not interface.up)
-                or interface._handler is None
-                or interface._inline_safe
-            )
-            and (interface.home_sim is home or not interface.up)
-            for interface in self._interfaces
-        )
+        inline_ok = True
+        defer_ok = self._delivery_runs is None
+        for interface in self._interfaces:
+            up = interface.up
+            if interface.home_sim is not home:
+                if up:
+                    inline_ok = False
+                    defer_ok = False
+                    break
+                continue
+            if not up or interface._handler is None:
+                continue
+            if not interface._inline_safe:
+                inline_ok = False
+                if not interface._segment_local:
+                    defer_ok = False
+                    break
+        if inline_ok:
+            self._express = EXPRESS_INLINE
+        elif defer_ok:
+            self._express = EXPRESS_DEFERRED
+        else:
+            self._express = EXPRESS_OFF
+
+    @property
+    def express_mode(self) -> str:
+        """Current express-lane eligibility: ``off``, ``inline`` or ``deferred``."""
+        return _EXPRESS_MODE_NAMES[self._express]
+
+    def _refresh_pipeline(self) -> None:
+        """Re-select the precompiled per-frame service pipeline.
+
+        ``_service_next`` dispatches each frame through one cached bound
+        method, chosen here from the segment's topology/fault shape, so the
+        common no-runs/no-model segment serves frames with zero per-frame
+        conditionals.  Invalidated by exactly the hooks that refresh express
+        eligibility (attach/detach, port up/down, handler changes, every
+        fault mutation) plus :meth:`set_degrade`.  The arithmetic in every
+        variant is kept textually identical to preserve bit-identical floats
+        across engine modes.
+        """
+        if self._delivery_runs is not None:
+            self._serve_frame = self._serve_frame_cut
+        elif self._fault_model is not None:
+            self._serve_frame = self._serve_frame_model
+        else:
+            self._serve_frame = self._serve_frame_plain
 
     # ------------------------------------------------------------------
     # Fault hooks (repro.faults) — driver/control context only
@@ -269,6 +357,31 @@ class Segment:
             while pending:
                 sender, frame = pending.popleft()
                 self._count_drop(sender, frame, "link-down")
+            inflight = self._express_inflight
+            if inflight:
+                # Deferred-express frames were serviced (batched) ahead of
+                # time; the ones whose classic service *pop* would not have
+                # happened yet (pop_ns >= now: faults precede same-instant
+                # traffic in every mode) are exactly the frames the classic
+                # path would still hold queued — kill their parked
+                # deliveries, roll the busy chain back to the first killed
+                # frame and count the drops in FIFO order.
+                now_ns = self.sim.clock._now_ns
+                killed: List[list] = []
+                while inflight and inflight[-1][0] >= now_ns:
+                    killed.append(inflight.pop())
+                if killed:
+                    killed.reverse()
+                    self._busy_until = killed[0][1]
+                    for entry in killed:
+                        entry[4] = 0
+                        self.frames_carried -= 1
+                        self.bytes_carried -= entry[3].wire_length
+                        if len(entry) == 6:
+                            # Cut-drain entry: its serve also counted a
+                            # cross-shard frame that now never crosses.
+                            self.cross_shard_frames -= 1
+                        self._count_drop(entry[2], entry[3], "link-down")
         self._refresh_express()
 
     def set_fault_model(self, model) -> None:
@@ -311,6 +424,7 @@ class Segment:
             raise TopologyError(f"degrade extra_delay {extra_delay} is negative")
         self.bandwidth_bps = self._nominal_bandwidth_bps * bandwidth_scale
         self.propagation_delay = self._nominal_propagation_delay + extra_delay
+        self._refresh_pipeline()
         trace = self._trace
         if trace.wants("segment.degrade"):
             trace.emit(
@@ -465,12 +579,93 @@ class Segment:
             self._in_service = False
             return
         sim = self.sim
-        if self._express and sim.relaxed and active_shard() is not None:
-            # Relaxed express lane: run the segment's whole causal chain
-            # inline instead of round-tripping every step through the ring.
-            self._express_pump(sim.clock._now_ns)
+        express = self._express
+        if express and sim.relaxed and active_shard() is not None:
+            if express == EXPRESS_INLINE:
+                # Relaxed inline express lane: run the segment's whole causal
+                # chain inline instead of round-tripping every step through
+                # the ring.
+                self._express_pump(sim.clock._now_ns)
+            else:
+                # Deferred express lane: batch the wire service now, leave
+                # deliveries on the ring at their exact strict timestamps.
+                self._express_drain()
             return
         self._in_service = True
+        self._serve_frame()
+
+    def _serve_frame_plain(self) -> None:
+        """Serve one frame on a shard-local, fault-free segment.
+
+        The precompiled common case: no delivery runs, no fault model — all
+        per-frame conditionals were hoisted into :meth:`_refresh_pipeline`.
+        Arithmetic and scheduling order are textually identical to the other
+        variants (bit-identical floats, identical event sequence numbers).
+        """
+        sender, frame = self._pending.popleft()
+        now = self.sim.clock._now_s
+        busy = self._busy_until
+        start = now if now >= busy else busy
+        finish = start + frame.wire_length * 8.0 / self.bandwidth_bps
+        self._busy_until = finish
+        self.frames_carried += 1
+        self.bytes_carried += frame.wire_length
+        self._schedule(
+            finish + self.propagation_delay,
+            partial(self._deliver, sender, frame),
+            label=self._deliver_label,
+        )
+        self._schedule(finish, self._service_next, label=self._next_label)
+
+    def _serve_frame_model(self) -> None:
+        """Serve one frame on a shard-local segment with a fault model attached.
+
+        Shares the plain variant's tail (one deliver + one next-service
+        schedule) instead of duplicating the scheduling calls per branch, so
+        the judged path allocates nothing beyond the verdict's drop record.
+        """
+        sender, frame = self._pending.popleft()
+        now = self.sim.clock._now_s
+        busy = self._busy_until
+        start = now if now >= busy else busy
+        finish = start + frame.wire_length * 8.0 / self.bandwidth_bps
+        self._busy_until = finish
+        self.frames_carried += 1
+        self.bytes_carried += frame.wire_length
+        model = self._fault_model
+        if model is not None and model.active:
+            verdict = model.judge(frame)
+            if verdict is not None:
+                # The frame occupies the wire exactly as a delivered one
+                # (the _busy_until chain above already advanced) but never
+                # reaches a receiver: lost outright, or corrupted and
+                # discarded by every NIC's FCS check.
+                if verdict == "corrupt":
+                    self.frames_corrupted += 1
+                    self._emit_drop(self._trace, sender, frame, "corrupt")
+                else:
+                    self._count_drop(sender, frame, "loss")
+                self._schedule(finish, self._service_next, label=self._next_label)
+                return
+        self._schedule(
+            finish + self.propagation_delay,
+            partial(self._deliver, sender, frame),
+            label=self._deliver_label,
+        )
+        self._schedule(finish, self._service_next, label=self._next_label)
+
+    def _serve_frame_cut(self) -> None:
+        """Serve one frame on a cut segment (inter-shard delivery runs)."""
+        sim = self.sim
+        if sim.relaxed and self._delivery_runs is not None:
+            model = self._fault_model
+            if (model is None or not model.active) and active_shard() is None:
+                # Barrier context (mailed transmit replay) on a fault-free
+                # cut segment: batch the wire service right now, exactly as
+                # the deferred express lane does, instead of round-tripping
+                # a service event per frame through the home ring.
+                self._drain_cut()
+                return
         sender, frame = self._pending.popleft()
         now = sim.clock._now_s
         busy = self._busy_until
@@ -487,10 +682,6 @@ class Segment:
         if model is not None and model.active:
             verdict = model.judge(frame)
             if verdict is not None:
-                # The frame occupies the wire exactly as a delivered one
-                # (the _busy_until chain above already advanced) but never
-                # reaches a receiver: lost outright, or corrupted and
-                # discarded by every NIC's FCS check.
                 if verdict == "corrupt":
                     self.frames_corrupted += 1
                     self._emit_drop(self._trace, sender, frame, "corrupt")
@@ -501,6 +692,8 @@ class Segment:
 
         runs = self._delivery_runs
         if runs is None:
+            # Retopologized to all-home since the pipeline was selected
+            # (refresh happens before the in-flight service event fires).
             self._schedule(
                 deliver_at,
                 partial(self._deliver, sender, frame),
@@ -603,6 +796,184 @@ class Segment:
                 lambda: {"sender": sender.name, "frame": frame.describe()},
             )
 
+    def _express_drain(self) -> None:
+        """Batch-service the transmit backlog (relaxed deferred express lane).
+
+        The insight behind the deferred lane: wire *service* is pure
+        arithmetic — pop, advance the ``_busy_until`` chain, schedule the
+        delivery — so nothing forces it to wait for its own service event.
+        This drain services every queued frame at transmit time in one run
+        (one clock fetch, one busy-chain walk per batch) and schedules each
+        delivery as a fire-and-forget ring event at the exact nanosecond the
+        classic path would, eliding the per-frame service event entirely.
+        Handlers therefore still run in shard time order with every other
+        event (CPU completions, timers) — unlike the inline pump, no handler
+        ever executes early — which is why the eligibility bar is only
+        "reactions never escape the segment synchronously".
+
+        Service-start times replicate the classic chain bit-for-bit: a frame
+        that would have waited for a service event at ``round(busy * ns)``
+        gets exactly that quantized start (see the ``pop_ns`` branch), so
+        ``_busy_until`` chains, delivery timestamps and every record match
+        the strict engine.
+
+        Each batched frame leaves an in-flight entry
+        ``[pop_threshold_ns, prior_busy, sender, frame, live]`` shared with
+        its delivery callback: :meth:`set_link` uses the threshold to kill
+        exactly the frames the classic path would still hold queued at the
+        instant of failure (their service pop would fire at or after the
+        fault, which precedes same-instant traffic), rolling the busy chain
+        and the carried counters back.  A frame popped directly at transmit
+        time stores ``now - 1`` so a same-instant failure — which by the
+        fault-precedence contract ran *before* the transmit — never kills
+        it.  Batch boundaries fall on every fault/port/model transition
+        because each of those re-runs :meth:`_refresh_express` and drops the
+        segment off the lane before the next transmit.
+        """
+        self._in_service = False
+        sim = self.sim
+        clock = sim.clock
+        push = sim._queue.push_fire
+        pending = self._pending
+        inflight = self._express_inflight
+        bandwidth = self.bandwidth_bps
+        prop = self.propagation_delay
+        busy = self._busy_until
+        now = clock._now_s
+        now_ns = clock._now_ns
+        carried = 0
+        carried_bytes = 0
+        while pending:
+            sender, frame = pending.popleft()
+            if now >= busy:
+                start = now
+                pop_ns = now_ns - 1
+            else:
+                pop_ns = round(busy * NANOSECONDS_PER_SECOND)
+                quantized = pop_ns / NANOSECONDS_PER_SECOND
+                start = quantized if quantized >= busy else busy
+            finish = start + frame.wire_length * 8.0 / bandwidth
+            entry = [pop_ns, busy, sender, frame, 1]
+            busy = finish
+            carried += 1
+            carried_bytes += frame.wire_length
+            inflight.append(entry)
+            push(
+                round((finish + prop) * NANOSECONDS_PER_SECOND),
+                partial(self._deliver_express, entry),
+            )
+        self._busy_until = busy
+        self.frames_carried += carried
+        self.bytes_carried += carried_bytes
+
+    def _deliver_express(self, entry: list) -> None:
+        """Deliver one deferred-express frame (ring event at its exact time)."""
+        if not entry[4]:
+            return
+        entry[4] = 0
+        self._prune_inflight()
+        self._deliver(entry[2], entry[3])
+
+    def _prune_inflight(self) -> None:
+        """Drop retired head entries from the in-flight window.
+
+        An express entry retires when its single delivery consumes it
+        (``live`` cleared); a cut-drain entry retires when its home leg runs
+        (``consumed`` set) because the remote run legs only ever read the
+        ``live`` flag.  Killed entries never reach here — :meth:`set_link`
+        pops them directly.  Always called on the home shard's event loop
+        (express deliveries and cut home legs both ride the home ring), so
+        there is no race with threaded remote windows.
+        """
+        inflight = self._express_inflight
+        while inflight:
+            head = inflight[0]
+            if head[4] and (len(head) == 5 or not head[5]):
+                break
+            inflight.popleft()
+
+    def _drain_cut(self) -> None:
+        """Batch-service mailed transmits on a cut segment (barrier context).
+
+        The deferred express-lane insight (see :meth:`_express_drain`)
+        applies to cut segments too, with one extra ace: in relaxed mode a
+        cut segment's transmits arrive *only* through the mail barrier
+        (windows are pumped strictly below the next control time), so every
+        serve already happens in barrier context and the per-frame
+        ``_service_next`` completion event buys nothing but ring traffic.
+        This drain replicates :meth:`_serve_frame_cut`'s barrier arm —
+        quantized service starts, one home ``segment.deliver`` record plus
+        one parked delivery per receiver run, all at the exact strict-engine
+        nanosecond — without scheduling a single service event.
+
+        Eligibility is checked by the caller per serve (relaxed, runs
+        attached, no active fault model, no active shard), so fault-model
+        transitions fall back to the classic arm and keep the per-frame
+        ``judge()`` draw order identical to strict.  In-flight entries are
+        ``[pop_threshold_ns, prior_busy, sender, frame, live, consumed]`` —
+        the express entry plus a consumed flag, because a cut frame has
+        several parked callbacks and only the home leg may retire it.
+        :meth:`set_link` kills and refunds them exactly like express
+        entries (plus the cross-shard counter).
+        """
+        self._in_service = False
+        sim = self.sim
+        clock = sim.clock
+        push = sim._relaxed_push_fire
+        pending = self._pending
+        inflight = self._express_inflight
+        runs = self._delivery_runs
+        bandwidth = self.bandwidth_bps
+        prop = self.propagation_delay
+        busy = self._busy_until
+        now = clock._now_s
+        now_ns = clock._now_ns
+        carried = 0
+        carried_bytes = 0
+        while pending:
+            sender, frame = pending.popleft()
+            if now >= busy:
+                start = now
+                pop_ns = now_ns - 1
+            else:
+                pop_ns = round(busy * NANOSECONDS_PER_SECOND)
+                quantized = pop_ns / NANOSECONDS_PER_SECOND
+                start = quantized if quantized >= busy else busy
+            finish = start + frame.wire_length * 8.0 / bandwidth
+            entry = [pop_ns, busy, sender, frame, 1, 0]
+            busy = finish
+            carried += 1
+            carried_bytes += frame.wire_length
+            inflight.append(entry)
+            deliver_ns = round((finish + prop) * NANOSECONDS_PER_SECOND)
+            push(deliver_ns, partial(self._deliver_cut_parked, entry, None))
+            for engine, run in runs:
+                engine._relaxed_push_fire(
+                    deliver_ns, partial(self._deliver_cut_parked, entry, run)
+                )
+        self._busy_until = busy
+        self.frames_carried += carried
+        self.bytes_carried += carried_bytes
+        self.cross_shard_frames += carried
+
+    def _deliver_cut_parked(self, entry: list, run) -> None:
+        """Fire one parked cut-drain delivery leg at its exact ring time.
+
+        ``run is None`` is the home leg: it emits the ``segment.deliver``
+        record, retires the entry and prunes the in-flight window (home
+        ring, so serialized against :meth:`set_link` barriers).  Run legs
+        execute on their receiving shards and only read the ``live`` flag,
+        which is written exclusively at barriers — no cross-thread race.
+        """
+        if run is not None:
+            if entry[4]:
+                self._deliver_run(entry[2], entry[3], run, False)
+            return
+        if entry[4]:
+            self._emit_deliver(entry[2], entry[3])
+        entry[5] = 1
+        self._prune_inflight()
+
     def _express_pump(self, s_ns: int) -> None:
         """Drain this segment's service loop inline (relaxed express lane).
 
@@ -634,6 +1005,11 @@ class Segment:
         prop = self.propagation_delay
         runs = self._delivery_runs
         deliver = self._deliver
+        # Batch-hoisted trace gate: one wants() check per pump run instead of
+        # one per frame (the gate is run configuration, immutable mid-run).
+        trace = self._trace
+        deliver_wanted = trace.wants("segment.deliver")
+        name = self.name
         # Frames already queued at pump entry were transmitted at or before
         # s_ns; frames appended by the inline deliveries below arrive at
         # their delivery instant, and — exactly as under the strict engine,
@@ -674,7 +1050,22 @@ class Segment:
                     shard.cursor_ns = deliver_ns
                 before = len(pending)
                 if runs is None:
-                    deliver(sender, frame)
+                    # Inlined _deliver with the batch-hoisted gate: the
+                    # record and receiver walk are identical, minus one
+                    # wants() and one call frame per frame.
+                    if deliver_wanted:
+                        trace.emit(
+                            name,
+                            "segment.deliver",
+                            lambda s=sender, f=frame: {
+                                "sender": s.name,
+                                "frame": f.describe(),
+                            },
+                        )
+                    for interface in self._receivers:
+                        if interface is sender:
+                            continue
+                        interface.deliver(frame)
                 else:
                     self._deliver_cut(sender, frame)
                 for _ in range(len(pending) - before):

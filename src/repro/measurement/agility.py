@@ -98,7 +98,9 @@ class AgilityProbe:
         self.eth0.attach(left_segment)
         self.eth1.attach(right_segment)
         self.eth1.set_promiscuous(True)
-        self.eth1.set_handler(self._on_far_frame)
+        # segment_local: the far-side watcher only records timestamps and
+        # emits trace records; it never transmits from delivery context.
+        self.eth1.set_handler(self._on_far_frame, segment_local=True)
         self.result: Optional[AgilityResult] = None
         self.pings_sent = 0
         self._pinging = False

@@ -109,9 +109,19 @@ class PingRunner:
         if not self._installed:
             self.source.stack.add_icmp_handler(self._on_icmp)
             self._installed = True
+        # The send timers ride the *source host's* own engine, not the run
+        # facade: everything a send touches (the host stack, its CPU queue,
+        # the runner's tallies — which the reply handler already mutates from
+        # the host's context) lives on the host's home shard, so on a
+        # sharded fabric the facade's control ring — a global barrier per
+        # event under relaxed sync — would synchronize every shard 4x per
+        # second for a callback only one shard can observe.  On a single
+        # engine ``source.sim`` is the same simulator, and under strict sync
+        # the shared ``(time, seq)`` order makes the ring choice invisible.
+        home = self.source.sim
         for index in range(self.count):
             when = at_time + index * self.interval
-            self.sim.schedule_at(
+            home.schedule_at(
                 when, lambda seq=index: self._send(seq), label="ping.send"
             )
 

@@ -15,11 +15,11 @@ and force-advancing so no shard is ever left segment-less; hosts follow
 their segment and devices their first port's segment.  Contiguity is what
 keeps the cut small on chain/ring topologies (a bridge chain cuts exactly at
 chunk boundaries) and what makes the cut set — and with it the conservative
-lookahead, the minimum propagation delay over cut segments — a deterministic
-function of the spec alone.  Every cut segment must have a positive
-propagation delay: that delay *is* the fabric's lookahead, and both sync
-modes (the strict batch bound and the relaxed window length) depend on it
-being non-zero.
+lookahead, the minimum over cut segments of wire service time for a
+minimum-size frame plus propagation delay — a deterministic function of the
+spec alone.  Every cut segment must have a positive propagation delay: that
+delay anchors the fabric's lookahead, and both sync modes (the strict batch
+bound and the relaxed window length) depend on it being non-zero.
 """
 
 from __future__ import annotations
@@ -31,6 +31,7 @@ from repro.baselines.c_repeater import BufferedRepeater
 from repro.baselines.static_bridge import StaticLearningBridge
 from repro.core.node import ActiveNode
 from repro.costs.model import CostModel
+from repro.ethernet.frame import MIN_WIRE_LENGTH
 from repro.faults.timeline import FaultTimeline
 from repro.lan.host import Host
 from repro.lan.segment import Segment
@@ -114,7 +115,8 @@ class PartitionPlan:
         cut_segments: segments whose attached stations span shards — the
             fabric's only coupling points.
         lookahead_ns: the conservative-synchronization lookahead — the
-            minimum propagation delay over the cut segments, in nanoseconds
+            minimum over the cut segments of wire service time for a
+            minimum-size frame plus propagation delay, in nanoseconds
             (``None`` when the shards are fully independent).
         sync: the fabric synchronization mode the run was compiled with
             (``"strict"`` or ``"relaxed"``).
@@ -140,8 +142,10 @@ def plan_partition(
     a bridge chain cuts exactly at chunk boundaries.  Explicit
     :attr:`PartitionSpec.assignments` override any automatic placement.
 
-    The plan's lookahead is the minimum propagation delay over cut segments;
-    a cut segment with zero propagation delay is rejected because the
+    The plan's lookahead is the minimum over cut segments of the cross-shard
+    handoff latency: the serialization time of a minimum-size frame plus the
+    propagation delay (a delivery can land no earlier than its transmit plus
+    both).  A cut segment with zero propagation delay is rejected because the
     conservative synchronizer requires cross-shard handoffs to land strictly
     in the receiving shard's future.
 
@@ -240,7 +244,18 @@ def plan_partition(
                     "lookahead; give the cut segment a positive delay or "
                     "adjust the partition"
                 )
-            delay_ns = seconds_to_ns(segment.propagation_delay)
+            # The true cross-shard handoff latency is wire *service* plus
+            # propagation: a delivery run lands no earlier than its transmit
+            # plus the minimum frame's serialization time.  Both knobs only
+            # move the latency up at run time (the :meth:`Segment.set_degrade`
+            # contract), so folding the minimum wire time into the lookahead
+            # stays conservative; the -1 ns absorbs the engine's
+            # round-to-nearest nanosecond quantization.
+            latency = (
+                segment.propagation_delay
+                + MIN_WIRE_LENGTH * 8.0 / segment.bandwidth_bps
+            )
+            delay_ns = seconds_to_ns(latency) - 1
             if lookahead_ns is None or delay_ns < lookahead_ns:
                 lookahead_ns = delay_ns
     return PartitionPlan(
@@ -315,6 +330,19 @@ class ScenarioRun:
     def run_until(self, until_seconds: float) -> int:
         """Convenience passthrough to :meth:`Simulator.run_until`."""
         return self.network.run_until(until_seconds)
+
+    def express_report(self) -> Dict[str, str]:
+        """Express-lane eligibility per segment (``off``/``inline``/``deferred``).
+
+        A snapshot of :attr:`Segment.express_mode` at call time, in segment
+        declaration order.  Eligibility is topology- and declaration-driven
+        (not load-driven), so for a given scenario and shard count the report
+        is stable — the catalog test pins it.
+        """
+        return {
+            name: segment.express_mode
+            for name, segment in self.network.segments.items()
+        }
 
     def warm_up(self) -> None:
         """Run the simulator up to the scenario's ready time."""
@@ -410,7 +438,14 @@ def _instantiate_device(network: Network, device: DeviceSpec) -> object:
         node.add_interface(port.name, network.segment(port.segment))
     environment = node.environment.modules
     for switchlet in device.switchlets:
-        node.load_switchlet(_build_switchlet(environment, switchlet))
+        app = _build_switchlet(environment, switchlet)
+        node.load_switchlet(app)
+        if not getattr(app, "SEGMENT_LOCAL_SAFE", True):
+            # The switchlet disclaims the segment-local contract (it reaches
+            # the wire synchronously from delivery context): revoke the
+            # express-lane declaration on every port of this node.
+            for nic in node.interfaces.values():
+                nic.declare_segment_local(False)
     if any(switchlet.name == "vlan-bridge" for switchlet in device.switchlets):
         node.func.call("bridge.vlan.configure", _vlan_port_config(device))
     return node

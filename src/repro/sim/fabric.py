@@ -273,10 +273,11 @@ class ShardedSimulator:
         placement: component name -> shard index used by :meth:`sim_for`
             (the scenario compiler passes the partitioner's assignment).
             Unknown names fall back to shard 0.
-        lookahead_ns: minimum cross-shard handoff latency (derived from
-            inter-shard segment propagation delays by the partitioner);
-            recorded for introspection, validated positive by the
-            partitioner, and the conservative window length in relaxed mode.
+        lookahead_ns: minimum cross-shard handoff latency (derived by the
+            partitioner from inter-shard segments' minimum-frame wire time
+            plus propagation delay); recorded for introspection, validated
+            positive by the partitioner, and the conservative window length
+            in relaxed mode.
         sync: ``"strict"`` (default) dispatches in the exact global
             ``(time_ns, sequence)`` order — bit-identical to the single
             engine; ``"relaxed"`` advances shards concurrently through

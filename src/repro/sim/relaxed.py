@@ -6,17 +6,31 @@ bit-identical to the single engine — at the price of a coordinator pass and a
 batch-limit comparison on every event.  *Relaxed* mode trades that total
 order for throughput while keeping a provable correctness contract:
 
-**Execution model (conservative windows).**  Let ``T`` be the globally
-earliest pending event time and ``L`` the fabric lookahead (the minimum
-propagation delay over cut segments, computed by the partitioner).  Every
-event in the window ``[T, T + L)`` can be dispatched without inter-shard
-coordination: a cross-shard effect of an event at time ``t`` materializes no
-earlier than ``t + L`` — the classic Chandy–Misra–Bryant clock-plus-lookahead
-bound.  The executor repeatedly computes the window, lets every shard drain
-its own ring up to the window end (sequentially, or on one worker thread per
-shard), and then flushes the cross-shard *mailboxes* at the barrier.  When
-the shards share no cut segment (``lookahead_ns is None``) the window is the
-whole run horizon and every shard free-runs.
+**Execution model (conservative windows, per-shard bounds).**  Let ``T`` be
+the globally earliest pending event time and ``L`` the fabric lookahead (the
+minimum cross-shard handoff latency — minimum-frame wire service plus
+propagation delay over cut segments, computed by the partitioner).
+Every event in the window ``[T, T + L)`` can be dispatched without
+inter-shard coordination: a cross-shard effect of an event at time ``t``
+materializes no earlier than ``t + L`` — the classic Chandy–Misra–Bryant
+clock-plus-lookahead bound.  The executor sharpens that global window into a
+*per-shard* bound.  For every shard the earliest time anything can reach it
+is ``min`` over the other shards of their earliest possible activity plus
+``L``; for a shard that is not the sole earliest this collapses to the
+classic ``T + L - 1``, while the sole earliest shard may run to
+``min(T2, T + L) + L - 1`` (``T2`` the earliest top among the *other*
+shards) — the feedback chain through any other shard needs at least one
+lookahead hop to wake it and a second to reach back.  The ``min`` with
+``T + L`` is what keeps the bound conservative across barriers: an idle
+shard can be woken by this window's mail at ``T + L`` and respond one hop
+later, so the leader must never outrun ``T + 2L - 1``.  Shards whose next
+event lies beyond their bound are skipped outright — control-heavy
+topologies (e.g. ``ring/failover``) concentrate events on one shard at a
+time, and skipping turns each barrier round from ``n`` ring drains into one.
+After the eligible shards drain their rings (sequentially, or on one worker
+thread per shard) the executor flushes the cross-shard *mailboxes* at the
+barrier.  When the shards share no cut segment (``lookahead_ns is None``)
+the window is the whole run horizon and every shard free-runs.
 
 **Mailboxes.**  During a window a shard never touches another shard's state.
 Cross-shard interactions — a station transmitting on a cut segment homed
@@ -50,7 +64,7 @@ from __future__ import annotations
 
 import threading
 from concurrent.futures import ThreadPoolExecutor
-from typing import List, Optional
+from typing import Optional
 
 from repro.exceptions import SimulationError
 from repro.sim.clock import NANOSECONDS_PER_SECOND
@@ -71,10 +85,6 @@ _ACTIVE = threading.local()
 def active_shard():
     """The shard whose relaxed window is executing on this thread, if any."""
     return getattr(_ACTIVE, "shard", None)
-
-
-def _set_active_shard(shard) -> None:
-    _ACTIVE.shard = shard
 
 
 class RelaxedExecutor:
@@ -118,16 +128,57 @@ class RelaxedExecutor:
         self.windows = 0
         self.mail_flushed = 0
         control = fabric._control
+        control_times = control._times
         dispatched = 0
+        last_pump = None
+        # Cached shard tops.  During a window only three queues can change:
+        # the running shard's own ring (direct scheduling), the control ring
+        # (facade scheduling), and the outboxes (cut-segment mail, applied at
+        # the barrier flush) — so after a flush-free fast-path round only the
+        # leader's cached top needs refreshing; everything else is refreshed
+        # wholesale after a mail flush or control barrier.  The peek reads
+        # the raw bucket heap instead of ``top_key``: a head made entirely of
+        # cancelled events can only make a top look *earlier* than it really
+        # is, and an earlier top merely tightens the window bounds — still
+        # sound — while the granted drain physically discards the dead
+        # entries, so progress is guaranteed.
+        n_shards = len(shards)
+        shard_range = range(n_shards)
+        tops = [None] * n_shards
+        refresh_all = True
         try:
             while True:
+                if refresh_all:
+                    for index in shard_range:
+                        st = shards[index]._queue._times
+                        tops[index] = st[0] if st else None
+                    refresh_all = False
+                # One pass over the cached tops yields everything the window
+                # plan needs: the global minimum ``t_min``, the runner-up
+                # ``t_second`` among the *other* shards, whether the minimum
+                # is tied, and which shard leads.
                 t_min = None
-                for shard in shards:
-                    key = shard._queue.top_key()
-                    if key is not None and (t_min is None or key[0] < t_min):
-                        t_min = key[0]
-                control_key = control.top_key()
-                control_t = None if control_key is None else control_key[0]
+                t_second = None
+                leader_index = -1
+                tied = False
+                for index in shard_range:
+                    top = tops[index]
+                    if top is None:
+                        continue
+                    if t_min is None or top < t_min:
+                        t_second = t_min
+                        t_min = top
+                        leader_index = index
+                        tied = False
+                    elif top == t_min:
+                        tied = True
+                        t_second = top
+                    elif t_second is None or top < t_second:
+                        t_second = top
+                # Raw control peek: a stale (all-cancelled) head triggers a
+                # no-op barrier whose ``_run_control`` discards the dead
+                # entries — one wasted round, never a wrong one.
+                control_t = control_times[0] if control_times else None
                 budget = None if max_events is None else max_events - dispatched
                 if budget is not None and budget <= 0:
                     break
@@ -139,19 +190,18 @@ class RelaxedExecutor:
                     # the control time first, because driver callbacks may
                     # synchronously touch components on any shard.
                     dispatched += self._run_control(control_t, budget)
-                    self._flush_mail(shards)
+                    # Barrier callbacks use the direct (non-outbox) paths, so
+                    # mail is rare here; skip the flush when every box is
+                    # empty.  The full top refresh stays: control callbacks
+                    # schedule straight onto their components' home rings.
+                    for shard in shards:
+                        if shard.outbox:
+                            self._flush_mail(shards)
+                            break
+                    refresh_all = True
                     continue
                 if t_min is None or t_min > until_ns:
                     break
-                if lookahead is None:
-                    window_end = until_ns
-                else:
-                    window_end = t_min + lookahead - 1
-                    if window_end > until_ns:
-                        window_end = until_ns
-                if control_t is not None and window_end >= control_t:
-                    # Stop the window just short of pending control work.
-                    window_end = control_t - 1
                 # Express pumps may legally run past the window end (their
                 # chains are segment-local) but never past the run horizon
                 # or a pending control event, whose callback may observe or
@@ -159,20 +209,132 @@ class RelaxedExecutor:
                 pump_bound = until_ns
                 if control_t is not None and control_t - 1 < pump_bound:
                     pump_bound = control_t - 1
-                for shard in shards:
-                    shard._until_ns = pump_bound
-                self.windows += 1
-                if self._pool is not None and budget is None:
-                    dispatched += self._run_window_threaded(shards, window_end)
-                else:
+                if pump_bound != last_pump:
+                    last_pump = pump_bound
                     for shard in shards:
+                        shard._until_ns = pump_bound
+                self.windows += 1
+                if lookahead is not None:
+                    base_bound = t_min + lookahead - 1
+                    if base_bound > pump_bound:
+                        base_bound = pump_bound
+                    if (
+                        budget is None
+                        and not tied
+                        and (t_second is None or t_second > base_bound)
+                    ):
+                        # Fast path: the leader is the sole eligible shard —
+                        # every other top (the earliest is ``t_second``) lies
+                        # beyond the classic window (control-heavy topologies
+                        # live here).  While the leader generates no mail the
+                        # other shards' tops are provably static, so the
+                        # drain extends its own window in place (see
+                        # ``extend`` in :meth:`EngineShard._run_window`) —
+                        # no rescan, no plan, no flush per window.  The
+                        # leader's first bound adds the feedback protection:
+                        # no other shard can act before ``min(its own top,
+                        # t_min + L)`` — an idle shard must first be woken by
+                        # the leader's mail — and its reaction needs one more
+                        # lookahead hop to reach back.
+                        other = t_min + lookahead
+                        if t_second is not None and t_second < other:
+                            other = t_second
+                        lead_bound = other + lookahead - 1
+                        if lead_bound > pump_bound:
+                            lead_bound = pump_bound
+                        leader = shards[leader_index]
+                        dispatched += leader._run_window(
+                            lead_bound,
+                            None,
+                            (t_second, lookahead, control, pump_bound),
+                        )
+                        if leader.outbox:
+                            self._flush_mail(shards)
+                            refresh_all = True
+                        else:
+                            st = leader._queue._times
+                            tops[leader_index] = st[0] if st else None
+                        continue
+                    if tied:
+                        # Two shards share the earliest top: nobody outruns
+                        # the classic global window.
+                        lead_bound = base_bound
+                    else:
+                        # Sole leader with a reachable runner-up: same
+                        # feedback-protected bound as the fast path.
+                        other = t_min + lookahead
+                        if t_second is not None and t_second < other:
+                            other = t_second
+                        lead_bound = other + lookahead - 1
+                        if lead_bound > pump_bound:
+                            lead_bound = pump_bound
+                    if self._pool is None and budget is None:
+                        # Sequential slow path, inlined: run each eligible
+                        # shard as the scan finds it and refresh its cached
+                        # top in the same breath — no plan list at all.
+                        for index in shard_range:
+                            top = tops[index]
+                            if top is None:
+                                continue
+                            bound = (
+                                lead_bound
+                                if index == leader_index
+                                else base_bound
+                            )
+                            if top > bound:
+                                # Nothing inside this shard's bound; skip the
+                                # ring drain (and its clock churn) entirely.
+                                continue
+                            shard = shards[index]
+                            dispatched += shard._run_window(bound)
+                            st = shard._queue._times
+                            tops[index] = st[0] if st else None
+                        for shard in shards:
+                            if shard.outbox:
+                                self._flush_mail(shards)
+                                refresh_all = True
+                                break
+                        continue
+                    plan = []
+                    for index in shard_range:
+                        top = tops[index]
+                        if top is None:
+                            continue
+                        bound = lead_bound if index == leader_index else base_bound
+                        if top > bound:
+                            continue
+                        plan.append((shards[index], bound))
+                else:
+                    plan = [
+                        (shard, pump_bound)
+                        for shard in shards
+                        if shard._queue._times
+                    ]
+                if self._pool is not None and budget is None:
+                    dispatched += self._run_window_threaded(plan)
+                else:
+                    for shard, bound in plan:
                         remaining = (
                             None if budget is None else budget - dispatched
                         )
                         if remaining is not None and remaining <= 0:
                             break
-                        dispatched += shard._run_window(window_end, remaining)
-                self._flush_mail(shards)
+                        dispatched += shard._run_window(bound, remaining)
+                # Only the planned shards' rings changed unless they mailed:
+                # refresh just those tops and skip the flush (and the full
+                # rescan it forces) on mail-free rounds.
+                mailed = False
+                for shard in shards:
+                    if shard.outbox:
+                        mailed = True
+                        break
+                if mailed:
+                    self._flush_mail(shards)
+                    refresh_all = True
+                else:
+                    for shard, _ in plan:
+                        st = shard._queue._times
+                        tops[shard.index] = st[0] if st else None
                 if max_events is not None and dispatched >= max_events:
                     break
         finally:
@@ -219,13 +381,9 @@ class RelaxedExecutor:
         fabric._control_dispatched += n
         return n
 
-    def _run_window_threaded(self, shards, window_end: int) -> int:
+    def _run_window_threaded(self, plan) -> int:
         pool = self._pool
-        futures = [
-            pool.submit(shard._run_window, window_end)
-            for shard in shards
-            if shard._queue.top_key() is not None
-        ]
+        futures = [pool.submit(shard._run_window, bound) for shard, bound in plan]
         return sum(future.result() for future in futures)
 
     # ------------------------------------------------------------------
@@ -251,19 +409,48 @@ class RelaxedExecutor:
         The sort key makes the merge independent of thread scheduling, which
         is what keeps threaded relaxed runs deterministic.
         """
-        entries = []
+        entries = None
+        single = None
+        single_index = -1
         for shard in shards:
             outbox = shard.outbox
-            if outbox:
-                index = shard.index
-                entries.extend(
-                    (entry[1], index, position, entry)
-                    for position, entry in enumerate(outbox)
-                )
+            if not outbox:
+                continue
+            if entries is None and single is None and len(outbox) == 1:
+                # The overwhelmingly common flush carries exactly one entry
+                # (one frame crossed one cut): no decoration, no sort.
+                single = outbox[0]
+                single_index = shard.index
                 outbox.clear()
+                continue
+            if entries is None:
+                entries = []
+                if single is not None:
+                    # A second box turned up; fall back to the sorted merge.
+                    entries.append((single[1], single_index, 0, single))
+                    single = None
+            index = shard.index
+            entries.extend(
+                (entry[1], index, position, entry)
+                for position, entry in enumerate(outbox)
+            )
+            outbox.clear()
+        if single is not None:
+            kind = single[0]
+            when_ns = single[1]
+            if kind == "push":
+                single[2]._relaxed_push_fire(when_ns, single[3])
+            elif kind == "drop":
+                single[2].frames_lost += 1
+            else:
+                single[2]._apply_relaxed_transmit(when_ns, single[3], single[4])
+            self.mail_flushed += 1
+            return 1
         if not entries:
             return 0
-        entries.sort(key=lambda item: (item[0], item[1], item[2]))
+        # No sort key: ``(when, shard index, position)`` is unique, so the
+        # trailing entry payload is never compared.
+        entries.sort()
         for when_ns, _, _, entry in entries:
             kind = entry[0]
             if kind == "push":

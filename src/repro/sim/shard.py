@@ -51,7 +51,7 @@ from typing import Callable, Iterator, List, Optional
 from repro.sim.clock import Clock, NANOSECONDS_PER_SECOND, seconds_to_ns
 from repro.sim.events import Event, validate_schedule_time
 from repro.sim.random_source import RandomSource
-from repro.sim.relaxed import _set_active_shard
+from repro.sim.relaxed import _ACTIVE
 from repro.sim.trace import (
     CountingSink,
     DetailSource,
@@ -636,7 +636,12 @@ class EngineShard:
         """Barrier-context fire-and-forget push onto this shard's ring."""
         self._queue.push_fire(when_ns, callback)
 
-    def _run_window(self, window_end_ns: int, budget: Optional[int] = None) -> int:
+    def _run_window(
+        self,
+        window_end_ns: int,
+        budget: Optional[int] = None,
+        extend: Optional[tuple] = None,
+    ) -> int:
         """Run every pending event with ``time_ns <= window_end_ns``.
 
         The relaxed counterpart of :meth:`_run_batch`: no batch-limit
@@ -648,12 +653,25 @@ class EngineShard:
         barrier-flushed mailbox entries may legitimately schedule below the
         shard's furthest point; record timestamps stay exact either way and
         the canonical merge re-sorts the streams by time.
+
+        ``extend`` — ``(other_cap, lookahead_ns, control_queue,
+        pump_bound_ns)`` — lets a *sole eligible* shard grow its own window
+        in place instead of bouncing through the executor's barrier loop
+        once per window.  While this shard has produced no mail the other
+        shards' tops are provably static, so on reaching the window end the
+        drain re-derives the next conservative bound exactly as the executor
+        would — ``min(other_cap, t + L) + L - 1``, clipped to the pump
+        bound — and keeps going.  It stops the moment mail appears, the
+        runner-up shard becomes reachable, or control work is due: the
+        executor's loop takes over with its full rescan.
         """
-        _set_active_shard(self)
+        _ACTIVE.shard = self
         queue = self._queue
         times = queue._times
         buckets = queue._buckets
         clock = self.clock
+        if extend is not None:
+            other_cap, ext_lookahead, control_queue, pump_bound = extend
         n = 0
         try:
             while times:
@@ -664,7 +682,25 @@ class EngineShard:
                     del buckets[t]
                     continue
                 if t > window_end_ns:
-                    break
+                    if extend is None or self.outbox:
+                        break
+                    if other_cap is not None and t >= other_cap:
+                        break
+                    # Raw peek: a cancelled control head only makes the time
+                    # look earlier, which breaks the extension early — the
+                    # executor's rescan then handles it; never unsound.
+                    control_times = control_queue._times
+                    if control_times and control_times[0] <= t:
+                        break
+                    bound = t + ext_lookahead
+                    if other_cap is not None and other_cap < bound:
+                        bound = other_cap
+                    bound += ext_lookahead - 1
+                    if bound > pump_bound:
+                        bound = pump_bound
+                    if t > bound:
+                        break
+                    window_end_ns = bound
                 clock._now_ns = t
                 clock._now_s = t / NANOSECONDS_PER_SECOND
                 index = 0
@@ -693,7 +729,7 @@ class EngineShard:
                 if budget is not None and n >= budget:
                     break
         finally:
-            _set_active_shard(None)
+            _ACTIVE.shard = None
         self._dispatched += n
         return n
 

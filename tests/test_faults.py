@@ -381,6 +381,117 @@ class TestExpressLaneReevaluation:
         assert segment._express
 
 
+class TestCutDrainLinkDown:
+    """Batched cut-segment service straddling a mid-window link failure.
+
+    In relaxed mode a cut segment's mailed transmits are serviced in one
+    batch at the barrier (``Segment._drain_cut``), so at the instant a
+    scripted ``link-down`` fires the busy chain may extend *past* the fault:
+    exactly the frames the classic path would still hold queued must be
+    killed (parked deliveries cancelled, busy chain and counters rolled
+    back) while already-popped frames keep arriving.  The episode below
+    keeps the target segment's wire saturated (each bounce answers twice)
+    and cycles the link three times, so several outages land inside a busy
+    chain — and the run must stay canonical-merge identical to strict.
+    """
+
+    WARM = 31.0
+    OUTAGES = (
+        (WARM + 0.0021, WARM + 0.0034),
+        (WARM + 0.0052, WARM + 0.0063),
+        (WARM + 0.0081, WARM + 0.0092),
+    )
+    TARGET = "seg2"  # cut at shards=2 and shards=4 (deterministic partition)
+
+    def _drive(self, shards, sync, workers=0, frames=400):
+        run = run_scenario(
+            "ring",
+            params={"n_bridges": 3, "hosts_per_segment": 2},
+            shards=shards, sync=sync, workers=workers,
+        )
+        timeline = FaultTimeline()
+        for down, up in self.OUTAGES:
+            timeline.link_down(down, self.TARGET)
+            timeline.link_up(up, self.TARGET)
+        timeline.install(run.network)
+        run.warm_up()
+        states = []
+        for spec in run.spec.segments:
+            left = run.host(f"{spec.name}h1")
+            right = run.host(f"{spec.name}h2")
+            forward = EthernetFrame(
+                destination=right.mac, source=left.mac, ethertype=0x88B5,
+                payload=b"\x00" * 64,
+            )
+            backward = EthernetFrame(
+                destination=left.mac, source=right.mac, ethertype=0x88B5,
+                payload=b"\x00" * 64,
+            )
+            state = [frames]
+            states.append(state)
+            # The target pair answers every delivery with *two* frames, so
+            # its segment always has a queued frame behind the one on the
+            # wire — the faults land mid-busy-chain instead of between
+            # exchanges.
+            burst = 2 if spec.name == self.TARGET else 1
+
+            def bounce(nic, reply, state=state, burst=burst):
+                def handler(_nic, _frame):
+                    state[0] -= 1
+                    if state[0] > 0:
+                        for _ in range(burst):
+                            nic.send(reply)
+
+                return handler
+
+            inline = sync == "relaxed"
+            left.nic.set_handler(bounce(left.nic, forward), inline_safe=inline)
+            right.nic.set_handler(bounce(right.nic, backward), inline_safe=inline)
+            left.nic.send(forward)
+        segment = run.segment(self.TARGET)
+        stats = {"drains": 0, "kills": 0}
+        if sync == "relaxed":
+            assert self.TARGET in run.partition.cut_segments
+            original_drain = segment._drain_cut
+            original_set_link = segment.set_link
+
+            def spying_drain():
+                stats["drains"] += 1
+                original_drain()
+
+            def spying_set_link(up):
+                before = len(segment._express_inflight)
+                original_set_link(up)
+                if not up:
+                    stats["kills"] += before - len(segment._express_inflight)
+
+            segment._drain_cut = spying_drain
+            segment.set_link = spying_set_link
+        run.sim.run_until(self.WARM + 0.012)
+        return run, states, stats, segment
+
+    @pytest.mark.parametrize("shards", [2, 4])
+    def test_straddling_outage_matches_strict(self, shards):
+        strict_run, strict_states, _, strict_seg = self._drive(shards, "strict")
+        relaxed_run, relaxed_states, stats, relaxed_seg = self._drive(
+            shards, "relaxed"
+        )
+        # The path under test genuinely ran: batched barrier service, and at
+        # least one outage killed in-flight entries mid-chain.
+        assert stats["drains"] > 0
+        assert stats["kills"] > 0
+        assert relaxed_seg.frames_lost == strict_seg.frames_lost > 0
+        assert [s[0] for s in relaxed_states] == [s[0] for s in strict_states]
+        assert _canonical(relaxed_run) == _canonical(strict_run)
+        assert _observables(relaxed_run) == _observables(strict_run)
+
+    def test_threaded_equals_sequential(self):
+        sequential = self._drive(4, "relaxed")
+        threaded = self._drive(4, "relaxed", workers=4)
+        assert _canonical(threaded[0]) == _canonical(sequential[0])
+        assert _observables(threaded[0]) == _observables(sequential[0])
+
+
 # ---------------------------------------------------------------------------
 # Segment-level fault semantics
 # ---------------------------------------------------------------------------

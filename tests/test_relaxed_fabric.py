@@ -96,6 +96,33 @@ def test_threaded_relaxed_equals_sequential(name):
     _assert_equivalent(sequential, threaded, name)
 
 
+@pytest.mark.parametrize("name", sorted(entry.name for entry in list_scenarios()))
+def test_catalog_express_report_is_stable(name):
+    """Express-lane eligibility is declaration- and topology-driven.
+
+    For a given scenario and shard count the per-segment report must be
+    identical across independent compiles, identical between strict and
+    relaxed fabrics (strict computes eligibility too — it just never engages
+    a lane), and reproducible after warm-up (scheduled fault-model
+    activations may legitimately move a segment off the lane, but two
+    identical runs must agree on where it lands).
+    """
+    params = {"n_bridges": 2} if name in ("ring", "chain") else None
+
+    def compiled(sync):
+        return run_scenario(name, params=params, shards=4, sync=sync)
+
+    first = compiled("relaxed")
+    second = compiled("relaxed")
+    report = first.express_report()
+    assert report == second.express_report()
+    assert set(report.values()) <= {"off", "inline", "deferred"}
+    assert compiled("strict").express_report() == report
+    first.warm_up()
+    second.warm_up()
+    assert first.express_report() == second.express_report()
+
+
 @pytest.mark.parametrize("shards", [2, 4])
 def test_relaxed_repeated_runs_are_deterministic(shards):
     """Two relaxed runs in one process produce identical canonical traces."""
@@ -417,7 +444,10 @@ def test_express_refresh_follows_handler_and_link_state():
     )
     run.warm_up()
     segment = run.segment("seg0")
-    assert not segment._express  # bridge demux handlers are not inline-safe
+    # Bridge demux handlers are not inline-safe, but every station on the
+    # segment is segment-local, so a shard-local segment earns the deferred
+    # lane (batched wire service; deliveries stay on the ring).
+    assert segment.express_mode == "deferred"
     for device in run.devices:
         for nic in device.interfaces.values():
             nic.set_up(False)
@@ -425,15 +455,20 @@ def test_express_refresh_follows_handler_and_link_state():
     other = run.host("seg0h2")
     host.nic.set_handler(lambda n, f: None, inline_safe=True)
     other.nic.set_handler(lambda n, f: None, inline_safe=True)
-    assert segment._express
-    # Bringing a bridge port back up revokes the lane.
+    assert segment.express_mode == "inline"
+    # Bringing a bridge port back up demotes the lane: its demux handler is
+    # segment-local (deferred stays legal) but not inline-safe.
     bridge_nic = next(iter(run.device("bridge1").interfaces.values()))
     if bridge_nic.segment is segment:
         bridge_nic.set_up(True)
-        assert not segment._express
-    # An unsafe handler revokes it too.
+        assert segment.express_mode == "deferred"
+    # A handler declaring neither contract kills the lane outright.
     host.nic.set_handler(lambda n, f: None)
-    assert not segment._express
+    assert segment.express_mode == "off"
+    # And revoking the segment-local declaration alone does the same for the
+    # remaining stations.
+    other.nic.set_handler(lambda n, f: None, segment_local=True)
+    assert segment.express_mode == "off"
 
 
 # ---------------------------------------------------------------------------

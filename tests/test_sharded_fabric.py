@@ -141,8 +141,9 @@ class TestPartitionPlanner:
     def test_cut_segments_and_lookahead(self):
         plan = plan_partition(_chain_spec(4), 2)
         assert plan.cut_segments, "a split chain must have at least one cut"
-        # Default propagation delay is 2 microseconds.
-        assert plan.lookahead_ns == 2000
+        # Minimum-frame wire time (84 bytes at 100 Mb/s = 6720 ns) plus the
+        # default 2 us propagation delay, minus 1 ns of rounding headroom.
+        assert plan.lookahead_ns == 8719
 
     def test_shards_clamped_to_segment_count(self):
         plan = plan_partition(_chain_spec(1), 16)
@@ -467,8 +468,8 @@ def test_sharded_run_reports_partition():
     run = run_scenario("chain", params={"n_bridges": 4}, shards=2)
     assert run.n_shards == 2
     assert run.partition is not None
-    assert run.partition.lookahead_ns == 2000
-    assert run.network.sim.lookahead_ns == 2000
+    assert run.partition.lookahead_ns == 8719
+    assert run.network.sim.lookahead_ns == 8719
 
 
 def test_ring_with_hosts_is_deterministic_when_sharded():
