@@ -21,6 +21,19 @@ absolute rates cannot; each floor passes when the best of its two newest
 occurrences meets it, so one noisy sample cannot fail a floor the committed
 baseline demonstrably clears (see :func:`check_floors`).
 
+**Wall-clock and CPU-time metrics are distinct families and are never paired
+against each other.**  The CPU-time families above (``records/s`` rates from
+``time.process_time``) measure engine mechanics independent of scheduling;
+the wall-clock family (``fabric/wall-speedup/...``, from the fabric
+benchmark's wall sweep) measures real elapsed-time parallelism of the
+relaxed thread and process backends.  The separation is structural: wall
+metrics live under disjoint names, so the newest-vs-previous pairing can
+only ever compare wall against wall.  The wall family additionally holds an
+absolute floor — the **process backend at shards=4 must reach at least 1.0x
+the single engine's wall clock** (``WALL_FLOOR``).  Entries produced on
+runners with fewer than four CPU cores record the sweep as skipped and emit
+no wall metrics, so the floor and pairing simply do not engage there.
+
 Run after the benchmarks::
 
     PYTHONPATH=src python benchmarks/bench_trace_overhead.py --frames 20000 --skip-bounded
@@ -54,6 +67,20 @@ RATIO_FLOORS = {
     "failover": 1.0,
 }
 
+#: The wall-sweep configuration held to an absolute floor, and the floor:
+#: relaxed-process at shards=4 must not be slower than the single engine in
+#: wall-clock terms on any runner that can measure it (>= 4 CPU cores).
+WALL_FLOOR_CONFIG = "shards=4/process"
+WALL_FLOOR = 1.0
+
+
+def _wall_block(workload: dict):
+    """The workload's wall sweep, or None when absent or skipped (<4 cores)."""
+    wall = workload.get("wall")
+    if not isinstance(wall, dict) or wall.get("skipped"):
+        return None
+    return wall
+
 
 def collect_floors(entry: dict) -> dict:
     """Floor-checked ratios in one entry: {name: (ratio, floor)}.
@@ -72,6 +99,14 @@ def collect_floors(entry: dict) -> dict:
         speedup = workload.get("relaxed_speedup")
         if speedup is not None:
             floors[f"floor/{family} relaxed-over-strict"] = (float(speedup), floor)
+        wall = _wall_block(workload)
+        if wall is not None:
+            wall_speedup = (wall.get("speedups") or {}).get(WALL_FLOOR_CONFIG)
+            if wall_speedup is not None:
+                floors[f"floor/{family} wall {WALL_FLOOR_CONFIG}"] = (
+                    float(wall_speedup),
+                    WALL_FLOOR,
+                )
     return floors
 
 
@@ -135,6 +170,18 @@ def collect_metrics(entry: dict) -> dict:
         speedup = fabric.get("relaxed_speedup")
         if speedup is not None:
             metrics[f"fabric/relaxed-speedup@{size} x"] = float(speedup)
+        # The wall sweep is its own metric family (elapsed time, not CPU
+        # time); only the within-entry speedup ratios are gated — absolute
+        # wall seconds are runner-dependent noise.  A skipped sweep
+        # (< 4 cores) emits nothing.
+        wall = _wall_block(fabric)
+        if wall is not None:
+            wall_size = (
+                f"{wall.get('segments', fabric.get('segments', '?'))}"
+                f"x{wall.get('frames_per_pair', '?')}"
+            )
+            for config, value in (wall.get("speedups") or {}).items():
+                metrics[f"fabric/wall-speedup/{config}@{wall_size} x"] = float(value)
     # Failover episodes (``bench_failover.py``): only the execution
     # throughput is gated — the simulated convergence figures recorded next
     # to it are *results*, pinned by the test suite, not performance.

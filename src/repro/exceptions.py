@@ -29,6 +29,27 @@ class SchedulingError(SimulationError):
     """An event was scheduled at a time earlier than the current clock."""
 
 
+class FabricBackendError(SimulationError):
+    """A sharded-fabric execution backend failed or was misused.
+
+    Raised by the multiprocess shard backend when a worker process dies or
+    its pipe hits EOF mid-window (carrying the failing shard and the window
+    bounds it was granted), and for backend misuse such as dispatching again
+    after a process-backed run without a ``reset()``.
+
+    Attributes:
+        shard_index: index of the failing shard, or ``None`` when the error
+            is not tied to one shard.
+        window: ``(start_ns, bound_ns)`` of the window or barrier the shard
+            was executing, or ``None``.
+    """
+
+    def __init__(self, message, shard_index=None, window=None):
+        super().__init__(message)
+        self.shard_index = shard_index
+        self.window = window
+
+
 # ---------------------------------------------------------------------------
 # Wire formats / protocol substrates
 # ---------------------------------------------------------------------------

@@ -118,6 +118,13 @@ class Segment:
         self.name = name
         self.bandwidth_bps = float(bandwidth_bps)
         self.propagation_delay = float(propagation_delay)
+        # Register with the owning fabric (when sharded) so the process
+        # backend can rebind serialized cross-shard mail by segment name.
+        registry = getattr(sim, "_segments", None)
+        if registry is None:
+            registry = getattr(getattr(sim, "fabric", None), "_segments", None)
+        if registry is not None:
+            registry[name] = self
         # The trace hub never changes over the segment's lifetime.
         self._trace = sim.trace
         # Delivery/service events are never cancelled: use the engine's

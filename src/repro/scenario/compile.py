@@ -121,6 +121,8 @@ class PartitionPlan:
         sync: the fabric synchronization mode the run was compiled with
             (``"strict"`` or ``"relaxed"``).
         workers: worker threads for relaxed windows (0 = sequential).
+        backend: relaxed-window execution backend (``"thread"`` in-process,
+            ``"process"`` one worker process per shard).
     """
 
     n_shards: int
@@ -129,6 +131,7 @@ class PartitionPlan:
     lookahead_ns: Optional[int] = None
     sync: str = "strict"
     workers: int = 0
+    backend: str = "thread"
 
 
 def plan_partition(
@@ -155,9 +158,11 @@ def plan_partition(
     if isinstance(partition, PartitionSpec):
         requested, explicit = partition.shards, dict(partition.assignments)
         sync, workers = partition.sync, partition.workers
+        backend = partition.backend
     else:
         requested, explicit = int(partition), {}
         sync, workers = "strict", 0
+        backend = "thread"
     if requested < 1:
         raise ValueError("a partition needs at least one shard")
     shards = min(requested, len(spec.segments)) if spec.segments else 1
@@ -186,6 +191,7 @@ def plan_partition(
             assignments={name: 0 for name in names},
             sync=sync,
             workers=workers,
+            backend=backend,
         )
 
     weights = {segment.name: 1 for segment in spec.segments}
@@ -265,6 +271,7 @@ def plan_partition(
         lookahead_ns=lookahead_ns,
         sync=sync,
         workers=workers,
+        backend=backend,
     )
 
 
@@ -297,6 +304,11 @@ class ScenarioRun:
     def sync(self) -> str:
         """The fabric synchronization mode (``"strict"`` for single engine)."""
         return getattr(self.network.sim, "sync", "strict")
+
+    @property
+    def backend(self) -> str:
+        """The relaxed execution backend (``"thread"`` for single engine)."""
+        return getattr(self.network.sim, "relaxed_backend", "thread")
 
     # -- accessors ----------------------------------------------------------
 
@@ -345,7 +357,21 @@ class ScenarioRun:
         }
 
     def warm_up(self) -> None:
-        """Run the simulator up to the scenario's ready time."""
+        """Run the simulator up to the scenario's ready time.
+
+        Under the process backend, warm-up runs on the in-process relaxed
+        engine (canonically identical by the relaxed contract): the process
+        backend supports exactly one measured dispatch per run, which the
+        warm-up must not consume.
+        """
+        sim = self.network.sim
+        if getattr(sim, "relaxed_backend", "thread") == "process":
+            sim.set_backend("thread")
+            try:
+                self.network.run_until(self.ready_time)
+            finally:
+                sim.set_backend("process")
+            return
         self.network.run_until(self.ready_time)
 
     # -- measurement adapters ----------------------------------------------
@@ -472,6 +498,7 @@ def compile_spec(
     shards: Union[int, PartitionSpec] = 1,
     sync: Optional[str] = None,
     workers: Optional[int] = None,
+    backend: Optional[str] = None,
     faults=None,
 ) -> ScenarioRun:
     """Compile ``spec`` into a live :class:`ScenarioRun`.
@@ -489,8 +516,10 @@ def compile_spec(
     for the determinism argument).  ``sync="relaxed"`` (directly or via
     :attr:`PartitionSpec.sync`; the explicit argument wins) switches the
     fabric to concurrent lookahead windows under the canonical-merge
-    contract, optionally on ``workers`` threads.  Construction always runs
-    strictly — the mode only affects dispatch.
+    contract, optionally on ``workers`` threads; ``backend="process"``
+    (directly or via :attr:`PartitionSpec.backend`) runs those windows on
+    one worker process per shard for wall-clock multi-core speedup.
+    Construction always runs strictly — the mode only affects dispatch.
 
     ``faults`` extends the spec's own fault timeline with additional
     :class:`~repro.faults.spec.FaultSpec` events; the combined timeline is
@@ -509,6 +538,13 @@ def compile_spec(
         plan.sync = sync
     if workers is not None:
         plan.workers = workers
+    if backend is not None:
+        if backend not in ShardedSimulator.BACKENDS:
+            raise ValueError(
+                f"unknown relaxed backend {backend!r}; expected one of "
+                f"{ShardedSimulator.BACKENDS}"
+            )
+        plan.backend = backend
     if plan.n_shards > 1:
         engine = ShardedSimulator(
             seed=seed,
@@ -518,6 +554,7 @@ def compile_spec(
             lookahead_ns=plan.lookahead_ns,
             sync=plan.sync,
             workers=plan.workers,
+            backend=plan.backend,
         )
         builder = NetworkBuilder(seed=seed, cost_model=cost_model, engine=engine)
     else:

@@ -27,6 +27,7 @@ def run_scenario(
     shards: Union[int, PartitionSpec] = 1,
     sync: Optional[str] = None,
     workers: Optional[int] = None,
+    backend: Optional[str] = None,
     faults=None,
 ) -> ScenarioRun:
     """Compile a scenario into a live network ready for measurement.
@@ -53,6 +54,11 @@ def run_scenario(
             single-engine runs.
         workers: worker threads for relaxed windows (``None`` keeps the
             partition's setting; ``0`` = sequential).
+        backend: relaxed-window execution backend — ``"thread"``
+            (in-process) or ``"process"`` (one worker process per shard,
+            wall-clock parallel; see :mod:`repro.sim.procpool`).  Overrides
+            :attr:`PartitionSpec.backend` when both are given; ignored for
+            single-engine runs.
         faults: extra :class:`~repro.faults.spec.FaultSpec` events appended
             to the scenario's own fault timeline (scripted link/port
             failures, loss models — see :mod:`repro.faults`); the combined
@@ -71,7 +77,8 @@ def run_scenario(
         spec = scenario
     return compile_spec(
         spec, seed=seed, cost_model=cost_model, trace_sinks=trace_sinks,
-        shards=shards, sync=sync, workers=workers, faults=faults,
+        shards=shards, sync=sync, workers=workers, backend=backend,
+        faults=faults,
     )
 
 
@@ -86,6 +93,7 @@ def run_matrix(
     shards: Union[int, PartitionSpec] = 1,
     sync: Optional[str] = None,
     workers: Optional[int] = None,
+    backend: Optional[str] = None,
     faults=None,
 ) -> Iterator[ScenarioRun]:
     """Compile and yield one :class:`ScenarioRun` per matrix point.
@@ -93,11 +101,13 @@ def run_matrix(
     Expansion order is deterministic (see
     :func:`~repro.scenario.registry.expand_matrix`); each run is compiled
     lazily, so a large sweep only holds one live network at a time.  The
-    ``shards`` and ``sync``/``workers`` knobs apply to every point (the
-    partitioner clamps the shard count for points with fewer segments).
+    ``shards`` and ``sync``/``workers``/``backend`` knobs apply to every
+    point (the partitioner clamps the shard count for points with fewer
+    segments).
     """
     for spec in expand_matrix(name, axes, base_params=base_params):
         yield compile_spec(
             spec, seed=seed, cost_model=cost_model, trace_sinks=trace_sinks,
-            shards=shards, sync=sync, workers=workers, faults=faults,
+            shards=shards, sync=sync, workers=workers, backend=backend,
+            faults=faults,
         )

@@ -45,11 +45,11 @@ import heapq
 import itertools
 from typing import Callable, Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
 
-from repro.exceptions import SimulationError
+from repro.exceptions import FabricBackendError, SimulationError
 from repro.sim.clock import Clock, seconds_to_ns
 from repro.sim.events import Event, validate_schedule_time
 from repro.sim.random_source import RandomSource
-from repro.sim.relaxed import RelaxedExecutor, SYNC_MODES, active_shard
+from repro.sim.relaxed import BACKENDS, RelaxedExecutor, SYNC_MODES, active_shard
 from repro.sim.shard import EngineShard, ShardQueue, ShardTraceRecorder
 from repro.sim.trace import (
     CountingSink,
@@ -87,6 +87,11 @@ class FabricTrace:
         # Canonical-merge view: set by the fabric when it runs relaxed, where
         # the global emission seq is no longer an execution order.
         self._canonical = False
+        # Deferred-result hooks installed by a process-backed fabric: fetch
+        # pulls pending worker record suffixes in before a query, discard
+        # drops them (clear/reset).  ``None`` on every in-process fabric.
+        self._pending_fetch: Optional[Callable[[], None]] = None
+        self._pending_discard: Optional[Callable[[], None]] = None
         for recorder in recorders:
             recorder._sync_all = self.sync_counters
 
@@ -104,6 +109,8 @@ class FabricTrace:
 
     def sync_counters(self) -> None:
         """Fold every shard's unsynced records into the shared pair table."""
+        if self._pending_fetch is not None:
+            self._pending_fetch()
         for recorder in self._recorders:
             recorder._sync_own_counters()
 
@@ -188,6 +195,8 @@ class FabricTrace:
         """
         if self._canonical:
             return self.canonical_records()
+        if self._pending_fetch is not None:
+            self._pending_fetch()
         for sink in self._shared_sinks:
             if hasattr(sink, "filter"):
                 return list(sink)  # type: ignore[arg-type]
@@ -215,6 +224,8 @@ class FabricTrace:
         run's canonical records are identical to the strict engine's —
         proven catalog-wide by the test suite.
         """
+        if self._pending_fetch is not None:
+            self._pending_fetch()
         decorated = []
         for recorder in self._recorders:
             index = recorder.shard_index
@@ -249,6 +260,8 @@ class FabricTrace:
 
     def clear(self) -> None:
         """Drop all captured records and reset the live counters."""
+        if self._pending_discard is not None:
+            self._pending_discard()
         self._counters_sink.clear()
         for recorder in self._recorders:
             recorder.clear()
@@ -286,9 +299,15 @@ class ShardedSimulator:
         workers: worker threads for relaxed windows (``0`` = run windows
             inline on the calling thread — the benchmarked pick on GIL
             builds).  Ignored under strict sync.
+        backend: relaxed-window execution backend — ``"thread"`` (default)
+            runs windows in-process; ``"process"`` forks one worker process
+            per shard for wall-clock multi-core speedup (see
+            :mod:`repro.sim.procpool`; one measured dispatch per run, then
+            ``reset()``).  Ignored under strict sync.
     """
 
     SYNC_MODES = SYNC_MODES
+    BACKENDS = BACKENDS
 
     def __init__(
         self,
@@ -299,6 +318,7 @@ class ShardedSimulator:
         lookahead_ns: Optional[int] = None,
         sync: str = "strict",
         workers: int = 0,
+        backend: str = "thread",
     ) -> None:
         if shards < 1:
             raise SimulationError("a sharded simulator needs at least one shard")
@@ -335,6 +355,19 @@ class ShardedSimulator:
         self._control = ShardQueue(self._event_counter)
         self._control_dispatched = 0
         self._relaxed = RelaxedExecutor(self, workers=workers)
+        # Segment registry: name -> Segment, filled by Segment.__init__ so
+        # the process backend can rebind serialized mail symbolically.
+        self._segments: Dict[str, object] = {}
+        self._backend = "thread"
+        # Process-backend bookkeeping: the pending (unfetched) executor of
+        # the last process dispatch, and the "one measured dispatch consumed"
+        # latch that only reset() clears.
+        self._proc_pending = None
+        self._proc_stale = False
+        self.trace._pending_fetch = self._proc_fetch
+        self.trace._pending_discard = self._proc_discard
+        if backend != "thread":
+            self.set_backend(backend)
         if sync != "strict":
             self.set_sync(sync, workers=workers)
 
@@ -373,7 +406,12 @@ class ShardedSimulator:
         """Worker threads used for relaxed windows (0 = sequential)."""
         return self._relaxed.workers
 
-    def set_sync(self, sync: str, workers: Optional[int] = None) -> None:
+    def set_sync(
+        self,
+        sync: str,
+        workers: Optional[int] = None,
+        backend: Optional[str] = None,
+    ) -> None:
         """Switch the execution mode between runs.
 
         Modes may be switched freely while the fabric is idle — a common
@@ -409,6 +447,42 @@ class ShardedSimulator:
         self.trace._canonical = sync == "relaxed"
         if workers is not None:
             self._relaxed.set_workers(workers)
+        if backend is not None:
+            self.set_backend(backend)
+
+    def set_backend(self, backend: str) -> None:
+        """Select the relaxed-window execution backend (see :data:`BACKENDS`).
+
+        ``"thread"`` (default) runs windows in-process; ``"process"`` forks
+        one worker process per shard at dispatch time for wall-clock speedup.
+        Like :meth:`set_sync`, backends may be switched freely while the
+        fabric is idle — the usual pattern is an in-process warm-up phase
+        followed by one process-backed measured dispatch.
+        """
+        if backend not in BACKENDS:
+            raise SimulationError(
+                f"unknown relaxed backend {backend!r}; expected one of {BACKENDS}"
+            )
+        if self._running:
+            raise SimulationError("cannot switch backends during a run")
+        self._backend = backend
+
+    @property
+    def relaxed_backend(self) -> str:
+        """The relaxed-window execution backend: ``"thread"`` or ``"process"``."""
+        return self._backend
+
+    def _proc_fetch(self) -> None:
+        """Pull any pending process-backend worker results in (trace hook)."""
+        pending = self._proc_pending
+        if pending is not None:
+            pending.fetch_traces()
+
+    def _proc_discard(self) -> None:
+        """Drop any pending process-backend worker results (clear/reset hook)."""
+        pending = self._proc_pending
+        if pending is not None:
+            pending.discard()
 
     def _migrate_control_to_shard0(self) -> None:
         """Move pending control-ring events onto shard 0 (relaxed -> strict).
@@ -475,6 +549,7 @@ class ShardedSimulator:
 
     def shard_stats(self) -> List[dict]:
         """Per-shard progress/load counters (diagnostics and benchmarks)."""
+        self._proc_fetch()
         return [
             {
                 "shard": shard.index,
@@ -635,9 +710,22 @@ class ShardedSimulator:
 
         Strict mode runs the exact global ``(time, sequence)`` order below;
         relaxed mode hands the run to the :class:`RelaxedExecutor`'s
-        conservative window loop.
+        conservative window loop (or, with ``backend="process"``, to a
+        fresh :class:`~repro.sim.procpool.ProcessExecutor`).
         """
+        if self._proc_stale:
+            self._proc_fetch()
+            raise FabricBackendError(
+                "this fabric already ran a process-backed dispatch: worker "
+                "processes advanced the component state, so the parent copy "
+                "is stale; call reset() (and rebuild the scenario state) "
+                "before dispatching again"
+            )
         if self._sync == "relaxed":
+            if self._backend == "process":
+                from repro.sim.procpool import ProcessExecutor
+
+                return ProcessExecutor(self).dispatch(until_ns, max_events)
             return self._relaxed.dispatch(until_ns, max_events)
         shards = self._shards
         tops = self._tops
@@ -730,7 +818,13 @@ class ShardedSimulator:
         """Discard all pending events, traces and rewind the clock to zero.
 
         Station-id namespaces rewind too, mirroring :meth:`Simulator.reset`.
+
+        Also the only way to unlatch a fabric after a process-backed
+        dispatch: pending worker results are discarded unfetched and the
+        staleness latch clears.
         """
+        self._proc_discard()
+        self._proc_stale = False
         for shard in self._shards:
             shard._queue.clear()
             shard._dispatched = 0

@@ -74,6 +74,12 @@ from repro.sim.clock import NANOSECONDS_PER_SECOND
 #: :class:`~repro.scenario.spec.PartitionSpec`.
 SYNC_MODES = ("strict", "relaxed")
 
+#: Relaxed-window execution backends.  ``"thread"`` runs windows in-process
+#: (sequentially or on a worker-thread pool — see :class:`RelaxedExecutor`);
+#: ``"process"`` runs one worker process per shard for wall-clock multi-core
+#: speedup (see :mod:`repro.sim.procpool`).  Ignored under strict sync.
+BACKENDS = ("thread", "process")
+
 #: Thread-local "which shard is executing on this thread" marker.  Set by
 #: :meth:`EngineShard._run_window` for the duration of a relaxed window; the
 #: segment layer reads it to route cross-shard interactions into the correct

@@ -9,7 +9,10 @@ Three coverage contracts, all cheap and exact:
   ``@size`` suffix stripped) must be named in ``docs/benchmarks.md``;
 * every fault kind in :data:`repro.faults.FAULT_KINDS` must be named in
   ``docs/architecture.md`` — adding a dynamics event without documenting
-  its semantics fails CI exactly like an undocumented scenario.
+  its semantics fails CI exactly like an undocumented scenario;
+* every execution backend in :data:`repro.sim.relaxed.BACKENDS` must be
+  named in ``docs/architecture.md`` — a new window-execution backend ships
+  with its transport/barrier/determinism story documented, or CI fails.
 
 Run from the repository root::
 
@@ -33,6 +36,7 @@ from perf_gate import collect_metrics  # noqa: E402
 
 from repro.faults import FAULT_KINDS  # noqa: E402
 from repro.scenario.registry import list_scenarios  # noqa: E402
+from repro.sim.relaxed import BACKENDS  # noqa: E402
 
 CATALOG_PAGE = REPO_ROOT / "docs" / "scenario-catalog.md"
 BENCHMARKS_PAGE = REPO_ROOT / "docs" / "benchmarks.md"
@@ -93,6 +97,14 @@ def main() -> int:
                 f"is missing from {ARCHITECTURE_PAGE.relative_to(REPO_ROOT)}"
             )
 
+    for backend in BACKENDS:
+        if f"`{backend}`" not in architecture_text:
+            failures.append(
+                f"execution backend {backend!r} exists in "
+                f"repro.sim.relaxed.BACKENDS but is missing from "
+                f"{ARCHITECTURE_PAGE.relative_to(REPO_ROOT)}"
+            )
+
     if failures:
         print(f"docs check: {len(failures)} problem(s):")
         for failure in failures:
@@ -102,7 +114,8 @@ def main() -> int:
     families = len(metric_families(history))
     print(
         f"docs check: OK — {scenarios} scenarios, {families} metric "
-        f"families and {len(FAULT_KINDS)} fault kinds all documented"
+        f"families, {len(FAULT_KINDS)} fault kinds and {len(BACKENDS)} "
+        f"execution backends all documented"
     )
     return 0
 
