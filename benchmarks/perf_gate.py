@@ -8,7 +8,8 @@ own history: for every metric name it takes the **newest** value and compares
 it with that metric's **previous** occurrence, failing when any throughput —
 emit records/second per sink, frame-blast frames/second per sink,
 sharded-fabric frames/records per second per engine configuration (strict
-and relaxed sync, 64- and 256-LAN rings), or the relaxed-over-strict speedup
+and relaxed sync, 64- and 256-LAN rings), population-fleet frames/second per
+engine configuration and station count, or the relaxed-over-strict speedup
 ratio — regresses by more than the threshold (default 20 %).
 
 On top of the regression pairing, the gate holds **absolute ratio floors**:
@@ -201,6 +202,22 @@ def collect_metrics(entry: dict) -> dict:
         speedup = failover.get("relaxed_speedup")
         if speedup is not None:
             metrics[f"failover/relaxed-speedup@{size} x"] = float(speedup)
+    # Population fleets (``bench_population.py``): aggregate frames/s per
+    # engine configuration, sized by station count so a reduced CI smoke
+    # never ratios against a full-scale baseline.  The latency and RSS
+    # figures recorded next to the rates are simulated results / capacity
+    # numbers pinned by the seed, not performance, and are not gated.
+    population = entry.get("population")
+    if isinstance(population, dict):
+        for scale, block in (population.get("scales") or {}).items():
+            size = f"{block.get('stations', scale)}st"
+            for config, result in (block.get("configs") or {}).items():
+                rate = result.get("frames_per_second")
+                if rate is not None:
+                    metrics[f"population/{config}@{size} frames/s"] = float(rate)
+            speedup = block.get("relaxed_speedup")
+            if speedup is not None:
+                metrics[f"population/relaxed-speedup@{size} x"] = float(speedup)
     return metrics
 
 

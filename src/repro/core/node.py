@@ -54,6 +54,24 @@ class ActiveNode:
             defaults.
     """
 
+    # Population fleets bridge hundreds of segments; slots keep the node
+    # (and with it the whole station object chain) __dict__-free.
+    __slots__ = (
+        "sim",
+        "name",
+        "costs",
+        "cpu",
+        "interfaces",
+        "unixnet",
+        "environment",
+        "loader",
+        "_gc_timer",
+        "frames_received",
+        "frames_claimed",
+        "frames_unclaimed",
+        "frames_transmitted",
+    )
+
     def __init__(
         self,
         sim: Simulator,

@@ -27,6 +27,22 @@ class CpuQueue:
         name: used in traces (e.g. ``"bridge1.cpu"``).
     """
 
+    # Every station carries one CpuQueue; slots keep the fleet's hottest
+    # bookkeeping object free of per-instance __dict__ overhead.
+    __slots__ = (
+        "sim",
+        "name",
+        "_service_label",
+        "_pending",
+        "_busy",
+        "_stall_until",
+        "_in_service_callbacks",
+        "items_processed",
+        "busy_time",
+        "max_queue_depth",
+        "batches_merged",
+    )
+
     def __init__(self, sim: Simulator, name: str) -> None:
         self.sim = sim
         self.name = name

@@ -34,6 +34,10 @@ class Host:
             defaults.
     """
 
+    # Population-scale fleets allocate tens of thousands of hosts; slots
+    # drop the per-instance __dict__ from the whole station object chain.
+    __slots__ = ("sim", "name", "costs", "nic", "cpu", "stack", "_raw_listeners")
+
     def __init__(
         self,
         sim: Simulator,

@@ -40,6 +40,27 @@ class NetworkInterface:
         mac: the interface's unicast MAC address.
     """
 
+    # One NIC per station at population scale: slots keep the per-frame
+    # counter fields in a compact layout with no per-instance __dict__.
+    __slots__ = (
+        "sim",
+        "name",
+        "mac",
+        "_trace",
+        "segment",
+        "promiscuous",
+        "up",
+        "_handler",
+        "_inline_safe",
+        "_segment_local",
+        "frames_sent",
+        "frames_received",
+        "frames_dropped",
+        "bytes_sent",
+        "bytes_received",
+        "link_transitions",
+    )
+
     def __init__(self, sim: Simulator, name: str, mac: MacAddress) -> None:
         self.sim = sim
         self.name = name

@@ -90,9 +90,11 @@ class NetworkBuilder:
         subnet_prefix: first three octets of the IPv4 addresses handed to
             hosts.  The fourth octet is allocated sequentially from 1; when
             it exhausts (beyond 254) allocation rolls into the next /24 by
-            incrementing the third octet, so multi-hundred-LAN topologies
-            (the 256-LAN sharded-fabric sweeps) get unique addresses without
-            any configuration.
+            incrementing the third octet, and into the next /16 by
+            incrementing the second octet when the third exhausts, so
+            multi-hundred-LAN topologies (the 256-LAN sharded-fabric
+            sweeps) and 65k+-station populations get unique addresses
+            without any configuration.
         trace_sinks: optional trace sinks for the simulator (e.g. a bounded
             :class:`~repro.sim.trace.RingBufferSink` for very long runs);
             ``None`` keeps the default :class:`~repro.sim.trace.ListSink`.
@@ -134,19 +136,28 @@ class NetworkBuilder:
         """Allocate the next host IPv4 address.
 
         Addresses fill the builder's subnet (``prefix.1`` .. ``prefix.254``)
-        and then roll into successive /24s by incrementing the prefix's last
-        octet, so the first 254 hosts keep their historical addresses and
-        larger topologies keep allocating instead of failing.
+        and then roll into successive /24s by incrementing the prefix's
+        third octet — and into successive /16s by incrementing the second
+        octet when the third exhausts — so the first 254 hosts keep their
+        historical addresses, the 256-LAN sweeps keep their /24 roll, and
+        population-scale fleets (65k+ stations) keep allocating without any
+        configuration.  Exhausting the *second* octet is true exhaustion
+        and still raises.
         """
         if self._next_host_octet > 254:
-            head, _, third = self.subnet_prefix.rpartition(".")
-            bumped = int(third) + 1
-            if bumped > 254:
-                raise TopologyError(
-                    f"address space exhausted rolling past subnet "
-                    f"{self.subnet_prefix}"
-                )
-            self.subnet_prefix = f"{head}.{bumped}"
+            first, _, rest = self.subnet_prefix.partition(".")
+            second_text, _, third_text = rest.partition(".")
+            second, third = int(second_text), int(third_text)
+            third += 1
+            if third > 254:
+                second += 1
+                third = 0
+                if second > 254:
+                    raise TopologyError(
+                        f"address space exhausted rolling past subnet "
+                        f"{self.subnet_prefix}"
+                    )
+            self.subnet_prefix = f"{first}.{second}.{third}"
             self._next_host_octet = 1
         address = IPv4Address.from_string(f"{self.subnet_prefix}.{self._next_host_octet}")
         self._next_host_octet += 1

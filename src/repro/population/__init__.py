@@ -1,0 +1,43 @@
+"""Population-scale fleets: typed stations, seeded factories, traffic matrices.
+
+The population layer turns the simulator from a topology testbed into an
+operational-network generator: typed station roles
+(:mod:`repro.population.roles`), a seeded :class:`HostFactory` that
+stamps fleets onto segment graphs (:mod:`repro.population.factory`), and
+a synthetic traffic synthesizer driving request/response services,
+bursty on/off sources, heavy-tailed flow sizes and a diurnal load curve
+through the ordinary scenario machinery
+(:mod:`repro.population.traffic`).  The catalog entries live in
+:mod:`repro.population.catalog` and register themselves when the
+scenario package imports.
+"""
+
+from repro.population.factory import HostFactory, PopulationPlan, StationPlan
+from repro.population.roles import SERVICES, STATION_ROLES, ServiceSpec, StationRole, role_of
+from repro.population.traffic import (
+    TRAFFIC_DEFAULTS,
+    TRAFFIC_KINDS,
+    PopulationTraffic,
+    bounded_pareto,
+    diurnal_factor,
+    install_traffic,
+    merged_params,
+)
+
+__all__ = [
+    "SERVICES",
+    "STATION_ROLES",
+    "TRAFFIC_DEFAULTS",
+    "TRAFFIC_KINDS",
+    "HostFactory",
+    "PopulationPlan",
+    "PopulationTraffic",
+    "ServiceSpec",
+    "StationPlan",
+    "StationRole",
+    "bounded_pareto",
+    "diurnal_factor",
+    "install_traffic",
+    "merged_params",
+    "role_of",
+]

@@ -1,0 +1,243 @@
+"""Seeded host-fleet factories: stamping typed stations onto segment graphs.
+
+:class:`HostFactory` generates the two population shapes the catalog
+registers (:mod:`repro.population.catalog`):
+
+* **office** — per-floor access segments joined to one shared backbone by
+  a learning bridge per floor; every floor holds one application server
+  and a fleet of workstations (with a seeded sprinkling of extra
+  servers), while the backbone carries the shared core: a gateway and
+  the databases.
+* **datacenter** — per-rack access segments joined to a spine; racks are
+  server-heavy with a rack-local database and a few load-generator
+  seats, the spine carries shared databases and the gateway.
+
+Both shapes are loop-free stars, so bridges run the dumb+learning stack
+with no spanning tree and populations are forwarding after
+``BASIC_WARMUP``.  All randomness (role sprinkling) comes from one
+``random.Random`` seeded from the factory seed and the shape, so a seed
+pins the entire fleet — the determinism contract the scenario tests
+assert across every engine mode.
+
+Per-segment propagation delays are staggered by one nanosecond per
+access segment (the ``ring/failover`` precedent): with thousands of
+quantized traffic timers landing on shared tick boundaries, unequal
+cable lengths keep same-instant cross-shard wire arrivals out of the
+canonical-merge tie space — and are also simply the physical truth.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.lan.segment import DEFAULT_BANDWIDTH_BPS, DEFAULT_PROPAGATION_DELAY
+from repro.scenario.spec import (
+    DeviceSpec,
+    HostSpec,
+    PortSpec,
+    SegmentSpec,
+    SwitchletSpec,
+)
+
+#: Fraction of office floor seats promoted from workstation to an extra
+#: application server by the seeded role stream.
+OFFICE_EXTRA_SERVER_RATE = 0.04
+
+#: Fraction of datacenter rack slots that are load-generator seats rather
+#: than servers (each rack also always gets one rack-local database).
+DATACENTER_SEAT_RATE = 0.3
+
+_BRIDGE_STACK = (
+    SwitchletSpec("dumb-bridge"),
+    SwitchletSpec("learning-bridge"),
+)
+
+
+@dataclass(frozen=True)
+class StationPlan:
+    """One planned station: a typed host bound to its access segment."""
+
+    name: str
+    role: str
+    segment: str
+
+
+@dataclass(frozen=True)
+class PopulationPlan:
+    """A generated fleet: segments, typed stations and the joining bridges."""
+
+    label: str
+    core_segment: str
+    segments: Tuple[SegmentSpec, ...]
+    stations: Tuple[StationPlan, ...]
+    devices: Tuple[DeviceSpec, ...]
+
+    @property
+    def hosts(self) -> Tuple[HostSpec, ...]:
+        """The stations as compiler-ready :class:`HostSpec` entries."""
+        return tuple(
+            HostSpec(station.name, station.segment) for station in self.stations
+        )
+
+    def role_counts(self) -> Dict[str, int]:
+        """Station tally per role name (diagnostics and tests)."""
+        counts: Dict[str, int] = {}
+        for station in self.stations:
+            counts[station.role] = counts.get(station.role, 0) + 1
+        return counts
+
+
+class HostFactory:
+    """Stamps seeded station fleets onto generated segment graphs."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = int(seed)
+
+    def _rng(self, shape: str) -> random.Random:
+        # String seeding hashes the bytes (seed version 2), so the stream is
+        # stable across processes regardless of PYTHONHASHSEED.
+        return random.Random(f"population:{shape}:{self.seed}")
+
+    def office(
+        self,
+        floors: int = 4,
+        hosts_per_floor: int = 24,
+        bandwidth_bps: float = DEFAULT_BANDWIDTH_BPS,
+    ) -> PopulationPlan:
+        """An office building: floor LANs star-joined to a shared backbone."""
+        if floors < 1:
+            raise ValueError("an office needs at least one floor")
+        if hosts_per_floor < 2:
+            raise ValueError("each floor needs a server and at least one seat")
+        rng = self._rng("office")
+        segments = [
+            SegmentSpec(
+                "backbone",
+                bandwidth_bps=bandwidth_bps,
+                propagation_delay=DEFAULT_PROPAGATION_DELAY,
+            )
+        ]
+        stations = [
+            StationPlan("gw-core", "gateway", "backbone"),
+            StationPlan("db-core1", "database", "backbone"),
+            StationPlan("db-core2", "database", "backbone"),
+        ]
+        devices = []
+        for floor in range(floors):
+            segment = f"floor{floor}"
+            segments.append(
+                SegmentSpec(
+                    segment,
+                    bandwidth_bps=bandwidth_bps,
+                    propagation_delay=(
+                        DEFAULT_PROPAGATION_DELAY + (floor + 1) * 1e-9
+                    ),
+                )
+            )
+            devices.append(
+                DeviceSpec(
+                    f"br-floor{floor}",
+                    kind="active-node",
+                    ports=(
+                        PortSpec("eth0", segment),
+                        PortSpec("eth1", "backbone"),
+                    ),
+                    switchlets=_BRIDGE_STACK,
+                )
+            )
+            stations.append(StationPlan(f"srv-f{floor}", "server", segment))
+            for seat in range(1, hosts_per_floor):
+                if rng.random() < OFFICE_EXTRA_SERVER_RATE:
+                    stations.append(
+                        StationPlan(f"srv-f{floor}n{seat}", "server", segment)
+                    )
+                else:
+                    stations.append(
+                        StationPlan(f"ws-f{floor}n{seat}", "workstation", segment)
+                    )
+        return PopulationPlan(
+            label="office",
+            core_segment="backbone",
+            segments=tuple(segments),
+            stations=tuple(stations),
+            devices=tuple(devices),
+        )
+
+    def datacenter(
+        self,
+        racks: int = 4,
+        hosts_per_rack: int = 24,
+        bandwidth_bps: float = DEFAULT_BANDWIDTH_BPS,
+    ) -> PopulationPlan:
+        """A datacenter row: rack LANs star-joined to a spine."""
+        if racks < 1:
+            raise ValueError("a datacenter needs at least one rack")
+        if hosts_per_rack < 3:
+            raise ValueError(
+                "each rack needs a database, a server and a load-generator seat"
+            )
+        rng = self._rng("datacenter")
+        segments = [
+            SegmentSpec(
+                "spine",
+                bandwidth_bps=bandwidth_bps,
+                propagation_delay=DEFAULT_PROPAGATION_DELAY,
+            )
+        ]
+        stations = [
+            StationPlan("gw-spine", "gateway", "spine"),
+            StationPlan("db-spine1", "database", "spine"),
+            StationPlan("db-spine2", "database", "spine"),
+        ]
+        devices = []
+        for rack in range(racks):
+            segment = f"rack{rack}"
+            segments.append(
+                SegmentSpec(
+                    segment,
+                    bandwidth_bps=bandwidth_bps,
+                    propagation_delay=(
+                        DEFAULT_PROPAGATION_DELAY + (rack + 1) * 1e-9
+                    ),
+                )
+            )
+            devices.append(
+                DeviceSpec(
+                    f"br-rack{rack}",
+                    kind="active-node",
+                    ports=(
+                        PortSpec("eth0", segment),
+                        PortSpec("eth1", "spine"),
+                    ),
+                    switchlets=_BRIDGE_STACK,
+                )
+            )
+            stations.append(StationPlan(f"db-r{rack}", "database", segment))
+            stations.append(StationPlan(f"srv-r{rack}", "server", segment))
+            for slot in range(2, hosts_per_rack):
+                if rng.random() < DATACENTER_SEAT_RATE:
+                    stations.append(
+                        StationPlan(f"ws-r{rack}n{slot}", "workstation", segment)
+                    )
+                else:
+                    stations.append(
+                        StationPlan(f"srv-r{rack}n{slot}", "server", segment)
+                    )
+        return PopulationPlan(
+            label="datacenter",
+            core_segment="spine",
+            segments=tuple(segments),
+            stations=tuple(stations),
+            devices=tuple(devices),
+        )
+
+
+__all__ = [
+    "DATACENTER_SEAT_RATE",
+    "HostFactory",
+    "OFFICE_EXTRA_SERVER_RATE",
+    "PopulationPlan",
+    "StationPlan",
+]

@@ -1,0 +1,113 @@
+"""Typed station roles and the services they declare.
+
+The population layer models an operational LAN as a fleet of *typed*
+stations rather than anonymous blast hosts: a workstation consumes
+services, a server offers the application service and leans on a
+database, a database answers queries, a gateway resolves names for
+everyone.  Roles are pure data — the factory stamps them onto generated
+topologies (:mod:`repro.population.factory`) and the traffic synthesizer
+turns the declared produce/consume edges into seeded traffic matrices
+(:mod:`repro.population.traffic`).
+
+A station's role is encoded in its host name prefix (``ws-``, ``srv-``,
+``db-``, ``gw-``) so any consumer holding only the compiled scenario —
+the traffic installer, the benchmarks, post-run analysis — can recover
+the typing without a side channel; :func:`role_of` is that decoder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class ServiceSpec:
+    """A UDP request/response service a role can declare.
+
+    Attributes:
+        name: service key (``"app"``, ``"db"``, ``"dns"``).
+        port: well-known UDP port the serving station binds.
+        request_size: client request payload size in bytes (requests are
+            small and fixed; *response* sizes are the heavy-tailed axis,
+            drawn per request from the scenario's seeded Pareto stream).
+    """
+
+    name: str
+    port: int
+    request_size: int
+
+
+#: The services the built-in roles declare.  Ports follow convention so
+#: traces read naturally; request sizes are classic small-query sizes.
+SERVICES: Dict[str, ServiceSpec] = {
+    "app": ServiceSpec("app", 8080, 64),
+    "db": ServiceSpec("db", 5432, 96),
+    "dns": ServiceSpec("dns", 53, 40),
+}
+
+
+@dataclass(frozen=True)
+class StationRole:
+    """A typed station: what it serves, what it consumes.
+
+    Attributes:
+        name: role key (also the docs/coverage-contract name).
+        prefix: host-name prefix the factory stamps (``role_of`` decodes it).
+        serves: service keys this role binds and answers.
+        consumes: service keys this role sends requests to.
+        description: one-line human description.
+    """
+
+    name: str
+    prefix: str
+    serves: Tuple[str, ...]
+    consumes: Tuple[str, ...]
+    description: str
+
+
+STATION_ROLES: Dict[str, StationRole] = {
+    "workstation": StationRole(
+        "workstation",
+        "ws",
+        serves=(),
+        consumes=("app", "dns"),
+        description="end-user seat: application requests plus occasional lookups",
+    ),
+    "server": StationRole(
+        "server",
+        "srv",
+        serves=("app",),
+        consumes=("db",),
+        description="application server: answers workstations, queries a database",
+    ),
+    "database": StationRole(
+        "database",
+        "db",
+        serves=("db",),
+        consumes=(),
+        description="database: answers query traffic from the servers",
+    ),
+    "gateway": StationRole(
+        "gateway",
+        "gw",
+        serves=("dns",),
+        consumes=(),
+        description="gateway: answers fleet-wide lookup traffic on the core segment",
+    ),
+}
+
+_BY_PREFIX: Dict[str, StationRole] = {
+    role.prefix: role for role in STATION_ROLES.values()
+}
+
+
+def role_of(host_name: str) -> Optional[StationRole]:
+    """Decode a factory-stamped host name back to its role.
+
+    Returns ``None`` for hosts the population factory did not create
+    (measurement probes, hand-built hosts), so the traffic synthesizer
+    simply leaves them alone.
+    """
+    prefix = host_name.split("-", 1)[0]
+    return _BY_PREFIX.get(prefix)

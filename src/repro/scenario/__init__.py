@@ -41,8 +41,9 @@ from repro.scenario.registry import (
 )
 from repro.scenario.runner import run_matrix, run_scenario
 
-# Importing the catalog registers the built-in scenarios.
+# Importing the catalogs registers the built-in scenarios.
 from repro.scenario import catalog as _catalog  # noqa: F401
+from repro.population import catalog as _population_catalog  # noqa: F401
 
 __all__ = [
     "BASIC_WARMUP",

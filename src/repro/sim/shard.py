@@ -63,6 +63,12 @@ from repro.sim.trace import (
 )
 
 
+#: Upper bound on recycled bucket lists kept per :class:`ShardQueue` — a
+#: backstop so a momentary burst of distinct timestamps cannot pin an
+#: unbounded pile of empty lists for the rest of a long run.
+_BUCKET_FREE_CAP = 1024
+
+
 class ShardQueue:
     """A bucketed event ring: FIFO buckets per timestamp plus a time heap.
 
@@ -80,14 +86,30 @@ class ShardQueue:
     Cancelled events stay in their bucket (keeping :meth:`Event.cancel` O(1),
     as in the single-engine queue) and are discarded when they reach the
     bucket head; :attr:`cancelled_discarded` counts them.
+
+    Drained bucket lists are recycled through a bounded free list
+    (:attr:`_free`): a steady-state run churns through one bucket per
+    distinct timestamp, and reusing the list objects removes that
+    allocation from the scheduling hot path.  Recycling touches only
+    *empty* lists, so event ordering and contents are untouched — the
+    bit-identity suites hold verbatim.
     """
 
-    __slots__ = ("_counter", "_buckets", "_times", "_live", "_dead", "cancelled_discarded")
+    __slots__ = (
+        "_counter",
+        "_buckets",
+        "_times",
+        "_free",
+        "_live",
+        "_dead",
+        "cancelled_discarded",
+    )
 
     def __init__(self, counter) -> None:
         self._counter = counter
         self._buckets: dict = {}
         self._times: list = []
+        self._free: list = []
         self._live = 0
         self._dead = 0
         self.cancelled_discarded = 0
@@ -104,7 +126,9 @@ class ShardQueue:
         entry = (event.sequence, callback, event)
         bucket = self._buckets.get(time_ns)
         if bucket is None:
-            self._buckets[time_ns] = [entry]
+            free = self._free
+            self._buckets[time_ns] = bucket = free.pop() if free else []
+            bucket.append(entry)
             heapq.heappush(self._times, time_ns)
         else:
             bucket.append(entry)
@@ -117,7 +141,9 @@ class ShardQueue:
         entry = (sequence, callback, None)
         bucket = self._buckets.get(time_ns)
         if bucket is None:
-            self._buckets[time_ns] = [entry]
+            free = self._free
+            self._buckets[time_ns] = bucket = free.pop() if free else []
+            bucket.append(entry)
             heapq.heappush(self._times, time_ns)
         else:
             bucket.append(entry)
@@ -158,6 +184,9 @@ class ShardQueue:
                 return (t, entry[0])
             heapq.heappop(times)
             del buckets[t]
+            free = self._free
+            if len(free) < _BUCKET_FREE_CAP:
+                free.append(bucket)
         return None
 
     def peek_time_ns(self) -> Optional[int]:
@@ -465,7 +494,9 @@ class EngineShard:
         buckets = self._q_buckets
         bucket = buckets.get(when_ns)
         if bucket is None:
-            buckets[when_ns] = [(event.sequence, callback, event)]
+            free = queue._free
+            buckets[when_ns] = bucket = free.pop() if free else []
+            bucket.append((event.sequence, callback, event))
             heapq.heappush(self._q_times, when_ns)
         else:
             bucket.append((event.sequence, callback, event))
@@ -492,7 +523,9 @@ class EngineShard:
         buckets = self._q_buckets
         bucket = buckets.get(when_ns)
         if bucket is None:
-            buckets[when_ns] = [(event.sequence, callback, event)]
+            free = queue._free
+            buckets[when_ns] = bucket = free.pop() if free else []
+            bucket.append((event.sequence, callback, event))
             heapq.heappush(self._q_times, when_ns)
         else:
             bucket.append((event.sequence, callback, event))
@@ -517,15 +550,18 @@ class EngineShard:
         clock_now = self.clock._now_ns
         if when_ns < clock_now:
             validate_schedule_time(clock_now, when_ns)
+        queue = self._queue
         sequence = self._q_next_seq()
         buckets = self._q_buckets
         bucket = buckets.get(when_ns)
         if bucket is None:
-            buckets[when_ns] = [(sequence, callback, None)]
+            free = queue._free
+            buckets[when_ns] = bucket = free.pop() if free else []
+            bucket.append((sequence, callback, None))
             heapq.heappush(self._q_times, when_ns)
         else:
             bucket.append((sequence, callback, None))
-        self._queue._live += 1
+        queue._live += 1
         fabric = self.fabric
         if fabric._active is not None and fabric._active is not self:
             fabric._note_cross_push(self, when_ns, sequence)
@@ -565,6 +601,9 @@ class EngineShard:
             if not bucket:
                 heapq.heappop(times)
                 del buckets[t]
+                free = queue._free
+                if len(free) < _BUCKET_FREE_CAP:
+                    free.append(bucket)
                 continue
             if t > until_ns:
                 break
@@ -680,6 +719,9 @@ class EngineShard:
                 if not bucket:
                     heapq.heappop(times)
                     del buckets[t]
+                    free = queue._free
+                    if len(free) < _BUCKET_FREE_CAP:
+                        free.append(bucket)
                     continue
                 if t > window_end_ns:
                     if extend is None or self.outbox:

@@ -24,6 +24,8 @@ class Timer:
     and restarted any number of times.
     """
 
+    __slots__ = ("_sim", "duration", "_callback", "label", "_event", "_expiry_count")
+
     def __init__(
         self,
         sim: Simulator,
@@ -73,6 +75,8 @@ class PeriodicTimer:
     sample at a fixed rate (e.g. the agility probe sends a ping every
     second, exactly as the paper's test program does).
     """
+
+    __slots__ = ("_sim", "interval", "_callback", "label", "_event", "_running", "_fire_count")
 
     def __init__(
         self,

@@ -650,8 +650,18 @@ class TestPartitionerAndAddressing:
         assert addresses[299] == "10.0.1.46"
         assert len(set(addresses)) == 300
 
-    def test_ip_allocation_exhaustion_still_raises(self):
+    def test_ip_allocation_rolls_into_next_slash16(self):
+        # Exhausting the third octet no longer fails: allocation rolls into
+        # the next /16 so 65k+-station populations keep allocating.
         builder = NetworkBuilder(subnet_prefix="10.0.254")
+        for _ in range(254):
+            builder.allocate_ip()
+        rolled = builder.allocate_ip()
+        assert str(rolled) == "10.1.0.1"
+
+    def test_ip_allocation_exhaustion_still_raises(self):
+        # True exhaustion — nowhere left to roll past the second octet.
+        builder = NetworkBuilder(subnet_prefix="10.254.254")
         for _ in range(254):
             builder.allocate_ip()
         with pytest.raises(TopologyError):

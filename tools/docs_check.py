@@ -12,7 +12,11 @@ Three coverage contracts, all cheap and exact:
   its semantics fails CI exactly like an undocumented scenario;
 * every execution backend in :data:`repro.sim.relaxed.BACKENDS` must be
   named in ``docs/architecture.md`` — a new window-execution backend ships
-  with its transport/barrier/determinism story documented, or CI fails.
+  with its transport/barrier/determinism story documented, or CI fails;
+* every station role in :data:`repro.population.STATION_ROLES` and every
+  traffic kind in :data:`repro.population.TRAFFIC_KINDS` must be named in
+  ``docs/architecture.md`` — population roles and synthetic-traffic axes
+  are part of the documented scenario surface.
 
 Run from the repository root::
 
@@ -35,6 +39,7 @@ sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
 from perf_gate import collect_metrics  # noqa: E402
 
 from repro.faults import FAULT_KINDS  # noqa: E402
+from repro.population import STATION_ROLES, TRAFFIC_KINDS  # noqa: E402
 from repro.scenario.registry import list_scenarios  # noqa: E402
 from repro.sim.relaxed import BACKENDS  # noqa: E402
 
@@ -105,6 +110,22 @@ def main() -> int:
                 f"{ARCHITECTURE_PAGE.relative_to(REPO_ROOT)}"
             )
 
+    for role in STATION_ROLES:
+        if f"`{role}`" not in architecture_text:
+            failures.append(
+                f"station role {role!r} exists in "
+                f"repro.population.STATION_ROLES but is missing from "
+                f"{ARCHITECTURE_PAGE.relative_to(REPO_ROOT)}"
+            )
+
+    for kind in TRAFFIC_KINDS:
+        if f"`{kind}`" not in architecture_text:
+            failures.append(
+                f"traffic kind {kind!r} exists in "
+                f"repro.population.TRAFFIC_KINDS but is missing from "
+                f"{ARCHITECTURE_PAGE.relative_to(REPO_ROOT)}"
+            )
+
     if failures:
         print(f"docs check: {len(failures)} problem(s):")
         for failure in failures:
@@ -114,8 +135,9 @@ def main() -> int:
     families = len(metric_families(history))
     print(
         f"docs check: OK — {scenarios} scenarios, {families} metric "
-        f"families, {len(FAULT_KINDS)} fault kinds and {len(BACKENDS)} "
-        f"execution backends all documented"
+        f"families, {len(FAULT_KINDS)} fault kinds, {len(BACKENDS)} "
+        f"execution backends, {len(STATION_ROLES)} station roles and "
+        f"{len(TRAFFIC_KINDS)} traffic kinds all documented"
     )
     return 0
 
