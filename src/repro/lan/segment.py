@@ -714,7 +714,7 @@ class Segment:
                     self._emit_drop(self._trace, sender, frame, "corrupt")
                 else:
                     self._count_drop(sender, frame, "loss")
-                self._schedule(finish, self._service_next, label=self._next_label)
+                self._schedule_cut_completion(sim, finish)
                 return
 
         runs = self._delivery_runs
@@ -778,6 +778,29 @@ class Segment:
                         label=self._deliver_label,
                     )
                     first = False
+        self._schedule_cut_completion(sim, finish)
+
+    def _schedule_cut_completion(self, sim, finish: float) -> None:
+        """Schedule the service-completion event for a cut-segment serve.
+
+        An in-window serve keeps the completion on the home ring, exactly as
+        before.  A barrier-context serve under relaxed sync — a mailed
+        transmit replay, or a prior barrier completion firing — must put it
+        on the *control ring* instead: barrier work is replicated in every
+        engine replica (the process backend runs one per worker plus the
+        parent), so cut-segment service state only stays in lockstep if the
+        continuation also fires at a replicated barrier.  A home-ring
+        completion fires in the owner's window alone; every other replica
+        then keeps ``_in_service`` latched and its fault-model RNG cursor
+        stale, and the next mailed frame it replays is misserved — appended
+        instead of served, or judged with the wrong draw — which corrupts
+        the delivery-run events it pushes onto its own live rings.
+        """
+        if sim.relaxed and active_shard() is None:
+            sim.fabric._control.push_fire(
+                round(finish * NANOSECONDS_PER_SECOND), self._service_next
+            )
+            return
         self._schedule(finish, self._service_next, label=self._next_label)
 
     def _deliver_cut(self, sender: "NetworkInterface", frame: EthernetFrame) -> None:

@@ -40,10 +40,30 @@ from repro.scenario.registry import (
     scenario_entry,
 )
 from repro.scenario.runner import run_matrix, run_scenario
+from repro.scenario.graphview import (
+    PlacementReport,
+    TopologyGraph,
+    analyze_placement,
+)
+from repro.scenario.interchange import (
+    InterchangeError,
+    SCHEMA,
+    ScenarioDocument,
+    dict_to_partition,
+    dict_to_spec,
+    dump_scenario,
+    load_scenario,
+    load_scenario_file,
+    partition_to_dict,
+    save_scenario,
+    spec_to_dict,
+)
 
 # Importing the catalogs registers the built-in scenarios.
 from repro.scenario import catalog as _catalog  # noqa: F401
+from repro.scenario import generators as _generators  # noqa: F401
 from repro.population import catalog as _population_catalog  # noqa: F401
+from repro.scenario.generators import FUZZ_PARAM_SPACE, GENERATORS  # noqa: E402
 
 __all__ = [
     "BASIC_WARMUP",
@@ -72,4 +92,20 @@ __all__ = [
     "expand_matrix",
     "run_scenario",
     "run_matrix",
+    "TopologyGraph",
+    "PlacementReport",
+    "analyze_placement",
+    "InterchangeError",
+    "SCHEMA",
+    "ScenarioDocument",
+    "spec_to_dict",
+    "dict_to_spec",
+    "partition_to_dict",
+    "dict_to_partition",
+    "dump_scenario",
+    "load_scenario",
+    "save_scenario",
+    "load_scenario_file",
+    "GENERATORS",
+    "FUZZ_PARAM_SPACE",
 ]

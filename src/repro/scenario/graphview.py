@@ -1,0 +1,295 @@
+"""A queryable graph view of a scenario's topology, plus placement analysis.
+
+The partitioner (:func:`repro.scenario.compile.plan_partition`) consumes a
+spec and produces shard assignments, a cut set and a lookahead bound — but
+its inputs and the structural properties that drive them (attachment
+weights, connectivity, single points of failure) were never visible outside
+the compile path.  This module surfaces them:
+
+* :class:`TopologyGraph` — the spec's station/segment attachment graph as
+  an explicit adjacency structure with connectivity queries (components,
+  articulation points, cycle rank, per-segment partitioner weights).
+* :func:`analyze_placement` — a :class:`PlacementReport` for a spec under a
+  given partition: cut-segment count, per-shard weight balance, the
+  lookahead bound, and which cut segments are articulation points (a cut on
+  a single point of failure couples the shards *and* the spanning tree).
+
+Both are pure functions of the spec — no network is compiled — so the
+scenario fuzzer and the docs tooling can reason about generated topologies
+cheaply, and a human can ask "where would this spec cut at 4 shards?"
+without running anything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple, Union
+
+from repro.scenario.compile import PartitionPlan, plan_partition
+from repro.scenario.spec import PartitionSpec, ScenarioSpec
+
+
+@dataclass(frozen=True)
+class TopologyGraph:
+    """The attachment graph of a scenario: segments and stations as nodes.
+
+    An edge joins a station (host or device) to every segment one of its
+    NICs attaches to.  The graph is bipartite by construction — stations
+    only touch segments — which is exactly the shape the partitioner and
+    the spanning tree operate on.
+
+    Attributes:
+        spec: the spec the view was built from.
+        segments: segment names, in declaration order.
+        stations: host and device names, in declaration order.
+        adjacency: node name -> sorted tuple of neighbour names.
+    """
+
+    spec: ScenarioSpec
+    segments: Tuple[str, ...]
+    stations: Tuple[str, ...]
+    adjacency: Dict[str, Tuple[str, ...]] = field(hash=False)
+
+    @classmethod
+    def from_spec(cls, spec: ScenarioSpec) -> "TopologyGraph":
+        """Build the attachment graph for ``spec``."""
+        neighbours: Dict[str, List[str]] = {
+            segment.name: [] for segment in spec.segments
+        }
+        stations: List[str] = []
+        for host in spec.hosts:
+            stations.append(host.name)
+            neighbours[host.name] = [host.segment]
+            neighbours[host.segment].append(host.name)
+        for device in spec.devices:
+            stations.append(device.name)
+            attached = []
+            for port in device.ports:
+                # Parallel ports onto one segment add capacity, not edges.
+                if port.segment not in attached:
+                    attached.append(port.segment)
+                    neighbours[port.segment].append(device.name)
+            neighbours[device.name] = attached
+        return cls(
+            spec=spec,
+            segments=tuple(segment.name for segment in spec.segments),
+            stations=tuple(stations),
+            adjacency={
+                name: tuple(sorted(adjacent))
+                for name, adjacent in neighbours.items()
+            },
+        )
+
+    # -- basic queries -------------------------------------------------------
+
+    def neighbors(self, name: str) -> Tuple[str, ...]:
+        """Adjacent node names (stations of a segment, segments of a station)."""
+        try:
+            return self.adjacency[name]
+        except KeyError as exc:
+            raise KeyError(
+                f"no node {name!r} in scenario {self.spec.name!r}"
+            ) from exc
+
+    def degree(self, name: str) -> int:
+        """Number of distinct neighbours."""
+        return len(self.neighbors(name))
+
+    @property
+    def n_edges(self) -> int:
+        """Distinct station-segment attachment edges."""
+        return sum(len(adjacent) for adjacent in self.adjacency.values()) // 2
+
+    def segment_weight(self, name: str) -> int:
+        """The partitioner's attachment weight: 1 + hosts + device ports.
+
+        Matches :func:`~repro.scenario.compile.plan_partition` exactly
+        (parallel ports *do* count here — they carry service load even
+        though they add no graph edge).
+        """
+        if name not in self.segments:
+            raise KeyError(f"no segment {name!r} in scenario {self.spec.name!r}")
+        weight = 1
+        for host in self.spec.hosts:
+            if host.segment == name:
+                weight += 1
+        for device in self.spec.devices:
+            for port in device.ports:
+                if port.segment == name:
+                    weight += 1
+        return weight
+
+    # -- connectivity --------------------------------------------------------
+
+    def connected_components(self) -> List[Set[str]]:
+        """Connected components, each a set of node names.
+
+        Ordered by the smallest declaration-order node they contain, so the
+        result is deterministic.
+        """
+        seen: Set[str] = set()
+        components: List[Set[str]] = []
+        for start in (*self.segments, *self.stations):
+            if start in seen:
+                continue
+            component = {start}
+            frontier = [start]
+            while frontier:
+                node = frontier.pop()
+                for neighbour in self.adjacency[node]:
+                    if neighbour not in component:
+                        component.add(neighbour)
+                        frontier.append(neighbour)
+            seen |= component
+            components.append(component)
+        return components
+
+    @property
+    def cycle_rank(self) -> int:
+        """Independent cycles: ``edges - nodes + components``.
+
+        Zero means the topology is a forest (no redundant paths — a link
+        failure partitions it); positive means the spanning tree has real
+        work to do.
+        """
+        n_nodes = len(self.segments) + len(self.stations)
+        return self.n_edges - n_nodes + len(self.connected_components())
+
+    def articulation_points(self) -> Tuple[str, ...]:
+        """Nodes whose removal disconnects their component, sorted.
+
+        A segment in this set is a single point of failure for the data
+        path; a device in it is a bridge (in the graph sense) the spanning
+        tree cannot route around.  Computed with an iterative Tarjan
+        low-point walk, so deep chains do not recurse.
+        """
+        index: Dict[str, int] = {}
+        low: Dict[str, int] = {}
+        parent: Dict[str, str] = {}
+        points: Set[str] = set()
+        counter = 0
+        for root in (*self.segments, *self.stations):
+            if root in index:
+                continue
+            root_children = 0
+            stack: List[Tuple[str, int]] = [(root, 0)]
+            while stack:
+                node, child_pos = stack[-1]
+                if child_pos == 0:
+                    index[node] = low[node] = counter
+                    counter += 1
+                adjacent = self.adjacency[node]
+                if child_pos < len(adjacent):
+                    stack[-1] = (node, child_pos + 1)
+                    neighbour = adjacent[child_pos]
+                    if neighbour not in index:
+                        parent[neighbour] = node
+                        if node == root:
+                            root_children += 1
+                        stack.append((neighbour, 0))
+                    elif parent.get(node) != neighbour:
+                        low[node] = min(low[node], index[neighbour])
+                else:
+                    stack.pop()
+                    up = parent.get(node)
+                    if up is not None:
+                        low[up] = min(low[up], low[node])
+                        if up != root and low[node] >= index[up]:
+                            points.add(up)
+            if root_children > 1:
+                points.add(root)
+        return tuple(sorted(points))
+
+
+@dataclass(frozen=True)
+class PlacementReport:
+    """The partitioner's inputs and outputs for one spec × partition.
+
+    Attributes:
+        scenario: the spec's name.
+        n_shards: shard engines the plan uses (1 = single engine).
+        assignments: component name -> shard index (the full placement).
+        cut_segments: segments whose stations span shards, in declaration
+            order.
+        cut_count: ``len(cut_segments)``.
+        cut_articulation_points: the cut segments that are also articulation
+            points of the topology graph — shard-coupling links with no
+            redundant path around them.
+        lookahead_ns: the conservative window bound (``None`` when the
+            shards are independent or the plan is single-engine).
+        shard_weights: summed segment attachment weight per shard.
+        weight_imbalance: max shard weight over the ideal (total / shards);
+            1.0 is perfect balance.
+        components: connected components in the topology graph.
+        cycle_rank: independent cycles (0 = loop-free).
+        articulation_points: all articulation points, sorted.
+    """
+
+    scenario: str
+    n_shards: int
+    assignments: Dict[str, int] = field(hash=False)
+    cut_segments: Tuple[str, ...] = ()
+    cut_count: int = 0
+    cut_articulation_points: Tuple[str, ...] = ()
+    lookahead_ns: object = None
+    shard_weights: Tuple[int, ...] = ()
+    weight_imbalance: float = 1.0
+    components: int = 1
+    cycle_rank: int = 0
+    articulation_points: Tuple[str, ...] = ()
+
+    def describe(self) -> str:
+        """A compact multi-line human-readable rendering."""
+        lines = [
+            f"scenario {self.scenario}: {self.n_shards} shard(s)",
+            f"  shard weights: {list(self.shard_weights)} "
+            f"(imbalance x{self.weight_imbalance:.2f})",
+            f"  cut segments: {list(self.cut_segments)} "
+            f"(lookahead {self.lookahead_ns} ns)",
+            f"  graph: {self.components} component(s), "
+            f"cycle rank {self.cycle_rank}, "
+            f"articulation points {list(self.articulation_points)}",
+        ]
+        if self.cut_articulation_points:
+            lines.append(
+                "  warning: cut on single point(s) of failure: "
+                f"{list(self.cut_articulation_points)}"
+            )
+        return "\n".join(lines)
+
+
+def analyze_placement(
+    spec: ScenarioSpec, partition: Union[int, PartitionSpec, PartitionPlan] = 1
+) -> PlacementReport:
+    """Analyze how ``spec`` places under ``partition`` — without compiling.
+
+    ``partition`` is a shard count, a :class:`PartitionSpec`, or an existing
+    :class:`PartitionPlan` (reuse the plan a run was actually compiled with).
+    """
+    if isinstance(partition, PartitionPlan):
+        plan = partition
+    else:
+        plan = plan_partition(spec, partition)
+    graph = TopologyGraph.from_spec(spec)
+    weights = [0] * plan.n_shards
+    for name in graph.segments:
+        weights[plan.assignments[name]] += graph.segment_weight(name)
+    total = sum(weights)
+    ideal = total / plan.n_shards if plan.n_shards else 1.0
+    articulation = graph.articulation_points()
+    return PlacementReport(
+        scenario=spec.name,
+        n_shards=plan.n_shards,
+        assignments=dict(plan.assignments),
+        cut_segments=plan.cut_segments,
+        cut_count=len(plan.cut_segments),
+        cut_articulation_points=tuple(
+            name for name in plan.cut_segments if name in articulation
+        ),
+        lookahead_ns=plan.lookahead_ns,
+        shard_weights=tuple(weights),
+        weight_imbalance=(max(weights) / ideal) if total else 1.0,
+        components=len(graph.connected_components()),
+        cycle_rank=graph.cycle_rank,
+        articulation_points=articulation,
+    )

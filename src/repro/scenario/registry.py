@@ -10,6 +10,7 @@ paper's experiments.
 
 from __future__ import annotations
 
+import inspect
 import itertools
 from dataclasses import dataclass, replace
 from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
@@ -29,12 +30,22 @@ class ScenarioEntry:
         description: one-line summary for the catalog listing.
         axes: names of the factory parameters meant to be swept (purely
             documentary; any factory parameter can be used as an axis).
+        tie_prone: the topology class admits residual same-instant wire
+            ties (queueing feedback re-aligning causal chains on a loop),
+            which the canonical-merge contract deliberately refuses to
+            order.  Such entries promise the *tie-excused* relaxed
+            contract — divergence from strict is legitimate at or after
+            the first tie instant — so catalog-wide plain bit-identity
+            tests skip them and the scenario fuzzer covers them with its
+            tie-horizon oracle instead.  Strict-mode identities (sharded
+            vs unsharded) are unaffected and still hold.
     """
 
     name: str
     factory: ScenarioFactory
     description: str = ""
     axes: Tuple[str, ...] = ()
+    tie_prone: bool = False
 
 
 _REGISTRY: Dict[str, ScenarioEntry] = {}
@@ -46,6 +57,7 @@ def register_scenario(
     *,
     description: str = "",
     axes: Sequence[str] = (),
+    tie_prone: bool = False,
 ):
     """Register a scenario factory (usable directly or as a decorator).
 
@@ -60,7 +72,11 @@ def register_scenario(
         if not summary and fn.__doc__:
             summary = fn.__doc__.strip().splitlines()[0]
         _REGISTRY[name] = ScenarioEntry(
-            name=name, factory=fn, description=summary, axes=tuple(axes)
+            name=name,
+            factory=fn,
+            description=summary,
+            axes=tuple(axes),
+            tie_prone=tie_prone,
         )
         return fn
 
@@ -124,9 +140,30 @@ def expand_matrix(
     Returns:
         One spec per matrix point, with the point's parameters recorded in
         ``spec.params`` and appended to ``spec.name``.
+
+    Raises:
+        ValueError: if an axis or base parameter names no factory
+            parameter.  A typo'd axis (``n_bridge`` for ``n_bridges``)
+            would otherwise surface as a ``TypeError`` from deep inside
+            the factory call on the first matrix point — here it is
+            rejected up front, with the valid names listed.
     """
     fixed = dict(base_params or {})
     axis_names = list(axes)
+    factory = scenario_entry(name).factory
+    parameters = inspect.signature(factory).parameters
+    if not any(
+        parameter.kind is inspect.Parameter.VAR_KEYWORD
+        for parameter in parameters.values()
+    ):
+        unknown = [
+            key for key in (*axis_names, *fixed) if key not in parameters
+        ]
+        if unknown:
+            raise ValueError(
+                f"unknown axes {sorted(set(unknown))} for scenario {name!r}; "
+                f"the factory accepts {sorted(parameters)}"
+            )
     axis_values = [list(axes[axis]) for axis in axis_names]
     specs: List[ScenarioSpec] = []
     for point in itertools.product(*axis_values):

@@ -26,16 +26,23 @@ count).  Control rounds are one broadcast round-trip.  Mailbox entries are
 serialized symbolically — segment name, interface indices, and the frame as
 a lossless envelope (:func:`repro.core.unixnet.frame_to_envelope_bytes`) —
 merged by the parent in the canonical ``(time, sender shard, position)``
-order, then re-broadcast so every replica applies the identical batch.
+order, then re-broadcast so every replica applies the identical batch; each
+worker acknowledges with its post-apply ring top, since applying mail is the
+one barrier action that creates worker-ring work outside a reported
+round-trip.
 
 **Parent-side planning.**  The parent runs the same per-shard-bound window
 plan as :class:`~repro.sim.relaxed.RelaxedExecutor.dispatch`.  Its shard
 tops come from two sources merged per round: the top each worker reported
-at last contact, and the parent's own replica ring — which, cleared at
-every report from its owner, holds exactly the barrier pushes the worker
-has not yet folded into a report.  ``min`` of the two is the worker's true
-top (a cancellation can only make it conservative, which costs an empty
-window, never correctness).
+at last contact (every contact — window, control and mail alike — reports
+one), and the parent's own replica ring, cleared at every report from its
+owner.  The replica ring is a conservative backstop only: once a worker
+has fired cut-segment service completions the parent merely cleared, the
+parent's copy of that segment's service state lags and its ring goes quiet,
+so the worker's own post-apply mail reports are the authoritative signal
+that mailed transmits created home-shard work.  ``min`` of the two is the
+worker's true top (a cancellation can only make it conservative, which
+costs an empty window, never correctness).
 
 **Trace shipping.**  Worker ``k`` is the sole authority for recorder ``k``'s
 stream: window emissions happen only there, and replicated barrier work
@@ -226,6 +233,19 @@ def _worker_main(fabric, index, pairs) -> None:
                 conn.send(("ok", mail, times[0] if times else None, n))
             elif kind == "mail":
                 _apply_mail(fabric, message[1])
+                # Reply with the post-apply ring top: applying mail can
+                # create home-shard work (a mailed cut-segment transmit
+                # serves inline, pushing delivery events onto this shard's
+                # ring).  The parent replica applies the same mail and
+                # mirrors those pushes, but this report is the worker's
+                # authoritative top — without it the planner once starved
+                # shards of windows when replica service state drifted,
+                # stranding every later mailed frame in the pending queue
+                # (service continuations now ride the control ring, which
+                # keeps the replicas in lockstep; the report stays as the
+                # planner's ground truth).
+                times = shard._queue._times
+                conn.send(("ok", None, times[0] if times else None, 0))
             elif kind == "ctrl":
                 n = executor._run_control(message[1], None)
                 for other in shards:
@@ -472,7 +492,7 @@ class ProcessExecutor:
                         dispatched += reply[3]
                         if reply[1]:
                             round_mail.append((leader_index, reply[1]))
-                            self._broadcast_mail(round_mail)
+                            self._broadcast_mail(round_mail, reported)
                         continue
                     if tied:
                         lead_bound = base_bound
@@ -512,7 +532,7 @@ class ProcessExecutor:
                     if reply[1]:
                         round_mail.append((index, reply[1]))
                 if round_mail:
-                    self._broadcast_mail(round_mail)
+                    self._broadcast_mail(round_mail, reported)
         except FabricBackendError:
             raise
         except BaseException:
@@ -542,8 +562,18 @@ class ProcessExecutor:
         fabric._proc_pending = self
         return dispatched
 
-    def _broadcast_mail(self, round_mail) -> None:
-        """Merge the round's outboxes canonically, apply locally, broadcast."""
+    def _broadcast_mail(self, round_mail, reported) -> None:
+        """Merge the round's outboxes canonically, apply locally, broadcast.
+
+        Collects every worker's post-apply ring top into ``reported``:
+        mail application is the one place work appears on a worker's ring
+        outside a window/control round-trip, and the parent replica ring
+        stops mirroring it once the worker's cut-segment service state has
+        advanced past the parent's (the worker runs service-completion
+        events the parent only ever clears).  Stale tops here starved the
+        home shard of windows, silently stranding every subsequent mailed
+        frame — and its drop/deliver records — in the segment's queue.
+        """
         merged = []
         for sender_index, entries in round_mail:
             merged.extend(
@@ -555,6 +585,8 @@ class ProcessExecutor:
         _apply_mail(self.fabric, blob)
         for index in range(len(self._conns)):
             self._send(index, ("mail", blob))
+        for index in range(len(self._conns)):
+            reported[index] = self._recv(index)[2]
         self.mail_flushed += len(blob)
 
     # -- deferred trace shipping -------------------------------------------

@@ -78,7 +78,10 @@ def _assert_equivalent(reference, candidate, context=""):
 # ---------------------------------------------------------------------------
 
 
-@pytest.mark.parametrize("name", sorted(entry.name for entry in list_scenarios()))
+@pytest.mark.parametrize(
+    "name",
+    sorted(entry.name for entry in list_scenarios() if not entry.tie_prone),
+)
 @pytest.mark.parametrize("shards", [1, 2, 4])
 def test_catalog_relaxed_is_canonical_merge_identical(name, shards):
     """Relaxed runs equal strict runs under the canonical merge, catalog-wide."""

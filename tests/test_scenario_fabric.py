@@ -177,6 +177,12 @@ class TestMatrixExpansion:
         assert [spec.params["n_bridges"] for spec in first] == [1, 1, 3, 3]
         assert [spec.params["bandwidth_bps"] for spec in first] == [1e7, 1e8, 1e7, 1e8]
 
+    def test_typoed_axis_is_rejected_up_front(self):
+        with pytest.raises(ValueError, match=r"unknown axes \['n_bridge'\]"):
+            expand_matrix("ring", {"n_bridge": [1, 3]})
+        with pytest.raises(ValueError, match="unknown axes"):
+            expand_matrix("ring", {"n_bridges": [1]}, base_params={"bandwith": 1e7})
+
     def test_expansion_applies_axis_values(self):
         specs = expand_matrix("chain", {"n_bridges": [2, 4]})
         assert [len(spec.devices) for spec in specs] == [2, 4]

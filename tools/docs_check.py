@@ -16,7 +16,11 @@ Three coverage contracts, all cheap and exact:
 * every station role in :data:`repro.population.STATION_ROLES` and every
   traffic kind in :data:`repro.population.TRAFFIC_KINDS` must be named in
   ``docs/architecture.md`` — population roles and synthetic-traffic axes
-  are part of the documented scenario surface.
+  are part of the documented scenario surface;
+* every topology generator in
+  :data:`repro.scenario.generators.GENERATORS` must be named in
+  ``docs/topology-interchange.md`` — a new generator ships with its shape,
+  axes and tie story documented where the fuzzer's inputs are specified.
 
 Run from the repository root::
 
@@ -40,12 +44,14 @@ from perf_gate import collect_metrics  # noqa: E402
 
 from repro.faults import FAULT_KINDS  # noqa: E402
 from repro.population import STATION_ROLES, TRAFFIC_KINDS  # noqa: E402
+from repro.scenario.generators import GENERATORS  # noqa: E402
 from repro.scenario.registry import list_scenarios  # noqa: E402
 from repro.sim.relaxed import BACKENDS  # noqa: E402
 
 CATALOG_PAGE = REPO_ROOT / "docs" / "scenario-catalog.md"
 BENCHMARKS_PAGE = REPO_ROOT / "docs" / "benchmarks.md"
 ARCHITECTURE_PAGE = REPO_ROOT / "docs" / "architecture.md"
+INTERCHANGE_PAGE = REPO_ROOT / "docs" / "topology-interchange.md"
 RESULTS_PATH = REPO_ROOT / "BENCH_trace.json"
 
 
@@ -126,6 +132,17 @@ def main() -> int:
                 f"{ARCHITECTURE_PAGE.relative_to(REPO_ROOT)}"
             )
 
+    interchange_text = (
+        INTERCHANGE_PAGE.read_text() if INTERCHANGE_PAGE.exists() else ""
+    )
+    for generator in GENERATORS:
+        if f"`{generator}`" not in interchange_text:
+            failures.append(
+                f"generator {generator!r} exists in "
+                f"repro.scenario.generators.GENERATORS but is missing from "
+                f"{INTERCHANGE_PAGE.relative_to(REPO_ROOT)}"
+            )
+
     if failures:
         print(f"docs check: {len(failures)} problem(s):")
         for failure in failures:
@@ -136,8 +153,9 @@ def main() -> int:
     print(
         f"docs check: OK — {scenarios} scenarios, {families} metric "
         f"families, {len(FAULT_KINDS)} fault kinds, {len(BACKENDS)} "
-        f"execution backends, {len(STATION_ROLES)} station roles and "
-        f"{len(TRAFFIC_KINDS)} traffic kinds all documented"
+        f"execution backends, {len(STATION_ROLES)} station roles, "
+        f"{len(TRAFFIC_KINDS)} traffic kinds and {len(GENERATORS)} "
+        f"topology generators all documented"
     )
     return 0
 
