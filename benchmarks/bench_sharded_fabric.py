@@ -385,8 +385,16 @@ def bench_wall_configuration(
     frames_per_pair: int,
     backend: str,
     verify_identity: bool = False,
+    breakdown: bool = False,
 ) -> dict:
-    """Measure one wall-sweep configuration (one pass; fresh interpreter)."""
+    """Measure one wall-sweep configuration (one pass; fresh interpreter).
+
+    With ``breakdown=True`` the run enables telemetry after warm-up, so the
+    blast dispatch carries the per-window compute/barrier/pipe/plan phase
+    attribution.  Breakdown passes are kept out of the timed speedup
+    samples — telemetry costs a little, and the sweep's ``seconds_wall``
+    numbers must stay like-for-like with the default-off runs.
+    """
     run, _, _ = build(
         segments,
         shards,
@@ -395,6 +403,8 @@ def bench_wall_configuration(
         backend="process" if backend == "process" else None,
     )
     _down_bridge_ports(run)
+    if breakdown:
+        run.sim.enable_telemetry()
     blast = _wall_blast(
         run, frames_per_pair, inline_safe=shards > 1,
         check_states=backend != "process",
@@ -405,6 +415,15 @@ def bench_wall_configuration(
         **blast,
         "counters": dict(run.sim.trace.counters.by_category_source),
     }
+    if breakdown:
+        phases = run.sim._telemetry.profiler.breakdown()
+        gap = abs(phases["attributed_s"] - phases["total_s"])
+        if phases["total_s"] > 0 and gap > 0.05 * phases["total_s"]:
+            raise RuntimeError(
+                f"phase attribution gap {gap:.6f}s exceeds 5% of the "
+                f"{phases['total_s']:.6f}s dispatch wall total"
+            )
+        result["breakdown"] = phases
     if verify_identity:
         result["identity"] = _verify_process_identity(
             run, segments, shards, frames_per_pair
@@ -414,7 +433,7 @@ def bench_wall_configuration(
 
 def measure_wall_in_subprocess(
     segments: int, shards: int, frames: int, backend: str,
-    verify_identity: bool = False,
+    verify_identity: bool = False, breakdown: bool = False,
 ) -> dict:
     """Run one wall configuration in a fresh interpreter and return its JSON."""
     command = [
@@ -429,6 +448,8 @@ def measure_wall_in_subprocess(
     ]
     if verify_identity:
         command.append("--verify-identity")
+    if breakdown:
+        command.append("--breakdown")
     process = subprocess.run(command, capture_output=True, text=True, check=False)
     if process.returncode != 0:
         raise RuntimeError(
@@ -493,6 +514,37 @@ def run_wall_sweep(
             f"{segments} LANs wall speedups vs single engine: "
             + ", ".join(f"{key}={value:.2f}x" for key, value in speedups.items())
         )
+    # Telemetry phase breakdown: where the relaxed fabric's dispatch wall
+    # actually goes (per-window compute vs barrier wait vs pipe round-trips).
+    # Runs regardless of core count — attribution shares are meaningful even
+    # where parallel speedups are not — and outside the timed samples above.
+    # The barrier+pipe share measured here is the baseline the shared-memory
+    # mailbox ROADMAP item has to beat.
+    breakdown_configs = [("shards=4/threads", "threads", 4)]
+    if hasattr(os, "fork"):
+        breakdown_configs.append(("shards=4/process", "process", 4))
+    breakdown = {}
+    for key, backend, shards in breakdown_configs:
+        sample = measure_wall_in_subprocess(
+            segments, shards, frames, backend, breakdown=True
+        )
+        phases = sample["breakdown"]
+        breakdown[key] = phases
+        total = phases["total_s"] or 1.0
+        print(
+            f"{segments} LANs wall {key} breakdown: "
+            f"compute {phases['compute_s'] * 1e3:.1f}ms "
+            f"({phases['compute_s'] / total:.0%}), "
+            f"barrier {phases['barrier_s'] * 1e3:.1f}ms "
+            f"({phases['barrier_s'] / total:.0%}), "
+            f"pipe {phases['pipe_s'] * 1e3:.1f}ms "
+            f"({phases['pipe_s'] / total:.0%}), "
+            f"plan {phases['plan_s'] * 1e3:.1f}ms over "
+            f"{phases['windows']} windows "
+            f"(attributed {phases['attributed_s'] / total:.1%} of "
+            f"{total:.3f}s total)"
+        )
+    wall["breakdown"] = breakdown
     identity = measure_wall_in_subprocess(
         segments, 4, identity_frames, "process", verify_identity=True
     )
@@ -622,6 +674,12 @@ def main() -> None:
         help="with --measure-wall: assert canonical-merge identity vs strict",
     )
     parser.add_argument(
+        "--breakdown",
+        action="store_true",
+        help="with --measure-wall: enable telemetry and report the "
+        "compute/barrier/pipe/plan phase breakdown",
+    )
+    parser.add_argument(
         "--wall-frames", type=int, default=400,
         help="blast frames per host pair for the wall-clock sweep",
     )
@@ -658,6 +716,7 @@ def main() -> None:
             args.frames,
             args.backend,
             verify_identity=args.verify_identity,
+            breakdown=args.breakdown,
         )
         result["counters"] = {
             f"{category}|{source}": count

@@ -153,6 +153,20 @@ def collect_metrics(entry: dict) -> dict:
         if rate is not None:
             frames = blast.get("frames", "?")
             metrics[f"blast/{sink}@{frames} frames/s"] = float(rate)
+    # Telemetry overhead (``bench_trace_overhead.py``): the frame blast
+    # replayed with the metrics registry enabled.  Both absolute rates and
+    # the within-entry on/off ratio are gated — the ratio catches a
+    # regression in the instrumented path even on a noisy runner.
+    telemetry = entry.get("telemetry_overhead")
+    if isinstance(telemetry, dict):
+        frames = telemetry.get("frames", "?")
+        for mode in ("off", "on"):
+            rate = telemetry.get(f"{mode}_frames_per_second")
+            if rate is not None:
+                metrics[f"telemetry/{mode}@{frames} frames/s"] = float(rate)
+        ratio = telemetry.get("on_off_ratio")
+        if ratio is not None:
+            metrics[f"telemetry/on-off-ratio@{frames} x"] = float(ratio)
     # One block per ring size (``sharded_fabric`` = 64 LANs,
     # ``sharded_fabric_256`` = 256 LANs); the size lives in the metric name
     # so different sweeps never ratio against each other.  The ``threaded``

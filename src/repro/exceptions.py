@@ -42,12 +42,16 @@ class FabricBackendError(SimulationError):
             is not tied to one shard.
         window: ``(start_ns, bound_ns)`` of the window or barrier the shard
             was executing, or ``None``.
+        flight: recent flight-recorder spans for the failing shard (a list
+            of ``{"kind", "window", "wall_s"}`` dicts, newest last), or
+            ``None`` when no recorder was running.
     """
 
-    def __init__(self, message, shard_index=None, window=None):
+    def __init__(self, message, shard_index=None, window=None, flight=None):
         super().__init__(message)
         self.shard_index = shard_index
         self.window = window
+        self.flight = flight
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,62 @@
+"""Latency analysis helpers: percentile summaries and fixed histograms.
+
+The single home for the p50/p95/p99 math that the population benchmark,
+the telemetry :class:`~repro.telemetry.report.RunReport`, and any future
+latency consumer share — so "p99" always means the same linear-interpolated
+estimator (:func:`repro.measurement.stats.percentile`) everywhere.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+from .stats import mean, percentile
+
+#: The percentiles a latency summary reports, as (key, fraction) pairs.
+LATENCY_PERCENTILES = (("p50", 0.50), ("p95", 0.95), ("p99", 0.99))
+
+
+def latency_summary(samples: Iterable[float]) -> Dict[str, float]:
+    """Count/min/max/mean plus p50/p95/p99 for a latency sample.
+
+    Returns all-zero fields for an empty sample rather than raising, so
+    callers can attach the summary unconditionally.  Units are whatever the
+    samples are in (the benchmarks pass nanoseconds).
+    """
+    data: List[float] = sorted(samples)
+    out: Dict[str, float] = {
+        "count": len(data),
+        "min": data[0] if data else 0.0,
+        "max": data[-1] if data else 0.0,
+        "mean": mean(data),
+    }
+    for key, fraction in LATENCY_PERCENTILES:
+        out[key] = percentile(data, fraction)
+    return out
+
+
+def fixed_histogram(
+    samples: Iterable[float], bounds: Sequence[float]
+) -> Dict[str, object]:
+    """Bucket a sample into fixed bounds (inclusive upper edges + overflow).
+
+    The bucket layout matches :class:`repro.telemetry.metrics.Histogram`
+    (``len(bounds) + 1`` counts, the last one catching overflow), so a
+    summary built here merges cleanly with registry histograms.
+    """
+    edges = list(bounds)
+    if edges != sorted(edges):
+        raise ValueError("histogram bounds must be sorted ascending")
+    counts = [0] * (len(edges) + 1)
+    total = 0.0
+    n = 0
+    for value in samples:
+        index = 0
+        for bound in edges:
+            if value <= bound:
+                break
+            index += 1
+        counts[index] += 1
+        total += value
+        n += 1
+    return {"bounds": edges, "counts": counts, "sum": total, "count": n}

@@ -294,6 +294,7 @@ class ScenarioRun:
     ready_time: float
     partition: Optional[PartitionPlan] = None
     faults: Optional[FaultTimeline] = None
+    seed: int = 0
 
     @property
     def n_shards(self) -> int:
@@ -355,6 +356,20 @@ class ScenarioRun:
             name: segment.express_mode
             for name, segment in self.network.segments.items()
         }
+
+    def report(self, latency_ns=None):
+        """Build the structured :class:`~repro.telemetry.report.RunReport`.
+
+        Available with or without telemetry enabled (native counters and
+        segment statistics are always reported; the metrics snapshot and
+        wall breakdown appear when the run was compiled with
+        ``telemetry=True`` or ``sim.enable_telemetry()`` was called).
+        ``latency_ns`` optionally carries the caller's round-trip samples
+        (nanoseconds) for the p50/p95/p99 latency section.
+        """
+        from repro.telemetry import build_report
+
+        return build_report(self, latency_ns=latency_ns)
 
     def warm_up(self) -> None:
         """Run the simulator up to the scenario's ready time.
@@ -500,6 +515,7 @@ def compile_spec(
     workers: Optional[int] = None,
     backend: Optional[str] = None,
     faults=None,
+    telemetry: bool = False,
 ) -> ScenarioRun:
     """Compile ``spec`` into a live :class:`ScenarioRun`.
 
@@ -527,6 +543,11 @@ def compile_spec(
     dispatched*, which is what keeps one timeline bit-identical across the
     single engine, strict shards and relaxed execution (see
     :mod:`repro.faults.timeline`).
+
+    ``telemetry=True`` enables the engine's metrics/span instrumentation
+    (:mod:`repro.telemetry`) before any event dispatches.  Telemetry never
+    changes a simulation outcome — the determinism suite proves catalog-wide
+    bit-identity with it on; ``ScenarioRun.report()`` collects the results.
     """
     plan = plan_partition(spec, shards)
     if sync is not None:
@@ -581,7 +602,12 @@ def compile_spec(
     if fault_events:
         timeline = FaultTimeline(seed=seed).extend(fault_events)
         timeline.install(network)
+    if telemetry:
+        # After construction, before any event dispatches: metrics are
+        # deterministic functions of the event stream and spans are
+        # out-of-band wall clock, so this cannot change an outcome.
+        network.sim.enable_telemetry()
     return ScenarioRun(
         spec=spec, network=network, ready_time=spec.ready_time, partition=plan,
-        faults=timeline,
+        faults=timeline, seed=seed,
     )

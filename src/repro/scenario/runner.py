@@ -29,6 +29,7 @@ def run_scenario(
     workers: Optional[int] = None,
     backend: Optional[str] = None,
     faults=None,
+    telemetry: bool = False,
 ) -> ScenarioRun:
     """Compile a scenario into a live network ready for measurement.
 
@@ -64,6 +65,10 @@ def run_scenario(
             failures, loss models — see :mod:`repro.faults`); the combined
             timeline is installed at compile time on the simulator control
             path, identically under every engine configuration.
+        telemetry: enable the engine's metrics/span instrumentation
+            (:mod:`repro.telemetry`) before any event dispatches; collect
+            the results with ``run.report()``.  Never changes a simulation
+            outcome.
 
     Returns:
         The compiled :class:`ScenarioRun`; the caller decides how far to run
@@ -78,7 +83,7 @@ def run_scenario(
     return compile_spec(
         spec, seed=seed, cost_model=cost_model, trace_sinks=trace_sinks,
         shards=shards, sync=sync, workers=workers, backend=backend,
-        faults=faults,
+        faults=faults, telemetry=telemetry,
     )
 
 
@@ -95,6 +100,7 @@ def run_matrix(
     workers: Optional[int] = None,
     backend: Optional[str] = None,
     faults=None,
+    telemetry: bool = False,
 ) -> Iterator[ScenarioRun]:
     """Compile and yield one :class:`ScenarioRun` per matrix point.
 
@@ -109,5 +115,5 @@ def run_matrix(
         yield compile_spec(
             spec, seed=seed, cost_model=cost_model, trace_sinks=trace_sinks,
             shards=shards, sync=sync, workers=workers, backend=backend,
-            faults=faults,
+            faults=faults, telemetry=telemetry,
         )

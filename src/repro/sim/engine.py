@@ -50,6 +50,11 @@ class Simulator:
     #: between the classic event path and the relaxed express/mailbox paths.
     relaxed = False
 
+    #: Telemetry state (:class:`repro.telemetry.Telemetry`), or ``None`` when
+    #: telemetry is off — the only thing the hot paths ever test.  A class
+    #: attribute so the default-off case costs nothing per instance.
+    _telemetry = None
+
     def __init__(
         self, seed: int = 0, trace_sinks: Optional[Iterable[TraceSink]] = None
     ) -> None:
@@ -177,6 +182,8 @@ class Simulator:
         """
         if self._running:
             raise SimulationError("Simulator.run() called re-entrantly")
+        if self._telemetry is not None:
+            return self._run_instrumented(None, max_events)
         self._running = True
         dispatched = 0
         try:
@@ -208,6 +215,8 @@ class Simulator:
                 f"run_until({until_seconds}s) is earlier than the current "
                 f"time {self.clock.now}s"
             )
+        if self._telemetry is not None:
+            return self._run_instrumented(until_ns, max_events)
         self._running = True
         dispatched = 0
         try:
@@ -228,6 +237,61 @@ class Simulator:
     def run_for(self, duration_seconds: float, max_events: Optional[int] = None) -> int:
         """Run for ``duration_seconds`` of simulated time starting from now."""
         return self.run_until(self.now + duration_seconds, max_events=max_events)
+
+    def _run_instrumented(self, until_ns: Optional[int], max_events: Optional[int]) -> int:
+        """The telemetry-on twin of :meth:`run`/:meth:`run_until`.
+
+        A deliberate duplicate of the dispatch loops: the default-off path
+        keeps its original shape with zero extra work per event, and this
+        loop adds queue high-water tracking, dispatch counting and one wall
+        span per call.  The wall clock is read through
+        :mod:`repro.telemetry.spans` so the overhead test can prove the
+        off path never reaches it.
+        """
+        from repro.telemetry import spans
+
+        telemetry = self._telemetry
+        start = spans.perf_counter()
+        self._running = True
+        dispatched = 0
+        queue = self._queue
+        high_water = len(queue)
+        try:
+            while True:
+                if max_events is not None and dispatched >= max_events:
+                    break
+                next_time = queue.peek_time_ns()
+                if next_time is None or (until_ns is not None and next_time > until_ns):
+                    break
+                self.step()
+                dispatched += 1
+                pending = len(queue)
+                if pending > high_water:
+                    high_water = pending
+            if until_ns is not None and self.clock.now_ns < until_ns:
+                self.clock.advance_to_ns(until_ns)
+        finally:
+            self._running = False
+            elapsed = spans.perf_counter() - start
+            registry = telemetry.registry
+            registry.counter("engine_events_dispatched").inc(dispatched)
+            registry.gauge("engine_queue_high_water").set_max(high_water)
+            telemetry.profiler.add("compute", elapsed)
+            telemetry.profiler.add_total(elapsed)
+        return dispatched
+
+    def enable_telemetry(self):
+        """Attach telemetry state to this engine (idempotent).
+
+        Returns the :class:`repro.telemetry.Telemetry` instance.  Metrics
+        are deterministic functions of the event stream and wall spans are
+        out-of-band, so enabling this never changes a simulation outcome.
+        """
+        if self._telemetry is None:
+            from repro.telemetry import Telemetry
+
+            self._telemetry = Telemetry(shards=1)
+        return self._telemetry
 
     def reset(self) -> None:
         """Discard all pending events and rewind the clock to zero.

@@ -309,6 +309,10 @@ class ShardedSimulator:
     SYNC_MODES = SYNC_MODES
     BACKENDS = BACKENDS
 
+    #: Telemetry state (:class:`repro.telemetry.Telemetry`), or ``None`` when
+    #: telemetry is off — mirrors :attr:`Simulator._telemetry`.
+    _telemetry = None
+
     def __init__(
         self,
         seed: int = 0,
@@ -518,6 +522,22 @@ class ShardedSimulator:
             "windows": self._relaxed.windows,
             "mail_flushed": self._relaxed.mail_flushed,
         }
+
+    def enable_telemetry(self):
+        """Attach fabric-wide telemetry state (idempotent; returns it).
+
+        One :class:`repro.telemetry.Telemetry` aggregate covers every shard.
+        Process-backend workers inherit the enabled state through the
+        dispatch fork and ship their own registries home with the trace
+        suffixes.  Metrics are deterministic functions of the event stream
+        and wall spans are out-of-band, so enabling this never changes a
+        simulation outcome.
+        """
+        if self._telemetry is None:
+            from repro.telemetry import Telemetry
+
+            self._telemetry = Telemetry(shards=len(self._shards))
+        return self._telemetry
 
     # ------------------------------------------------------------------
     # Shards and placement
@@ -732,6 +752,12 @@ class ShardedSimulator:
         for shard in shards:
             tops[shard.index] = shard._queue.top_key()
         dispatched = 0
+        telemetry = self._telemetry
+        if telemetry is not None:
+            from repro.telemetry import spans
+
+            strict_start = spans.perf_counter()
+            high_water = self.pending_events
         while True:
             # One pass finds both the globally minimal shard and the batch
             # limit (the smallest key any *other* shard holds).
@@ -769,8 +795,19 @@ class ShardedSimulator:
                     f"{best_index} top={fresh!r} limit={limit!r}"
                 )
             tops[best_index] = fresh
+            if telemetry is not None:
+                pending = self.pending_events
+                if pending > high_water:
+                    high_water = pending
             if max_events is not None and dispatched >= max_events:
                 break
+        if telemetry is not None:
+            elapsed = spans.perf_counter() - strict_start
+            registry = telemetry.registry
+            registry.counter("engine_events_dispatched").inc(dispatched)
+            registry.gauge("engine_queue_high_water").set_max(high_water)
+            telemetry.profiler.add("compute", elapsed)
+            telemetry.profiler.add_total(elapsed)
         return dispatched
 
     def step(self) -> bool:

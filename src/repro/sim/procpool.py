@@ -75,11 +75,13 @@ import multiprocessing
 import os
 import traceback
 from functools import partial
+from time import perf_counter
 from typing import List, Optional
 
 from repro.core.unixnet import envelope_bytes_to_frame, frame_to_envelope_bytes
 from repro.exceptions import FabricBackendError
 from repro.sim.clock import NANOSECONDS_PER_SECOND
+from repro.telemetry.flight import FlightRecorder
 
 #: Set in worker processes to the shard index they own; ``None`` in the
 #: parent.  Exposed for diagnostics and fault-injection tests.
@@ -205,6 +207,20 @@ def _worker_main(fabric, index, pairs) -> None:
     base = len(recorder._fast) if recorder._fast is not None else 0
     control = fabric._control
     executor = fabric._relaxed
+    # Telemetry rides the fork: the worker sees the parent's enabled state
+    # and accumulates into a *fresh* registry (the inherited aggregate may
+    # hold pre-fork counts), shipped home with the trace suffixes at "fin".
+    telemetry = fabric._telemetry
+    if telemetry is not None:
+        from time import perf_counter
+
+        from repro.telemetry.metrics import MetricsRegistry
+
+        wreg = MetricsRegistry()
+        events_counter = wreg.counter("engine_events_dispatched", shard=index)
+        queue_gauge = wreg.gauge("engine_queue_high_water", shard=index)
+        win_hist = wreg.histogram("window_events", shard=index)
+        compute_total = 0.0
     while True:
         try:
             message = conn.recv()
@@ -219,7 +235,16 @@ def _worker_main(fabric, index, pairs) -> None:
                     other._until_ns = pump_bound
                 extend = None if cap is None else (cap[0], cap[1], control, pump_bound)
                 control_state = (control._live, control._dead)
+                comp_s = 0.0
+                if telemetry is not None:
+                    win_start = perf_counter()
                 n = shard._run_window(bound, None, extend)
+                if telemetry is not None:
+                    comp_s = perf_counter() - win_start
+                    compute_total += comp_s
+                    events_counter.inc(n)
+                    win_hist.observe(n)
+                    queue_gauge.set_max(len(shard._queue))
                 if (control._live, control._dead) != control_state:
                     raise FabricBackendError(
                         "facade scheduling (or facade-event cancellation) from "
@@ -230,7 +255,11 @@ def _worker_main(fabric, index, pairs) -> None:
                     )
                 mail = _encode_outbox(shard) if shard.outbox else None
                 times = shard._queue._times
-                conn.send(("ok", mail, times[0] if times else None, n))
+                # The trailing element is this round's window-drain wall
+                # seconds (0.0 with telemetry off) — the parent subtracts
+                # the slowest worker's share from the round-trip to split
+                # pipe wait from window compute.
+                conn.send(("ok", mail, times[0] if times else None, n, comp_s))
             elif kind == "mail":
                 _apply_mail(fabric, message[1])
                 # Reply with the post-apply ring top: applying mail can
@@ -270,7 +299,25 @@ def _worker_main(fabric, index, pairs) -> None:
                     if callable(detail):
                         detail = detail()
                     suffix.append((time_s, source, category, detail, seq))
-                conn.send(("fin", suffix))
+                blob = None
+                if telemetry is not None:
+                    from repro.telemetry.report import snapshot_segment
+
+                    # Ship this shard's registry plus the statistics of the
+                    # segments homed here: after a process dispatch the
+                    # parent's own Segment copies only saw replicated
+                    # barrier work, so the worker's are authoritative (cut
+                    # segments advance in lockstep; the home copy counts).
+                    blob = {
+                        "compute_s": compute_total,
+                        "metrics": wreg.snapshot(),
+                        "segments": {
+                            name: snapshot_segment(segment)
+                            for name, segment in fabric._segments.items()
+                            if getattr(segment.sim, "index", None) == index
+                        },
+                    }
+                conn.send(("fin", suffix, blob))
                 conn.close()
                 os._exit(0)
             else:  # pragma: no cover - protocol extension guard
@@ -309,12 +356,24 @@ class ProcessExecutor:
         self._bases: List[int] = []
         self._last_window: list = []
         self._fetched = True
+        #: Always-on crash-context recorder: the last few pipe round-trip
+        #: spans per shard, dumped into FabricBackendError post-mortems.
+        #: Cost per round-trip is two wall-clock reads and a deque append —
+        #: noise next to the pipe syscalls it brackets.
+        n_shards = len(fabric._shards)
+        self.flight = FlightRecorder(n_shards)
+        self._send_stamp = [0.0] * n_shards
+        self._send_kind = [""] * n_shards
+        self._pipe_messages = 0
 
     # -- transport ----------------------------------------------------------
 
     def _send(self, index: int, message, window=None) -> None:
         if window is not None:
             self._last_window[index] = window
+        self._send_kind[index] = message[0]
+        self._send_stamp[index] = perf_counter()
+        self._pipe_messages += 1
         try:
             self._conns[index].send(message)
         except (BrokenPipeError, EOFError, OSError) as exc:
@@ -325,26 +384,40 @@ class ProcessExecutor:
             reply = self._conns[index].recv()
         except (EOFError, OSError) as exc:
             self._worker_failed(index, exc)
+        self.flight.record(
+            index,
+            self._send_kind[index],
+            self._last_window[index],
+            perf_counter() - self._send_stamp[index],
+        )
         if reply[0] == "err":
             failed, remote = reply[1], reply[2]
             window = self._last_window[failed]
+            tail = self.flight.tail(failed)
             self._teardown(mark_stale=True)
             raise FabricBackendError(
                 f"shard {failed} worker raised during window "
-                f"[{window[0]}, {window[1]}] ns:\n{remote}",
+                f"[{window[0]}, {window[1]}] ns:\n{remote}\n"
+                f"recent shard {failed} spans (oldest first):\n"
+                f"{FlightRecorder.format_tail(tail)}",
                 shard_index=failed,
                 window=window,
+                flight=tail,
             )
         return reply
 
     def _worker_failed(self, index: int, exc) -> None:
         window = self._last_window[index]
+        tail = self.flight.tail(index)
         self._teardown(mark_stale=True)
         raise FabricBackendError(
             f"shard {index} worker process died (pipe EOF) while executing "
-            f"window [{window[0]}, {window[1]}] ns",
+            f"window [{window[0]}, {window[1]}] ns\n"
+            f"recent shard {index} spans (oldest first):\n"
+            f"{FlightRecorder.format_tail(tail)}",
             shard_index=index,
             window=window,
+            flight=tail,
         ) from exc
 
     # -- dispatch -----------------------------------------------------------
@@ -417,8 +490,23 @@ class ProcessExecutor:
         # the barrier pushes the report does not yet reflect.
         reported: List[Optional[int]] = [None] * n_shards
         effective: List[Optional[int]] = [None] * n_shards
+        # Telemetry (default off) is guarded once per planner round.  The
+        # worker half of each "ok" reply carries that round's window-drain
+        # wall seconds; the slowest worker's share is re-attributed from
+        # "pipe" to "compute", which decomposes each round-trip exactly:
+        # the round cannot return before its slowest window finishes.
+        telemetry = fabric._telemetry
+        timer = None
+        if telemetry is not None:
+            from repro.telemetry.spans import PhaseTimer
+
+            registry = telemetry.registry
+            timer = PhaseTimer()
+            planner_counter = registry.counter("proc_planner_rounds_total")
         try:
             while True:
+                if timer is not None:
+                    planner_counter.inc()
                 t_min = None
                 t_second = None
                 leader_index = -1
@@ -447,6 +535,8 @@ class ProcessExecutor:
                 ):
                     # Control barrier, replicated: broadcast, run locally,
                     # then fold every worker's post-barrier top.
+                    if timer is not None:
+                        timer.lap("plan")
                     window = (control_t, control_t)
                     for index in shard_range:
                         self._send(index, ("ctrl", control_t), window)
@@ -459,6 +549,8 @@ class ProcessExecutor:
                         reply = self._recv(index)
                         reported[index] = reply[2]
                         shards[index]._queue.clear()
+                    if timer is not None:
+                        timer.lap("barrier")
                     continue
                 if t_min is None or t_min > until_ns:
                     break
@@ -481,6 +573,8 @@ class ProcessExecutor:
                         lead_bound = other + lookahead - 1
                         if lead_bound > pump_bound:
                             lead_bound = pump_bound
+                        if timer is not None:
+                            timer.lap("plan")
                         self._send(
                             leader_index,
                             ("win", lead_bound, pump_bound, (t_second, lookahead)),
@@ -490,9 +584,17 @@ class ProcessExecutor:
                         reported[leader_index] = reply[2]
                         shards[leader_index]._queue.clear()
                         dispatched += reply[3]
+                        if timer is not None:
+                            timer.lap("pipe")
+                            timer.shift("pipe", "compute", reply[4])
+                            registry.counter(
+                                "fabric_sole_leader_extensions_total"
+                            ).inc()
                         if reply[1]:
                             round_mail.append((leader_index, reply[1]))
                             self._broadcast_mail(round_mail, reported)
+                            if timer is not None:
+                                timer.lap("barrier")
                         continue
                     if tied:
                         lead_bound = base_bound
@@ -522,6 +624,9 @@ class ProcessExecutor:
                 # workers.  All replies are folded (and the parent replica
                 # rings cleared) before the round's mail is applied, so no
                 # barrier push can slip between a report and its clear.
+                if timer is not None:
+                    timer.lap("plan")
+                    round_compute = 0.0
                 for index, bound in plan:
                     self._send(index, ("win", bound, pump_bound, None), (t_min, bound))
                 for index, _bound in plan:
@@ -529,10 +634,17 @@ class ProcessExecutor:
                     reported[index] = reply[2]
                     shards[index]._queue.clear()
                     dispatched += reply[3]
+                    if timer is not None and reply[4] > round_compute:
+                        round_compute = reply[4]
                     if reply[1]:
                         round_mail.append((index, reply[1]))
+                if timer is not None:
+                    timer.lap("pipe")
+                    timer.shift("pipe", "compute", round_compute)
                 if round_mail:
                     self._broadcast_mail(round_mail, reported)
+                    if timer is not None:
+                        timer.lap("barrier")
         except FabricBackendError:
             raise
         except BaseException:
@@ -558,6 +670,12 @@ class ProcessExecutor:
             shared_clock._now_s = top_ns / NANOSECONDS_PER_SECOND
         fabric._relaxed.windows = self.windows
         fabric._relaxed.mail_flushed = self.mail_flushed
+        if timer is not None:
+            timer.lap("pipe")
+            timer.finish(telemetry.profiler)
+            telemetry.profiler.windows += self.windows
+            registry.counter("fabric_windows_total").inc(self.windows)
+            registry.counter("proc_pipe_messages_total").inc(self._pipe_messages)
         fabric._proc_stale = True
         fabric._proc_pending = self
         return dispatched
@@ -588,6 +706,20 @@ class ProcessExecutor:
         for index in range(len(self._conns)):
             reported[index] = self._recv(index)[2]
         self.mail_flushed += len(blob)
+        telemetry = self.fabric._telemetry
+        if telemetry is not None:
+            registry = telemetry.registry
+            envelope_bytes = 0
+            for entry in blob:
+                if entry[0] == "tx":
+                    registry.counter(
+                        "fabric_mail_frames_total", segment=entry[2]
+                    ).inc()
+                    envelope_bytes += len(entry[4])
+                elif entry[0] == "run":
+                    envelope_bytes += len(entry[4])
+            registry.counter("fabric_mail_entries_total").inc(len(blob))
+            registry.counter("proc_envelope_bytes_total").inc(envelope_bytes)
 
     # -- deferred trace shipping -------------------------------------------
 
@@ -604,7 +736,13 @@ class ProcessExecutor:
         fabric = self.fabric
         for index in range(len(self._conns)):
             self._send(index, ("fin",))
-        suffixes = [self._recv(index)[1] for index in range(len(self._conns))]
+        suffixes = []
+        telemetry = fabric._telemetry
+        for index in range(len(self._conns)):
+            reply = self._recv(index)
+            suffixes.append(reply[1])
+            if telemetry is not None:
+                telemetry.absorb_worker(index, reply[2])
         for shard, base, suffix in zip(fabric._shards, self._bases, suffixes):
             recorder = shard.trace
             fast = recorder._fast

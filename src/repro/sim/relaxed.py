@@ -112,6 +112,9 @@ class RelaxedExecutor:
         self.windows = 0
         #: Mailbox entries flushed by the last dispatch.
         self.mail_flushed = 0
+        #: Telemetry state while a telemetry-on dispatch is in flight
+        #: (consulted by :meth:`_flush_mail`); ``None`` otherwise.
+        self._tele = None
 
     # ------------------------------------------------------------------
     # Dispatch
@@ -152,6 +155,21 @@ class RelaxedExecutor:
         shard_range = range(n_shards)
         tops = [None] * n_shards
         refresh_all = True
+        # Telemetry is guarded per window *round*, never per event: with it
+        # off, this dispatch performs no perf_counter calls at all; with it
+        # on, each round pays a handful of checks plus one queue-depth scan.
+        telemetry = fabric._telemetry
+        timer = None
+        if telemetry is not None:
+            from repro.telemetry.spans import PhaseTimer
+
+            registry = telemetry.registry
+            timer = PhaseTimer()
+            win_hist = registry.histogram("window_events")
+            sole_counter = registry.counter("fabric_sole_leader_extensions_total")
+            barrier_counter = registry.counter("fabric_control_barriers_total")
+            queue_high = 0
+            self._tele = telemetry
         try:
             while True:
                 if refresh_all:
@@ -188,6 +206,12 @@ class RelaxedExecutor:
                 budget = None if max_events is None else max_events - dispatched
                 if budget is not None and budget <= 0:
                     break
+                if timer is not None:
+                    pending = 0
+                    for shard in shards:
+                        pending += len(shard._queue)
+                    if pending > queue_high:
+                        queue_high = pending
                 if control_t is not None and control_t <= until_ns and (
                     t_min is None or control_t <= t_min
                 ):
@@ -195,6 +219,8 @@ class RelaxedExecutor:
                     # run the control barrier.  Every shard clock is set to
                     # the control time first, because driver callbacks may
                     # synchronously touch components on any shard.
+                    if timer is not None:
+                        timer.lap("plan")
                     dispatched += self._run_control(control_t, budget)
                     # Barrier callbacks use the direct (non-outbox) paths, so
                     # mail is rare here; skip the flush when every box is
@@ -204,6 +230,9 @@ class RelaxedExecutor:
                         if shard.outbox:
                             self._flush_mail(shards)
                             break
+                    if timer is not None:
+                        barrier_counter.inc()
+                        timer.lap("barrier")
                     refresh_all = True
                     continue
                 if t_min is None or t_min > until_ns:
@@ -249,14 +278,26 @@ class RelaxedExecutor:
                         if lead_bound > pump_bound:
                             lead_bound = pump_bound
                         leader = shards[leader_index]
+                        if timer is not None:
+                            timer.lap("plan")
+                            round_base = dispatched
                         dispatched += leader._run_window(
                             lead_bound,
                             None,
                             (t_second, lookahead, control, pump_bound),
                         )
+                        if timer is not None:
+                            wall = timer.lap("compute")
+                            sole_counter.inc()
+                            win_hist.observe(dispatched - round_base)
+                            telemetry.flight.record(
+                                leader_index, "win", (t_min, lead_bound), wall
+                            )
                         if leader.outbox:
                             self._flush_mail(shards)
                             refresh_all = True
+                            if timer is not None:
+                                timer.lap("barrier")
                         else:
                             st = leader._queue._times
                             tops[leader_index] = st[0] if st else None
@@ -278,6 +319,9 @@ class RelaxedExecutor:
                         # Sequential slow path, inlined: run each eligible
                         # shard as the scan finds it and refresh its cached
                         # top in the same breath — no plan list at all.
+                        if timer is not None:
+                            timer.lap("plan")
+                            round_base = dispatched
                         for index in shard_range:
                             top = tops[index]
                             if top is None:
@@ -295,11 +339,19 @@ class RelaxedExecutor:
                             dispatched += shard._run_window(bound)
                             st = shard._queue._times
                             tops[index] = st[0] if st else None
+                        if timer is not None:
+                            wall = timer.lap("compute")
+                            win_hist.observe(dispatched - round_base)
+                            telemetry.flight.record(
+                                leader_index, "win", (t_min, lead_bound), wall
+                            )
                         for shard in shards:
                             if shard.outbox:
                                 self._flush_mail(shards)
                                 refresh_all = True
                                 break
+                        if timer is not None:
+                            timer.lap("barrier")
                         continue
                     plan = []
                     for index in shard_range:
@@ -316,6 +368,9 @@ class RelaxedExecutor:
                         for shard in shards
                         if shard._queue._times
                     ]
+                if timer is not None:
+                    timer.lap("plan")
+                    round_base = dispatched
                 if self._pool is not None and budget is None:
                     dispatched += self._run_window_threaded(plan)
                 else:
@@ -326,6 +381,12 @@ class RelaxedExecutor:
                         if remaining is not None and remaining <= 0:
                             break
                         dispatched += shard._run_window(bound, remaining)
+                if timer is not None:
+                    wall = timer.lap("compute")
+                    win_hist.observe(dispatched - round_base)
+                    telemetry.flight.record(
+                        max(leader_index, 0), "win", (t_min, pump_bound), wall
+                    )
                 # Only the planned shards' rings changed unless they mailed:
                 # refresh just those tops and skip the flush (and the full
                 # rescan it forces) on mail-free rounds.
@@ -341,6 +402,8 @@ class RelaxedExecutor:
                     for shard, _ in plan:
                         st = shard._queue._times
                         tops[shard.index] = st[0] if st else None
+                if timer is not None:
+                    timer.lap("barrier")
                 if max_events is not None and dispatched >= max_events:
                     break
         finally:
@@ -352,6 +415,13 @@ class RelaxedExecutor:
             if top_ns > shared_clock._now_ns:
                 shared_clock._now_ns = top_ns
                 shared_clock._now_s = top_ns / NANOSECONDS_PER_SECOND
+            if timer is not None:
+                self._tele = None
+                timer.finish(telemetry.profiler)
+                telemetry.profiler.windows += self.windows
+                registry.counter("fabric_windows_total").inc(self.windows)
+                registry.counter("engine_events_dispatched").inc(dispatched)
+                registry.gauge("engine_queue_high_water").set_max(queue_high)
         return dispatched
 
     def _run_control(self, time_ns: int, budget: Optional[int]) -> int:
@@ -451,6 +521,8 @@ class RelaxedExecutor:
             else:
                 single[2]._apply_relaxed_transmit(when_ns, single[3], single[4])
             self.mail_flushed += 1
+            if self._tele is not None:
+                self._count_mail((single,))
             return 1
         if not entries:
             return 0
@@ -469,7 +541,30 @@ class RelaxedExecutor:
             else:
                 entry[2]._apply_relaxed_transmit(when_ns, entry[3], entry[4])
         self.mail_flushed += len(entries)
+        if self._tele is not None:
+            self._count_mail(item[3] for item in entries)
         return len(entries)
+
+    def _count_mail(self, raw_entries) -> None:
+        """Fold flushed mailbox entries into the telemetry registry.
+
+        Only ``tx`` entries carry an identifiable frame; ``push`` entries
+        (pre-bound delivery runs) and ``drop`` markers count toward the
+        entry total alone.
+        """
+        registry = self._tele.registry
+        n = 0
+        for entry in raw_entries:
+            n += 1
+            if entry[0] == "tx":
+                segment = entry[2]
+                registry.counter(
+                    "fabric_mail_frames_total", segment=segment.name
+                ).inc()
+                registry.counter(
+                    "fabric_mail_bytes_total", segment=segment.name
+                ).inc(entry[4].wire_length)
+        registry.counter("fabric_mail_entries_total").inc(n)
 
     # ------------------------------------------------------------------
     # Worker pool lifecycle

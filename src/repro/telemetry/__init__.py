@@ -1,0 +1,87 @@
+"""Fabric telemetry: deterministic metrics, wall-clock spans, post-mortems.
+
+Two strictly separated signal families:
+
+* **Deterministic metrics** (:mod:`.metrics`) — counters, gauges and
+  fixed-bucket histograms derived purely from the simulated event stream.
+  Identical across runs and engine modes by construction; never read by
+  the simulation, so enabling them cannot change an outcome.
+* **Out-of-band wall-clock spans** (:mod:`.spans`, :mod:`.flight`) —
+  phase timers, span profiles and the bounded flight recorder.  Wall time
+  never touches simulated state; the overhead contract is that the
+  default-off hot path performs no ``perf_counter`` calls at all.
+
+Telemetry is **off by default**.  ``Simulator.enable_telemetry()`` /
+``ShardedSimulator.enable_telemetry()`` (or ``telemetry=True`` on
+``run_scenario``/``compile_spec``) attach a :class:`Telemetry` state object
+to the engine; the executors check for it once per window round, not per
+event.  ``ScenarioRun.report()`` folds everything into a structured
+:class:`~repro.telemetry.report.RunReport`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from .flight import FlightRecorder
+from .metrics import (
+    METRIC_FAMILIES,
+    WINDOW_EVENT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from .report import RunReport, build_report, snapshot_segment
+from .spans import PHASES, PhaseTimer, SpanProfiler
+
+__all__ = [
+    "METRIC_FAMILIES",
+    "PHASES",
+    "WINDOW_EVENT_BUCKETS",
+    "Counter",
+    "FlightRecorder",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "PhaseTimer",
+    "RunReport",
+    "SpanProfiler",
+    "Telemetry",
+    "build_report",
+    "snapshot_segment",
+]
+
+
+class Telemetry:
+    """Per-engine telemetry state: registry + profiler + shipped extras.
+
+    One instance hangs off a :class:`Simulator` or :class:`ShardedSimulator`
+    as ``_telemetry`` (``None`` when telemetry is off — the only thing the
+    hot paths ever test).  For a sharded fabric this is the fabric-wide
+    aggregate; process-backend workers run their own instance and ship a
+    snapshot home with their trace suffixes, merged in via
+    :meth:`absorb_worker`.
+    """
+
+    def __init__(self, shards: int = 1, flight_limit: int = 16) -> None:
+        self.registry = MetricsRegistry()
+        self.profiler = SpanProfiler()
+        self.flight = FlightRecorder(shards, limit=flight_limit)
+        #: Segment statistics shipped from process-backend workers, keyed by
+        #: segment name — authoritative after a process dispatch, when the
+        #: parent's own Segment objects only saw replicated barrier work.
+        self.shipped_segments: Dict[str, dict] = {}
+
+    def absorb_worker(self, shard_index: int, blob: Optional[dict]) -> None:
+        """Merge one worker's shipped telemetry blob into the aggregate."""
+        if not blob:
+            return
+        snapshot = blob.get("metrics")
+        if snapshot:
+            self.registry.merge_snapshot(snapshot)
+        compute_s = blob.get("compute_s")
+        if compute_s:
+            self.profiler.add("worker_compute", compute_s)
+        for name, stats in (blob.get("segments") or {}).items():
+            self.shipped_segments[name] = stats

@@ -1,0 +1,79 @@
+"""Bounded flight recorder: the last N window spans per shard.
+
+A crash post-mortem aid, not a metrics store.  The recorder keeps a small
+ring of recent per-shard spans (window bounds, message kind, wall seconds)
+so that when a process-backend worker dies mid-window the resulting
+``FabricBackendError`` can say what the fabric was doing in the seconds
+before — which window each shard was in, which pipe rounds completed, and
+how long they took — instead of just naming the crash window.
+
+The process backend runs it *always on* (parent side only): the cost is a
+deque append per pipe round-trip, which is noise next to the pipe syscalls
+themselves.  The relaxed in-process executor records spans only when
+telemetry is enabled, keeping the default-off hot path free of
+``perf_counter`` calls.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional, Tuple
+
+#: (kind, window, wall_seconds) — window is an (start_ns, bound_ns) tuple
+#: or None for rounds that carry no window (control, sync, fin).
+FlightEntry = Tuple[str, Optional[tuple], float]
+
+
+class FlightRecorder:
+    """Per-shard rings of recent span entries, bounded by ``limit``."""
+
+    def __init__(self, shards: int, limit: int = 16) -> None:
+        self.limit = limit
+        self._rings: List[Deque[FlightEntry]] = [
+            deque(maxlen=limit) for _ in range(shards)
+        ]
+
+    def record(
+        self,
+        shard: int,
+        kind: str,
+        window: Optional[tuple],
+        wall_seconds: float,
+    ) -> None:
+        self._rings[shard].append((kind, window, wall_seconds))
+
+    def tail(self, shard: Optional[int] = None) -> list:
+        """Recent entries as plain data; one shard's ring, or all of them.
+
+        With ``shard=None`` returns ``[(shard_index, entries), ...]`` for
+        every shard that recorded anything.
+        """
+        if shard is not None:
+            return [self._entry(item) for item in self._rings[shard]]
+        return [
+            (index, [self._entry(item) for item in ring])
+            for index, ring in enumerate(self._rings)
+            if ring
+        ]
+
+    @staticmethod
+    def _entry(item: FlightEntry) -> dict:
+        kind, window, wall_seconds = item
+        return {"kind": kind, "window": window, "wall_s": wall_seconds}
+
+    @staticmethod
+    def format_tail(entries: list) -> str:
+        """Render one shard's tail for embedding in an error message."""
+        if not entries:
+            return "  (no recorded spans)"
+        lines = []
+        for entry in entries:
+            window = entry.get("window")
+            span = (
+                f"[{window[0]}, {window[1]}]" if window else "-"
+            )
+            lines.append(
+                f"  {entry['kind']:<5} window={span:<26} "
+                f"wall={entry['wall_s'] * 1e3:.3f}ms"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,123 @@
+"""Out-of-band wall-clock spans: phase timers and span profiles.
+
+Everything in this module measures *wall* time and lives strictly outside
+the simulated world: no simulated timestamp, event, or RNG ever observes a
+span.  The determinism contract is structural — the executors consult
+``perf_counter`` only on code paths guarded by a telemetry check, so the
+overhead smoke test can patch :data:`perf_counter` here to raise and prove
+the default-off path never calls it.
+
+Phases are attributed *contiguously*: :class:`PhaseTimer` laps from one
+transition to the next with no unattributed gaps, which is what lets the
+wall-report assert that per-phase seconds sum to the total dispatch wall
+time within 5%.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import Dict, Optional
+
+#: The phase names the executors attribute dispatch wall time to.
+#: ``compute`` — shard window drains (worker-side for the process backend);
+#: ``barrier`` — waiting on mail flushes and control-ring barriers;
+#: ``pipe``    — process-backend round-trip time net of worker compute;
+#: ``plan``    — parent-side window planning (top scans, bound folding).
+PHASES = ("compute", "barrier", "pipe", "plan")
+
+
+class SpanProfiler:
+    """Accumulates wall seconds per phase across a whole dispatch.
+
+    One profiler lives on the fabric's :class:`~repro.telemetry.Telemetry`
+    state and survives across dispatch calls; ``total`` is recorded
+    independently of the phases so a breakdown consumer can check that the
+    attribution actually covers the wall it claims to.
+    """
+
+    def __init__(self) -> None:
+        self.phase_seconds: Dict[str, float] = {}
+        self.total_seconds = 0.0
+        self.windows = 0
+
+    def add(self, phase: str, seconds: float) -> None:
+        self.phase_seconds[phase] = self.phase_seconds.get(phase, 0.0) + seconds
+
+    def add_total(self, seconds: float) -> None:
+        self.total_seconds += seconds
+
+    def breakdown(self) -> dict:
+        """Plain-data phase breakdown for reports and the wall sweep."""
+        out = {f"{phase}_s": self.phase_seconds.get(phase, 0.0) for phase in PHASES}
+        out["total_s"] = self.total_seconds
+        out["windows"] = self.windows
+        attributed = sum(self.phase_seconds.get(phase, 0.0) for phase in PHASES)
+        out["attributed_s"] = attributed
+        return out
+
+
+class PhaseTimer:
+    """Contiguous phase attribution for one dispatch call.
+
+    Usage::
+
+        timer = PhaseTimer()
+        ...plan a window...
+        timer.lap("plan")
+        ...drain shard windows...
+        timer.lap("compute")
+        ...flush mail / run control barrier...
+        timer.lap("barrier")
+        timer.finish(profiler)
+
+    Every wall second between construction and :meth:`finish` lands in
+    exactly one phase — laps measure *since the previous lap*, so there are
+    no gaps and no double counting.
+    """
+
+    __slots__ = ("_start", "_mark", "_seconds")
+
+    def __init__(self) -> None:
+        now = perf_counter()
+        self._start = now
+        self._mark = now
+        self._seconds: Dict[str, float] = {}
+
+    def lap(self, phase: str) -> float:
+        """Attribute the time since the last lap to ``phase``."""
+        now = perf_counter()
+        elapsed = now - self._mark
+        self._mark = now
+        self._seconds[phase] = self._seconds.get(phase, 0.0) + elapsed
+        return elapsed
+
+    def split(self) -> float:
+        """Seconds since the last lap, without attributing them."""
+        return perf_counter() - self._mark
+
+    def shift(self, source: str, target: str, seconds: float) -> None:
+        """Re-attribute ``seconds`` from one phase to another.
+
+        The process backend laps a whole pipe round into one phase, then
+        moves the worker-reported compute share out of it — keeping the
+        no-gaps invariant while splitting a round that interleaves both.
+        """
+        if seconds <= 0.0:
+            return
+        self._seconds[source] = self._seconds.get(source, 0.0) - seconds
+        self._seconds[target] = self._seconds.get(target, 0.0) + seconds
+
+    def finish(self, profiler: Optional[SpanProfiler]) -> float:
+        """Close the timer, folding phases and total into ``profiler``."""
+        now = perf_counter()
+        tail = now - self._mark
+        total = now - self._start
+        if profiler is not None:
+            for phase, seconds in self._seconds.items():
+                profiler.add(phase, seconds)
+            if tail > 0.0:
+                # Anything after the final lap is bookkeeping on the way
+                # out of dispatch; attribute it to planning.
+                profiler.add("plan", tail)
+            profiler.add_total(total)
+        return total

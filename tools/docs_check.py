@@ -20,7 +20,10 @@ Three coverage contracts, all cheap and exact:
 * every topology generator in
   :data:`repro.scenario.generators.GENERATORS` must be named in
   ``docs/topology-interchange.md`` — a new generator ships with its shape,
-  axes and tie story documented where the fuzzer's inputs are specified.
+  axes and tie story documented where the fuzzer's inputs are specified;
+* every metric family in :data:`repro.telemetry.METRIC_FAMILIES` must be
+  named in ``docs/telemetry.md`` — new instrumentation ships with its
+  meaning and labels documented, or CI fails.
 
 Run from the repository root::
 
@@ -47,8 +50,10 @@ from repro.population import STATION_ROLES, TRAFFIC_KINDS  # noqa: E402
 from repro.scenario.generators import GENERATORS  # noqa: E402
 from repro.scenario.registry import list_scenarios  # noqa: E402
 from repro.sim.relaxed import BACKENDS  # noqa: E402
+from repro.telemetry import METRIC_FAMILIES  # noqa: E402
 
 CATALOG_PAGE = REPO_ROOT / "docs" / "scenario-catalog.md"
+TELEMETRY_PAGE = REPO_ROOT / "docs" / "telemetry.md"
 BENCHMARKS_PAGE = REPO_ROOT / "docs" / "benchmarks.md"
 ARCHITECTURE_PAGE = REPO_ROOT / "docs" / "architecture.md"
 INTERCHANGE_PAGE = REPO_ROOT / "docs" / "topology-interchange.md"
@@ -143,6 +148,15 @@ def main() -> int:
                 f"{INTERCHANGE_PAGE.relative_to(REPO_ROOT)}"
             )
 
+    telemetry_text = TELEMETRY_PAGE.read_text() if TELEMETRY_PAGE.exists() else ""
+    for family in METRIC_FAMILIES:
+        if f"`{family}`" not in telemetry_text:
+            failures.append(
+                f"metric family {family!r} exists in "
+                f"repro.telemetry.METRIC_FAMILIES but is missing from "
+                f"{TELEMETRY_PAGE.relative_to(REPO_ROOT)}"
+            )
+
     if failures:
         print(f"docs check: {len(failures)} problem(s):")
         for failure in failures:
@@ -154,8 +168,9 @@ def main() -> int:
         f"docs check: OK — {scenarios} scenarios, {families} metric "
         f"families, {len(FAULT_KINDS)} fault kinds, {len(BACKENDS)} "
         f"execution backends, {len(STATION_ROLES)} station roles, "
-        f"{len(TRAFFIC_KINDS)} traffic kinds and {len(GENERATORS)} "
-        f"topology generators all documented"
+        f"{len(TRAFFIC_KINDS)} traffic kinds, {len(GENERATORS)} "
+        f"topology generators and {len(METRIC_FAMILIES)} telemetry "
+        f"metric families all documented"
     )
     return 0
 

@@ -536,6 +536,31 @@ def fuzz(
     return 0
 
 
+def write_report(path: Path, master_seed: int) -> None:
+    """A telemetry-instrumented RunReport over the first drawn case.
+
+    Written after a green sweep so the CI smoke lane always publishes a
+    full metrics/segments/wall document from a generated topology — the
+    same drive the oracle uses, with telemetry on (which the determinism
+    tests prove changes nothing).
+    """
+    case = draw_case(master_seed, 0)
+    run = run_scenario(case.spec, shards=case.shards, sync="relaxed",
+                       workers=case.workers, telemetry=True)
+    run.warm_up()
+    hosts = run.hosts
+    rtts = []
+    if len(hosts) >= 2:
+        result = PingRunner(run.sim, hosts[0], hosts[-1].ip, payload_size=64,
+                            count=2, interval=0.05).run(start_time=run.sim.now)
+        rtts = [int(rtt * 1e9) for rtt in result.rtts]
+    horizon = max([case.spec.ready_time] +
+                  [fault.at for fault in case.spec.faults]) + 0.5
+    if run.sim.now < horizon:
+        run.sim.run_until(horizon)
+    path.write_text(run.report(latency_ns=rtts).to_json() + "\n")
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         description="Fuzz the engine-mode invariance contract over generated "
@@ -551,9 +576,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="directory for shrunk failing-case documents")
     parser.add_argument("--no-shrink", action="store_true",
                         help="dump the raw failing case without minimizing")
+    parser.add_argument("--report", type=Path, default=None,
+                        help="after a green sweep, write a telemetry "
+                             "RunReport JSON for the first case here")
     args = parser.parse_args(argv)
-    return fuzz(args.cases, args.seed, budget=args.budget, out_dir=args.out,
-                shrink=not args.no_shrink)
+    status = fuzz(args.cases, args.seed, budget=args.budget, out_dir=args.out,
+                  shrink=not args.no_shrink)
+    if status == 0 and args.report is not None:
+        write_report(args.report, args.seed)
+        print(f"run report written to {args.report}")
+    return status
 
 
 if __name__ == "__main__":
